@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Design-choice ablation: the L2 prefetch queue depth.
+ *
+ * RnR's replay lookahead is ultimately bounded by how many prefetches
+ * can be in flight (the paper's window control assumes the hardware can
+ * keep a window moving).  This sweep shows the knee: below ~8 entries
+ * the replay cannot stay ahead of the demand stream and the speedup
+ * collapses toward the no-prefetcher baseline; beyond ~32 the DRAM
+ * banks are the binding resource and extra entries stop helping.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cpu/system.h"
+#include "workloads/graph_gen.h"
+#include "workloads/pagerank.h"
+
+using namespace rnr;
+using namespace rnr::bench;
+
+namespace {
+
+Tick
+steadyCycles(unsigned pq, PrefetcherKind kind)
+{
+    MachineConfig mcfg = MachineConfig::scaledDefault();
+    mcfg.l2.prefetch_queue = pq;
+    System sys(mcfg);
+
+    WorkloadOptions opts;
+    opts.cores = 4;
+    PageRankWorkload wl(makeGraphInput("urand").graph, opts);
+    std::vector<std::unique_ptr<Prefetcher>> pfs;
+    for (unsigned c = 0; c < 4; ++c) {
+        pfs.push_back(createPrefetcher(kind));
+        sys.mem().setPrefetcher(c, pfs.back().get());
+    }
+    Tick last = 0;
+    std::vector<TraceBuffer> bufs(4);
+    for (unsigned it = 0; it < 3; ++it) {
+        for (auto &b : bufs)
+            b.clear();
+        wl.emitIteration(it, it == 2, bufs);
+        std::vector<const TraceBuffer *> ptrs;
+        for (auto &b : bufs)
+            ptrs.push_back(&b);
+        last = sys.run(ptrs).cycles();
+    }
+    return last;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Ablation", "L2 prefetch-queue depth (PageRank/urand)");
+
+    const Tick base = steadyCycles(32, PrefetcherKind::None);
+    std::printf("baseline steady iteration: %llu cycles\n\n",
+                static_cast<unsigned long long>(base));
+    std::printf("%-8s %14s %10s\n", "PQ", "rnr-combined", "speedup");
+    for (unsigned pq : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        const Tick t = steadyCycles(pq, PrefetcherKind::RnrCombined);
+        std::printf("%-8u %14llu %9.2fx\n", pq,
+                    static_cast<unsigned long long>(t),
+                    static_cast<double>(base) / t);
+    }
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure bench binaries: the evaluation
+ * matrix (Section VI's workloads x inputs), the prefetcher line-up of
+ * the figures, and table-printing helpers.
+ *
+ * Results are cached in rnr_results.cache (see harness/runner.h), so
+ * the first bench to touch a cell simulates it and the rest reuse it.
+ */
+#ifndef RNR_BENCH_BENCH_UTIL_H
+#define RNR_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/metrics.h"
+#include "harness/runner.h"
+#include "sim/config.h"
+
+namespace rnr::bench {
+
+/** One workload/input cell of the evaluation matrix. */
+struct WorkloadRef {
+    std::string app;
+    std::string input;
+
+    std::string
+    label() const
+    {
+        return app + "/" + input;
+    }
+};
+
+/** Every workload/input pair of the paper's evaluation. */
+inline std::vector<WorkloadRef>
+allWorkloads()
+{
+    std::vector<WorkloadRef> out;
+    for (const char *in : {"urand", "amazon", "com-orkut", "roadUSA"}) {
+        out.push_back({"pagerank", in});
+        out.push_back({"hyperanf", in});
+    }
+    for (const char *in : {"atmosmodj", "bbmat", "nlpkkt80", "pdb1HYS"})
+        out.push_back({"spcg", in});
+    return out;
+}
+
+/** The prefetcher line-up of Figs 6-9/12 (DROPLET skips spCG). */
+inline std::vector<PrefetcherKind>
+figurePrefetchers()
+{
+    return {PrefetcherKind::NextLine, PrefetcherKind::Bingo,
+            PrefetcherKind::Stems,    PrefetcherKind::Misb,
+            PrefetcherKind::Droplet,  PrefetcherKind::Rnr,
+            PrefetcherKind::RnrCombined};
+}
+
+inline bool
+applicable(PrefetcherKind kind, const WorkloadRef &w)
+{
+    // "Since DROPLET is designed for graph algorithms, the evaluation
+    // results do not include DROPLET when running spCG."
+    return !(kind == PrefetcherKind::Droplet && w.app == "spcg");
+}
+
+inline ExperimentConfig
+makeConfig(const WorkloadRef &w, PrefetcherKind kind)
+{
+    ExperimentConfig cfg;
+    cfg.app = w.app;
+    cfg.input = w.input;
+    cfg.prefetcher = kind;
+    return cfg;
+}
+
+/** Prints the standard bench banner with the machine description. */
+inline void
+printHeader(const std::string &figure, const std::string &what)
+{
+    std::printf("================================================\n");
+    std::printf("%s — %s\n", figure.c_str(), what.c_str());
+    std::printf("Scaled machine (see DESIGN.md section 4):\n%s\n",
+                MachineConfig::scaledDefault().describe().c_str());
+    std::printf("Paper machine (Table II) for reference:\n%s\n",
+                MachineConfig::paperBaseline().describe().c_str());
+    std::printf("================================================\n\n");
+}
+
+/** Prints one row of a (workload x prefetcher) metric table. */
+inline void
+printRow(const std::string &label, const std::vector<double> &values,
+         const char *fmt = "%13.2f")
+{
+    std::printf("%-20s", label.c_str());
+    for (double v : values)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+inline void
+printColumnHeads(const std::vector<std::string> &heads)
+{
+    std::printf("%-20s", "workload");
+    for (const auto &h : heads)
+        std::printf("%13s", h.c_str());
+    std::printf("\n");
+}
+
+} // namespace rnr::bench
+
+#endif // RNR_BENCH_BENCH_UTIL_H

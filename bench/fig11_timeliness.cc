@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Regenerates Fig 11: the prefetch timeliness breakdown (on-time,
+ * early, late, out-of-window) of RnR replay under no control, window
+ * control, and window+pace control.
+ */
+#include "bench_util.h"
+
+using namespace rnr;
+using namespace rnr::bench;
+
+int
+main()
+{
+    printHeader("Fig 11", "Prefetch timeliness breakdown (percent)");
+
+    std::printf("%-20s %-9s %8s %8s %8s %8s\n", "workload", "control",
+                "ontime", "early", "late", "out-win");
+    for (const WorkloadRef &w : allWorkloads()) {
+        for (ReplayControlMode mode :
+             {ReplayControlMode::None, ReplayControlMode::Window,
+              ReplayControlMode::WindowPace}) {
+            ExperimentConfig cfg = makeConfig(w, PrefetcherKind::Rnr);
+            cfg.control = mode;
+            const TimelinessBreakdown b =
+                timeliness(runExperiment(cfg));
+            const char *name =
+                mode == ReplayControlMode::None
+                    ? "none"
+                    : (mode == ReplayControlMode::Window ? "window"
+                                                         : "win+pace");
+            std::printf("%-20s %-9s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+                        w.label().c_str(), name, b.ontime * 100,
+                        b.early * 100, b.late * 100,
+                        b.out_of_window * 100);
+        }
+    }
+    std::printf("\nPaper reference: with window control most workloads "
+                "are fully on time; urand shows 7-8%% early/late; pace "
+                "control trims early prefetches a few percent.\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Section IV-C walk-through: pausing and resuming RnR across a
+ * (simulated) context switch.
+ *
+ * A conventional hardware prefetcher loses its training when the OS
+ * migrates a process; RnR's metadata lives in the process's own heap,
+ * so a paused replay resumes exactly where it left off after the 87 B
+ * of architectural + internal state are restored.  This example pauses
+ * the replay mid-iteration, runs an "interloper" access burst (the
+ * other process trashing the caches), resumes, and shows that accuracy
+ * survives.
+ */
+#include <cstdio>
+
+#include "core/rnr_prefetcher.h"
+#include "core/rnr_runtime.h"
+#include "mem/memory_system.h"
+#include "sim/rng.h"
+
+int
+main()
+{
+    using namespace rnr;
+
+    MachineConfig mcfg = MachineConfig::scaledDefault();
+    mcfg.cores = 1;
+    MemorySystem ms(mcfg);
+    RnrPrefetcher pf;
+    ms.setPrefetcher(0, &pf);
+
+    std::printf("RnR context-switch state: %llu B (paper: 86.5 B)\n\n",
+                static_cast<unsigned long long>(
+                    RnrPrefetcher::contextSwitchBytes()));
+
+    // --- Software side: declare the structure and record one pass ---
+    const Addr target = 0x10000000;
+    const std::uint64_t size = 1 << 20;
+    auto ctl = [&](RnrOp op, Addr p0 = 0, std::uint64_t p1 = 0) {
+        pf.onControl(TraceRecord::control(op, p0, p1), 0);
+    };
+    ctl(RnrOp::Init, 0x70000000, 0x71000000);
+    ctl(RnrOp::AddrBaseSet, target, size);
+    ctl(RnrOp::AddrEnable, target);
+    ctl(RnrOp::Start);
+
+    // An irregular but repeatable access sequence.
+    Rng rng(9);
+    std::vector<Addr> sequence;
+    for (int i = 0; i < 2000; ++i)
+        sequence.push_back(target + rng.below(size / kBlockSize) *
+                                        kBlockSize);
+    Tick t = 0;
+    for (Addr a : sequence) {
+        ms.demandAccess(0, a, false, 1, t);
+        t += 400;
+    }
+    std::printf("recorded %zu misses\n", pf.sequence().size());
+
+    // --- Replay, interrupted by a context switch half way ---
+    ms.l2(0).reset();
+    ms.l1d(0).reset();
+    ctl(RnrOp::Replay);
+    std::size_t i = 0;
+    for (; i < sequence.size() / 2; ++i) {
+        ms.demandAccess(0, sequence[i], false, 1, t);
+        t += 40;
+    }
+
+    std::printf("pausing at access %zu (state saved to memory)...\n", i);
+    pf.onControl(TraceRecord::control(RnrOp::Pause), t);
+
+    // The interloper process floods the caches.
+    for (int k = 0; k < 20000; ++k) {
+        ms.demandAccess(0, 0x40000000 + Addr(k) * kBlockSize, false, 9,
+                        t);
+        t += 10;
+    }
+
+    std::printf("resuming...\n");
+    pf.onControl(TraceRecord::control(RnrOp::Resume), t);
+    for (; i < sequence.size(); ++i) {
+        ms.demandAccess(0, sequence[i], false, 1, t);
+        t += 40;
+    }
+    ctl(RnrOp::EndState);
+
+    const std::uint64_t useful =
+        ms.l2(0).stats().get("prefetch_useful") +
+        ms.l2(0).stats().get("demand_merged_into_prefetch");
+    const std::uint64_t issued =
+        ms.l2(0).stats().get("prefetches_issued");
+    std::printf("\nreplay finished: %llu prefetches issued, "
+                "%llu useful (%.1f%% accuracy)\n",
+                static_cast<unsigned long long>(issued),
+                static_cast<unsigned long long>(useful),
+                issued ? 100.0 * useful / issued : 0.0);
+    std::printf("no retraining was needed: the sequence survived the "
+                "switch in the process's own heap.\n");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The paper's Fig 2 motivation, runnable.
+ *
+ * Two interleaved miss streams reach the memory controller: a regular
+ * one (blocks 1,2,3,... from region s1) and an irregular repeating one
+ * (9,12,9,20,... from region s2).  A GHB temporal prefetcher keys on
+ * single addresses, so after seeing 9->12 and later 9->20 it predicts
+ * whichever came last — the Section II mis-prediction — and the mixing
+ * of the streams further pollutes its history.  RnR is told s2's bounds
+ * and the iteration boundary, records the exact miss sequence once, and
+ * replays it perfectly on the repeat.
+ */
+#include <cstdio>
+
+#include "core/rnr_prefetcher.h"
+#include "mem/memory_system.h"
+#include "prefetch/ghb.h"
+
+using namespace rnr;
+
+namespace {
+
+/** The Fig 2(a) irregular pattern over region s2, repeated per pass. */
+const unsigned kIrregular[] = {9, 12, 9, 20, 1, 17, 4, 12, 30, 9,
+                               20, 2, 26, 9, 7, 21, 12, 33, 5, 18};
+
+struct PassResult {
+    std::uint64_t useful = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t misses = 0;
+};
+
+/** Runs `passes` repetitions of the mixed s1+s2 access pattern. */
+PassResult
+run(Prefetcher &pf, RnrPrefetcher *rnr_view, int passes)
+{
+    MachineConfig mcfg = MachineConfig::scaledDefault();
+    mcfg.cores = 1;
+    MemorySystem ms(mcfg);
+    ms.setPrefetcher(0, &pf);
+
+    const Addr s1 = 0x10000000; // streaming region
+    const Addr s2 = 0x20000000; // irregular region
+    auto ctl = [&](RnrOp op, Addr p0 = 0, std::uint64_t p1 = 0) {
+        pf.onControl(TraceRecord::control(op, p0, p1), 0);
+    };
+    if (rnr_view) {
+        ctl(RnrOp::Init, 0x70000000, 0x71000000);
+        ctl(RnrOp::AddrBaseSet, s2, 1 << 20);
+        ctl(RnrOp::AddrEnable, s2);
+        ctl(RnrOp::Start);
+    }
+
+    Tick t = 0;
+    std::uint64_t misses_before_last = 0;
+    for (int pass = 0; pass < passes; ++pass) {
+        if (rnr_view && pass > 0)
+            pf.onControl(TraceRecord::control(RnrOp::Replay), t);
+        if (pass + 1 == passes)
+            misses_before_last = ms.l2(0).stats().get("misses");
+        unsigned stream_block = 1;
+        for (unsigned irr : kIrregular) {
+            // Interleave: one streaming miss, one irregular miss.
+            ms.demandAccess(0, s1 + Addr(pass) * (1 << 16) +
+                                   Addr(stream_block++) * kBlockSize,
+                            false, 1, t);
+            t += 500;
+            ms.demandAccess(0, s2 + Addr(irr) * kBlockSize, false, 2, t);
+            t += 500;
+        }
+        // Iteration boundary: caches churn between passes (other
+        // code touching fresh data each time).
+        for (int k = 0; k < 600; ++k) {
+            ms.demandAccess(0, 0x40000000 +
+                                   Addr(pass) * (1 << 22) +
+                                   Addr(k) * kBlockSize,
+                            false, 3, t);
+            t += 60;
+        }
+    }
+
+    PassResult out;
+    out.useful = ms.l2(0).stats().get("prefetch_useful") +
+                 ms.l2(0).stats().get("demand_merged_into_prefetch");
+    out.issued = ms.l2(0).stats().get("prefetches_issued");
+    out.misses = ms.l2(0).stats().get("misses") - misses_before_last;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Fig 2 motivation: interleaved regular (s1) and "
+                "repeating irregular (s2) miss streams, 4 passes\n\n");
+
+    GhbPrefetcher ghb(4096, 2);
+    const PassResult g = run(ghb, nullptr, 4);
+    std::printf("GHB temporal prefetcher: issued=%llu useful=%llu "
+                "(accuracy %.0f%%)\n",
+                static_cast<unsigned long long>(g.issued),
+                static_cast<unsigned long long>(g.useful),
+                g.issued ? 100.0 * g.useful / g.issued : 0.0);
+
+    RnrPrefetcher rnr;
+    const PassResult r = run(rnr, &rnr, 4);
+    std::printf("RnR prefetcher:          issued=%llu useful=%llu "
+                "(accuracy %.0f%%)\n\n",
+                static_cast<unsigned long long>(r.issued),
+                static_cast<unsigned long long>(r.useful),
+                r.issued ? 100.0 * r.useful / r.issued : 0.0);
+
+    std::printf("GHB keys on single addresses, so 9->12 vs 9->20 "
+                "alias and the mixed stream pollutes its history;\n"
+                "RnR records s2's exact miss sequence in pass 0 and "
+                "replays it verbatim afterwards.\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Prefetcher duel: run any workload/input under every prefetcher in
+ * the library and print the paper's headline metrics side by side.
+ *
+ *   prefetcher_duel [app] [input]
+ *   e.g. prefetcher_duel hyperanf com-orkut
+ */
+#include <cstdio>
+
+#include "harness/metrics.h"
+#include "harness/runner.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rnr;
+
+    ExperimentConfig cfg;
+    cfg.app = argc > 1 ? argv[1] : "pagerank";
+    cfg.input = argc > 2 ? argv[2] : "urand";
+    cfg.iterations = 3;
+
+    std::printf("Prefetcher duel: %s on %s (1 record/train + 2 replay "
+                "iterations, speedups amortised over %u)\n\n",
+                cfg.app.c_str(), cfg.input.c_str(),
+                kAmortizedIterations);
+
+    const ExperimentResult base = runBaseline(cfg);
+    std::printf("%-13s %8s %9s %9s %8s %9s\n", "prefetcher", "speedup",
+                "coverage", "accuracy", "MPKI", "traffic");
+    std::printf("%-13s %8s %9s %9s %7.1f %9s\n", "none", "1.00x", "-",
+                "-", mpki(base), "-");
+    for (PrefetcherKind kind : allPrefetcherKinds()) {
+        if (kind == PrefetcherKind::None)
+            continue;
+        if (kind == PrefetcherKind::Droplet && cfg.app == "spcg")
+            continue;
+        cfg.prefetcher = kind;
+        const ExperimentResult r = runExperiment(cfg);
+        std::printf("%-13s %7.2fx %8.1f%% %8.1f%% %7.1f %+8.1f%%\n",
+                    toString(kind).c_str(), speedup(r, base),
+                    coverage(r, base) * 100, accuracy(r) * 100, mpki(r),
+                    trafficOverhead(r, base) * 100);
+    }
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Sparse conjugate-gradient solver example: solves A x = b on a
+ * 3-D-stencil matrix while simulating the memory system, comparing the
+ * solver's wall-cycles without prefetching, with RnR, and with
+ * RnR-Combined — the paper's headline spCG use case.
+ */
+#include <cstdio>
+
+#include "cpu/system.h"
+#include "prefetch/factory.h"
+#include "workloads/sparse_gen.h"
+#include "workloads/spcg.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rnr;
+
+    const std::string input = argc > 1 ? argv[1] : "bbmat";
+    const unsigned iterations = 8;
+    MatrixInput in = makeMatrixInput(input);
+    std::printf("spCG on '%s': n=%u, nnz=%llu\n", input.c_str(),
+                in.matrix.n,
+                static_cast<unsigned long long>(in.matrix.nnz()));
+
+    for (PrefetcherKind kind :
+         {PrefetcherKind::None, PrefetcherKind::Rnr,
+          PrefetcherKind::RnrCombined}) {
+        WorkloadOptions opts;
+        opts.cores = 4;
+        SpcgWorkload wl(in.matrix, opts);
+        System sys(MachineConfig::scaledDefault());
+        std::vector<std::unique_ptr<Prefetcher>> pfs;
+        for (unsigned c = 0; c < 4; ++c) {
+            pfs.push_back(createPrefetcher(kind));
+            sys.mem().setPrefetcher(c, pfs.back().get());
+        }
+
+        Tick total = 0;
+        std::vector<TraceBuffer> bufs(4);
+        for (unsigned it = 0; it < iterations; ++it) {
+            for (auto &b : bufs)
+                b.clear();
+            wl.emitIteration(it, it + 1 == iterations, bufs);
+            std::vector<const TraceBuffer *> ptrs;
+            for (auto &b : bufs)
+                ptrs.push_back(&b);
+            total += sys.run(ptrs).cycles();
+        }
+        std::printf("%-13s: %11llu cycles for %u CG iterations, "
+                    "||r||^2 = %.3e\n",
+                    toString(kind).c_str(),
+                    static_cast<unsigned long long>(total), iterations,
+                    wl.residualNorm2());
+    }
+    std::printf("\nThe residual is identical in every run: prefetching "
+                "changes timing, never results.\n");
+    return 0;
+}

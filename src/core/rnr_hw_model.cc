@@ -1,0 +1,79 @@
+#include "core/rnr_hw_model.h"
+
+#include <sstream>
+
+#include "core/rnr_state.h"
+
+namespace rnr {
+
+RnrHwCost
+computeRnrHwCost()
+{
+    RnrHwCost cost;
+    auto arch = [&](const std::string &n, std::uint64_t bits) {
+        cost.registers.push_back({n, bits, true});
+        cost.arch_state_bits += bits;
+    };
+    auto internal = [&](const std::string &n, std::uint64_t bits) {
+        cost.registers.push_back({n, bits, false});
+        cost.internal_state_bits += bits;
+    };
+
+    // Architectural state (Section IV-A).  Virtual-address registers are
+    // 64 bits; structure sizes fit 48 bits; the window size register
+    // holds a block count (16 bits covers the Fig 14 sweep range).
+    arch("asid", 16);
+    for (unsigned i = 0; i < kBoundaryEntries; ++i) {
+        arch("boundary" + std::to_string(i) + ".base", 64);
+        arch("boundary" + std::to_string(i) + ".size", 48);
+        arch("boundary" + std::to_string(i) + ".flags", 2);
+    }
+    arch("seq_table_base", 64);
+    arch("div_table_base", 64);
+    arch("window_size", 16);
+    arch("prefetch_state", 2);
+
+    // Internal state (Section V).  Current metadata page addresses are
+    // physical page numbers (one TLB lookup per 4 MB page).
+    internal("cur_struct_read", 64);
+    internal("seq_table_len", 32);
+    internal("div_table_len", 32);
+    internal("cur_seq_page_addr", 32);
+    internal("cur_div_page_addr", 32);
+    internal("prefetch_count", 64);
+    internal("cur_window", 32);
+    internal("prefetch_pace", 16);
+
+    cost.buffer_bytes = 2 * kMetaBufferBytes;
+    const std::uint64_t state_bits =
+        cost.arch_state_bits + cost.internal_state_bits;
+    cost.context_switch_bytes = (state_bits + 7) / 8;
+    cost.total_bytes = cost.context_switch_bytes + cost.buffer_bytes;
+
+    // Scale area from the paper's synthesis result (2.7e-3 mm^2 for
+    // ~1 KB of state + control at 22 nm): mm^2 per byte of state.
+    const double paper_area = 2.7e-3;
+    const double paper_bytes = 1024.0;
+    cost.area_mm2_22nm =
+        paper_area * static_cast<double>(cost.total_bytes) / paper_bytes;
+    cost.chip_fraction = cost.area_mm2_22nm / 46.19;
+    return cost;
+}
+
+std::string
+RnrHwCost::describe() const
+{
+    std::ostringstream os;
+    os << "RnR per-core hardware inventory:\n";
+    for (const auto &r : registers) {
+        os << "  " << (r.architectural ? "[arch]    " : "[internal]")
+           << " " << r.name << ": " << r.bits << " bits\n";
+    }
+    os << "  staging buffers: " << buffer_bytes << " B\n"
+       << "  context-switch state: " << context_switch_bytes << " B\n"
+       << "  total: " << total_bytes << " B (" << area_mm2_22nm
+       << " mm^2 @22nm, " << chip_fraction * 100 << "% of chip)";
+    return os.str();
+}
+
+} // namespace rnr

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Analytic hardware-overhead model for the RnR prefetcher (Section VII-B).
+ *
+ * The paper synthesises the design with Cadence Genus on FreePDK45 and
+ * scales to 22 nm, reporting < 1 KB of state and 2.7e-3 mm^2 per core
+ * (< 0.01% of a 46.19 mm^2 die).  We cannot run synthesis offline, so
+ * this model enumerates every register defined in rnr_state.h, sums the
+ * bits, and scales area from the paper's reported density — documenting
+ * exactly where each byte goes.
+ */
+#ifndef RNR_CORE_RNR_HW_MODEL_H
+#define RNR_CORE_RNR_HW_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rnr {
+
+/** Per-register line item of the inventory. */
+struct HwRegister {
+    std::string name;
+    std::uint64_t bits;
+    bool architectural; ///< Software-visible vs internal.
+};
+
+/** Totals of the per-core hardware inventory. */
+struct RnrHwCost {
+    std::vector<HwRegister> registers;
+    std::uint64_t arch_state_bits = 0;
+    std::uint64_t internal_state_bits = 0;
+    std::uint64_t buffer_bytes = 0;     ///< 2 x 128 B staging buffers.
+    std::uint64_t total_bytes = 0;
+    std::uint64_t context_switch_bytes = 0; ///< Saved across switches.
+    double area_mm2_22nm = 0.0;
+    double chip_fraction = 0.0;         ///< vs the paper's 46.19 mm^2.
+
+    std::string describe() const;
+};
+
+/** Builds the inventory for the configured boundary-register count. */
+RnrHwCost computeRnrHwCost();
+
+} // namespace rnr
+
+#endif // RNR_CORE_RNR_HW_MODEL_H

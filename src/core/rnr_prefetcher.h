@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The Record-and-Replay prefetcher (the paper's core contribution,
+ * Sections IV and V).
+ *
+ * Software programs the boundary registers and drives the Fig 3 state
+ * machine through control records.  In the Record state, L2 demand misses
+ * to enabled target ranges are appended to the in-memory Sequence Table
+ * (block offsets relative to the boundary base, staged through a 128 B
+ * buffer and written back non-temporally), and every window_size misses
+ * the running count of target-structure reads is appended to the Division
+ * Table.  In the Replay state, the tables are streamed back through
+ * double buffers and replayed as prefetches into the private L2, paced by
+ * the ReplayController.
+ *
+ * The prefetcher also classifies every replay prefetch as on-time, early,
+ * late or out-of-window (Fig 11's taxonomy) using eviction callbacks from
+ * the L2.
+ */
+#ifndef RNR_CORE_RNR_PREFETCHER_H
+#define RNR_CORE_RNR_PREFETCHER_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/replay_control.h"
+#include "core/rnr_state.h"
+#include "prefetch/prefetcher.h"
+
+namespace rnr {
+
+class RnrPrefetcher : public Prefetcher
+{
+  public:
+    struct Options {
+        ReplayControlMode control = ReplayControlMode::WindowPace;
+        /** 0 = derive the paper default (half the L2, in blocks). */
+        std::uint32_t window_size = 0;
+        unsigned uncontrolled_degree = 4;
+    };
+
+    RnrPrefetcher() : RnrPrefetcher(Options{}) {}
+    explicit RnrPrefetcher(Options opts);
+
+    void onAccess(const L2AccessInfo &info) override;
+    void onEvict(Addr block) override;
+    void onControl(const TraceRecord &rec, Tick now) override;
+    bool inTargetRegion(Addr vaddr) const override;
+    std::string name() const override { return "rnr"; }
+
+    // ---- Introspection (tests, benches, Fig 11/13) ----
+    const RnrArchState &arch() const { return arch_; }
+    const RnrInternalState &internals() const { return internal_; }
+    std::uint64_t seqTableBytes() const;
+    std::uint64_t divTableBytes() const;
+    const std::vector<SeqEntry> &sequence() const { return seq_store_; }
+    const std::vector<std::uint64_t> &division() const { return div_store_; }
+
+    /** Bytes of state to save on a context switch (Section IV-C). */
+    static std::uint64_t contextSwitchBytes();
+
+  private:
+    enum class PfStatus : std::uint8_t { Pending, Evicted };
+
+    struct PfRecord {
+        PfStatus status;
+        std::uint32_t window;
+        Tick fill_time;
+    };
+
+    void handleRecordAccess(const L2AccessInfo &info);
+    void handleReplayAccess(const L2AccessInfo &info);
+
+    /** Issues up to @p n sequence entries starting at the cursor. */
+    void issueEntries(std::uint64_t n, Tick now);
+
+    /** Resolves a recorded entry to a prefetch address, or 0. */
+    Addr resolveEntry(const SeqEntry &entry) const;
+
+    /** Flushes staged metadata at the end of a recording pass. */
+    void finishRecording(Tick now);
+
+    void startRecording();
+    void startReplay(Tick now);
+
+    /** Retires classification records older than the active windows. */
+    void sweepOutOfWindow();
+
+    Options opts_;
+    RnrArchState arch_;
+    RnrInternalState internal_;
+    ReplayController controller_;
+
+    /** Memory contents of the two metadata tables. */
+    std::vector<SeqEntry> seq_store_;
+    std::vector<std::uint64_t> div_store_;
+
+    /** Replay cursor into seq_store_ and staged-metadata bookkeeping. */
+    std::uint64_t issue_cursor_ = 0;
+    std::uint64_t seq_flushed_ = 0;   ///< Entries already written back.
+    std::uint64_t div_flushed_ = 0;
+    std::uint64_t seq_streamed_ = 0;  ///< Entries read back during replay.
+    std::uint64_t div_streamed_ = 0;
+    std::uint32_t last_window_ = 0;
+
+    /** Timeliness classification of in-flight replay prefetches. */
+    std::unordered_map<Addr, PfRecord> pf_status_;
+
+    /** Peak metadata footprint across the whole run (Fig 13). */
+    std::uint64_t peak_seq_entries_ = 0;
+    std::uint64_t peak_div_entries_ = 0;
+};
+
+} // namespace rnr
+
+#endif // RNR_CORE_RNR_PREFETCHER_H

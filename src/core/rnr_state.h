@@ -1,0 +1,102 @@
+/**
+ * @file
+ * RnR architectural state: the software-visible registers of Section IV-A
+ * and the prefetch-state machine of Fig 3.
+ *
+ * All of this state is per core and is exactly what must be saved and
+ * restored across a context switch (Section IV-C); RnrHwModel derives the
+ * paper's 86.5 B save/restore figure from these definitions.
+ */
+#ifndef RNR_CORE_RNR_STATE_H
+#define RNR_CORE_RNR_STATE_H
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace rnr {
+
+/** Fig 3: the 2-bit prefetch state register, plus which mode is paused. */
+enum class RnrState : std::uint8_t {
+    Idle,        ///< RnR disabled.
+    Record,      ///< Recording the L2 miss sequence.
+    Replay,      ///< Replaying (prefetching) the recorded sequence.
+    Paused,      ///< Record or replay suspended (context switch etc.).
+};
+
+/** One boundary-checking register set: base + size + enable. */
+struct BoundaryEntry {
+    Addr base = 0;
+    std::uint64_t size = 0;
+    bool valid = false;
+    bool enabled = false;
+
+    bool
+    contains(Addr a) const
+    {
+        return valid && enabled && a >= base && a < base + size;
+    }
+};
+
+/** Number of boundary register pairs (paper footnote: two are used). */
+constexpr unsigned kBoundaryEntries = 2;
+
+/** Software-visible architectural registers (Section IV-A). */
+struct RnrArchState {
+    std::uint16_t asid = 0;
+    std::array<BoundaryEntry, kBoundaryEntries> boundaries;
+    Addr seq_table_base = 0;   ///< Virtual base of the Sequence Table.
+    Addr div_table_base = 0;   ///< Virtual base of the Division Table.
+    std::uint32_t window_size = 0; ///< Misses recorded per window.
+    RnrState state = RnrState::Idle;
+    RnrState paused_from = RnrState::Idle; ///< Mode to resume into.
+};
+
+/** Hardware-internal registers (Section V, Fig 4 right-hand box). */
+struct RnrInternalState {
+    std::uint64_t cur_struct_read = 0; ///< Reads hitting target ranges.
+    std::uint32_t seq_table_len = 0;   ///< Entries recorded so far.
+    std::uint32_t div_table_len = 0;
+    Addr cur_seq_page = 0;             ///< Cached physical page addresses
+    Addr cur_div_page = 0;             ///< (one TLB lookup per 4 MB page).
+    std::uint64_t prefetch_count = 0;  ///< Prefetches issued this replay.
+    std::uint32_t cur_window = 0;
+    std::uint32_t prefetch_pace = 1;   ///< Demand reads per prefetch.
+};
+
+/**
+ * One Sequence Table entry: boundary slot + block offset.  The paper's
+ * Fig 4 annotates the staging buffer as "128*2B", i.e. 2-byte entries:
+ * 1 slot bit + 15 offset bits cover structures up to 2 MB at the scaled
+ * cache sizes (a full-scale implementation would widen entries with the
+ * boundary-size registers).
+ */
+struct SeqEntry {
+    std::uint16_t packed = 0;
+
+    static constexpr std::uint64_t kMaxOffset = 0x7fff;
+
+    static SeqEntry
+    make(unsigned slot, std::uint64_t block_offset)
+    {
+        SeqEntry e;
+        e.packed = static_cast<std::uint16_t>(
+            (slot << 15) | (block_offset & kMaxOffset));
+        return e;
+    }
+
+    unsigned slot() const { return packed >> 15; }
+    std::uint64_t blockOffset() const { return packed & kMaxOffset; }
+};
+
+/** Bytes per Sequence Table entry as stored in memory. */
+constexpr unsigned kSeqEntryBytes = 2;
+/** Bytes per Division Table entry (one word per window). */
+constexpr unsigned kDivEntryBytes = 8;
+/** Metadata staging buffer size (paper: 128 B, double-buffered). */
+constexpr unsigned kMetaBufferBytes = 128;
+
+} // namespace rnr
+
+#endif // RNR_CORE_RNR_STATE_H

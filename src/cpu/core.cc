@@ -1,0 +1,149 @@
+#include "cpu/core.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rnr {
+
+CoreModel::CoreModel(unsigned id, const CoreConfig &cfg, MemorySystem *ms)
+    : id_(id), cfg_(cfg), ms_(ms),
+      stats_("core" + std::to_string(id))
+{
+}
+
+void
+CoreModel::setTrace(const TraceBuffer *trace)
+{
+    trace_ = trace;
+    pos_ = 0;
+}
+
+bool
+CoreModel::done() const
+{
+    return !trace_ || pos_ >= trace_->size();
+}
+
+Tick
+CoreModel::finishTime() const
+{
+    Tick t = std::max(issue_clock_, retire_clock_);
+    t = std::max(t, last_completion_);
+    for (const auto &e : rob_)
+        t = std::max(t, e.completion);
+    return t;
+}
+
+void
+CoreModel::syncTo(Tick t)
+{
+    issue_clock_ = std::max(issue_clock_, t);
+    retire_clock_ = std::max(retire_clock_, t);
+    issued_this_cycle_ = 0;
+    rob_.clear();
+    rob_slots_ = 0;
+    lsq_.clear();
+}
+
+void
+CoreModel::advanceIssue(std::uint64_t instr_count)
+{
+    // Issue at most issue_width instructions per cycle.
+    const std::uint64_t total = issued_this_cycle_ + instr_count;
+    issue_clock_ += total / cfg_.issue_width;
+    issued_this_cycle_ = static_cast<unsigned>(total % cfg_.issue_width);
+}
+
+void
+CoreModel::reserveRobSlots(std::uint32_t slots)
+{
+    while (rob_slots_ + slots > cfg_.rob_size && !rob_.empty()) {
+        const RobEntry head = rob_.front();
+        rob_.pop_front();
+        rob_slots_ -= head.slots;
+        // In-order retirement: the head's completion gates retire time,
+        // then retiring its slots consumes retire bandwidth.
+        retire_clock_ = std::max(retire_clock_, head.completion) +
+                        head.slots / cfg_.retire_width;
+        if (retire_clock_ > issue_clock_) {
+            stats_.add("rob_stall_cycles", retire_clock_ - issue_clock_);
+            issue_clock_ = retire_clock_;
+            issued_this_cycle_ = 0;
+        }
+    }
+}
+
+void
+CoreModel::reserveLsqSlot()
+{
+    while (!lsq_.empty() && lsq_.front() <= issue_clock_)
+        lsq_.pop_front();
+    if (lsq_.size() >= cfg_.lsq_size) {
+        const Tick wait = lsq_.front();
+        if (wait > issue_clock_) {
+            stats_.add("lsq_stall_cycles", wait - issue_clock_);
+            issue_clock_ = wait;
+            issued_this_cycle_ = 0;
+        }
+        while (!lsq_.empty() && lsq_.front() <= issue_clock_)
+            lsq_.pop_front();
+    }
+}
+
+void
+CoreModel::step()
+{
+    assert(!done());
+    const TraceRecord &rec = trace_->records()[pos_++];
+
+    if (rec.gap) {
+        // Plain instructions: charge issue bandwidth and ROB slots; they
+        // complete quickly so they are folded into the next memory op's
+        // ROB entry rather than tracked one by one.
+        advanceIssue(rec.gap);
+        instrs_ += rec.gap;
+    }
+
+    if (rec.kind == RecordKind::Control) {
+        // An RnR API call is a handful of instructions writing special
+        // registers; charge a small fixed cost.
+        advanceIssue(2);
+        instrs_ += 2;
+        ms_->control(id_, rec, issue_clock_);
+        stats_.add("control_records");
+        return;
+    }
+
+    const bool is_store = rec.kind == RecordKind::Store;
+    reserveRobSlots(rec.gap + 1);
+    reserveLsqSlot();
+    advanceIssue(1);
+    instrs_ += 1;
+
+    const DemandResult res =
+        ms_->demandAccess(id_, rec.addr, is_store, rec.pc, issue_clock_);
+
+    stats_.add(is_store ? "stores" : "loads");
+    if (!is_store)
+        stats_.add("load_cycles", res.done - issue_clock_);
+    if (res.l2_miss)
+        stats_.add("l2_demand_misses");
+
+    // Stores complete from the core's perspective once issued (the write
+    // buffer hides their latency); loads hold their ROB/LSQ entries until
+    // data returns.
+    const Tick completion = is_store ? issue_clock_ + 1 : res.done;
+    rob_.push_back({completion, rec.gap + 1});
+    rob_slots_ += rec.gap + 1;
+    lsq_.push_back(completion);
+    last_completion_ = std::max(last_completion_, completion);
+}
+
+void
+CoreModel::runToCompletion()
+{
+    while (!done())
+        step();
+}
+
+} // namespace rnr

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Trace-driven out-of-order core approximation.
+ *
+ * Models the Table II core (4-wide issue/retire, 256-entry ROB, 64-entry
+ * LSQ) analytically: the ROB is a queue of (completion tick, slot count)
+ * entries; issue stalls when the ROB or LSQ is full; loads overlap freely
+ * inside the window (memory-level parallelism is then bounded by the L2
+ * MSHR file and the DRAM queues, exactly the resources ChampSim bounds it
+ * with).  Retirement is in order.  This runs at tens of millions of trace
+ * records per second, which is what lets the benches sweep the paper's
+ * full prefetcher x input matrix.
+ */
+#ifndef RNR_CPU_CORE_H
+#define RNR_CPU_CORE_H
+
+#include <cstdint>
+#include <deque>
+
+#include "mem/memory_system.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+#include "trace/trace_buffer.h"
+
+namespace rnr {
+
+/** One simulated core consuming one trace. */
+class CoreModel
+{
+  public:
+    CoreModel(unsigned id, const CoreConfig &cfg, MemorySystem *ms);
+
+    /** Points the core at a trace; position resets, the clock does not. */
+    void setTrace(const TraceBuffer *trace);
+
+    bool done() const;
+
+    /** Current issue-stage time; the System schedules on this. */
+    Tick time() const { return issue_clock_; }
+
+    /**
+     * Tick at which everything issued so far has retired; the iteration
+     * "ends" for this core at finishTime() of its last record.
+     */
+    Tick finishTime() const;
+
+    /** Processes the next trace record. */
+    void step();
+
+    /** Runs this core alone to completion (single-core tests). */
+    void runToCompletion();
+
+    std::uint64_t instructionsRetired() const { return instrs_; }
+    unsigned id() const { return id_; }
+    StatGroup &stats() { return stats_; }
+
+    /**
+     * Advances the local clock to at least @p t (barrier between
+     * iterations: SPMD workers resume together).
+     */
+    void syncTo(Tick t);
+
+  private:
+    struct RobEntry {
+        Tick completion;
+        std::uint32_t slots;
+    };
+
+    void advanceIssue(std::uint64_t instr_count);
+    void reserveRobSlots(std::uint32_t slots);
+    void reserveLsqSlot();
+
+    unsigned id_;
+    CoreConfig cfg_;
+    MemorySystem *ms_;
+    const TraceBuffer *trace_ = nullptr;
+    std::size_t pos_ = 0;
+
+    Tick issue_clock_ = 0;
+    unsigned issued_this_cycle_ = 0;
+    Tick retire_clock_ = 0;
+
+    std::deque<RobEntry> rob_;
+    std::uint64_t rob_slots_ = 0;
+    std::deque<Tick> lsq_;
+
+    std::uint64_t instrs_ = 0;
+    Tick last_completion_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace rnr
+
+#endif // RNR_CPU_CORE_H

@@ -1,0 +1,62 @@
+#include "cpu/system.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rnr {
+
+System::System(const MachineConfig &cfg) : cfg_(cfg), mem_(cfg)
+{
+    for (unsigned c = 0; c < cfg.cores; ++c)
+        cores_.push_back(std::make_unique<CoreModel>(c, cfg.core, &mem_));
+}
+
+IterationResult
+System::run(const std::vector<const TraceBuffer *> &traces)
+{
+    assert(traces.size() == cores_.size());
+
+    IterationResult result;
+    Tick barrier = 0;
+    for (auto &core : cores_)
+        barrier = std::max(barrier, core->finishTime());
+    for (auto &core : cores_)
+        core->syncTo(barrier);
+    result.start = barrier;
+
+    std::uint64_t instrs_before = 0;
+    for (auto &core : cores_)
+        instrs_before += core->instructionsRetired();
+
+    for (unsigned c = 0; c < cores_.size(); ++c)
+        cores_[c]->setTrace(traces[c]);
+
+    // Interleave by local time.  Batching a few records per pick keeps
+    // scheduling overhead low without letting any core run far ahead.
+    constexpr int kBatch = 8;
+    for (;;) {
+        CoreModel *next = nullptr;
+        for (auto &core : cores_) {
+            if (core->done())
+                continue;
+            if (!next || core->time() < next->time())
+                next = core.get();
+        }
+        if (!next)
+            break;
+        for (int i = 0; i < kBatch && !next->done(); ++i)
+            next->step();
+    }
+
+    Tick end = barrier;
+    std::uint64_t instrs_after = 0;
+    for (auto &core : cores_) {
+        end = std::max(end, core->finishTime());
+        instrs_after += core->instructionsRetired();
+    }
+    result.end = end;
+    result.instructions = instrs_after - instrs_before;
+    return result;
+}
+
+} // namespace rnr

@@ -1,0 +1,17 @@
+#include "harness/experiment.h"
+
+#include <sstream>
+
+namespace rnr {
+
+std::string
+ExperimentConfig::key() const
+{
+    std::ostringstream os;
+    os << app << ":" << input << ":" << toString(prefetcher) << ":c"
+       << static_cast<int>(control) << ":w" << window_size << ":i"
+       << iterations << ":n" << cores << (ideal_llc ? ":ideal" : "");
+    return os.str();
+}
+
+} // namespace rnr

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Experiment configuration and raw results.
+ *
+ * One ExperimentConfig names a cell of the evaluation matrix (workload x
+ * input x prefetcher x RnR options); the runner simulates it and returns
+ * per-iteration counter snapshots from which every figure's metric is
+ * derived (harness/metrics.h).
+ */
+#ifndef RNR_HARNESS_EXPERIMENT_H
+#define RNR_HARNESS_EXPERIMENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/replay_control.h"
+#include "prefetch/factory.h"
+#include "sim/types.h"
+
+namespace rnr {
+
+/** One cell of the evaluation matrix. */
+struct ExperimentConfig {
+    std::string app = "pagerank";   ///< pagerank | hyperanf | spcg.
+    std::string input = "urand";    ///< Table III input name.
+    PrefetcherKind prefetcher = PrefetcherKind::None;
+    ReplayControlMode control = ReplayControlMode::WindowPace;
+    std::uint32_t window_size = 0;  ///< 0 = hardware default (half L2).
+    unsigned iterations = 3;        ///< Simulated iterations.
+    unsigned cores = 4;
+    bool ideal_llc = false;         ///< Fig 6's "ideal" bar.
+
+    /** Stable cache key / display id. */
+    std::string key() const;
+};
+
+/** Counter snapshot for one simulated iteration (summed over cores). */
+struct IterStats {
+    Tick cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t l2_accesses = 0;
+    std::uint64_t l2_demand_misses = 0; ///< true misses (no merges)
+    std::uint64_t pf_issued = 0;
+    std::uint64_t pf_useful = 0;        ///< demand hits on prefetched lines
+    std::uint64_t pf_late_merged = 0;   ///< demands merged into prefetches
+    std::uint64_t dram_bytes_total = 0;
+    std::uint64_t dram_bytes_demand = 0;
+    std::uint64_t dram_bytes_prefetch = 0;
+    std::uint64_t dram_bytes_metadata = 0;
+    std::uint64_t dram_bytes_writeback = 0;
+    std::uint64_t rnr_ontime = 0;
+    std::uint64_t rnr_early = 0;
+    std::uint64_t rnr_late = 0;
+    std::uint64_t rnr_out_of_window = 0;
+    std::uint64_t rnr_recorded = 0;     ///< misses recorded this iteration
+};
+
+/** Full raw result of one experiment. */
+struct ExperimentResult {
+    ExperimentConfig config;
+    std::vector<IterStats> iterations;
+    std::uint64_t input_bytes = 0;    ///< workload input footprint
+    std::uint64_t target_bytes = 0;   ///< irregular structure footprint
+    std::uint64_t seq_table_bytes = 0; ///< peak RnR metadata (Fig 13)
+    std::uint64_t div_table_bytes = 0;
+
+    const IterStats &first() const { return iterations.front(); }
+    /** Steady-state iteration (the last simulated one). */
+    const IterStats &steady() const { return iterations.back(); }
+};
+
+} // namespace rnr
+
+#endif // RNR_HARNESS_EXPERIMENT_H

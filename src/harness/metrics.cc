@@ -1,0 +1,118 @@
+#include "harness/metrics.h"
+
+#include <cmath>
+
+namespace rnr {
+
+std::uint64_t
+usefulPrefetches(const IterStats &it)
+{
+    return it.pf_useful + it.pf_late_merged;
+}
+
+double
+amortizedCycles(const ExperimentResult &r, unsigned n)
+{
+    const double first = static_cast<double>(r.first().cycles);
+    const double steady = static_cast<double>(r.steady().cycles);
+    return first + steady * (n - 1);
+}
+
+double
+speedup(const ExperimentResult &r, const ExperimentResult &baseline,
+        unsigned n)
+{
+    return amortizedCycles(baseline, n) / amortizedCycles(r, n);
+}
+
+double
+mpki(const ExperimentResult &r)
+{
+    const IterStats &it = r.steady();
+    if (it.instructions == 0)
+        return 0.0;
+    return static_cast<double>(it.l2_demand_misses) * 1000.0 /
+           static_cast<double>(it.instructions);
+}
+
+double
+coverage(const ExperimentResult &r, const ExperimentResult &baseline)
+{
+    const std::uint64_t base_misses = baseline.steady().l2_demand_misses;
+    if (base_misses == 0)
+        return 0.0;
+    const double c = static_cast<double>(usefulPrefetches(r.steady())) /
+                     static_cast<double>(base_misses);
+    return std::min(c, 1.0);
+}
+
+double
+accuracy(const ExperimentResult &r)
+{
+    const IterStats &it = r.steady();
+    if (it.pf_issued == 0)
+        return 0.0;
+    const double a = static_cast<double>(usefulPrefetches(it)) /
+                     static_cast<double>(it.pf_issued);
+    return std::min(a, 1.0);
+}
+
+double
+trafficOverhead(const ExperimentResult &r,
+                const ExperimentResult &baseline)
+{
+    const double base =
+        static_cast<double>(baseline.steady().dram_bytes_total);
+    if (base == 0.0)
+        return 0.0;
+    return (static_cast<double>(r.steady().dram_bytes_total) - base) /
+           base;
+}
+
+double
+storageOverhead(const ExperimentResult &r)
+{
+    if (r.input_bytes == 0)
+        return 0.0;
+    return static_cast<double>(r.seq_table_bytes + r.div_table_bytes) /
+           static_cast<double>(r.input_bytes);
+}
+
+double
+recordOverhead(const ExperimentResult &r,
+               const ExperimentResult &baseline)
+{
+    const double base = static_cast<double>(baseline.first().cycles);
+    if (base == 0.0)
+        return 0.0;
+    return static_cast<double>(r.first().cycles) / base - 1.0;
+}
+
+TimelinessBreakdown
+timeliness(const ExperimentResult &r)
+{
+    const IterStats &it = r.steady();
+    const double total = static_cast<double>(
+        it.rnr_ontime + it.rnr_early + it.rnr_late + it.rnr_out_of_window);
+    TimelinessBreakdown b;
+    if (total == 0.0)
+        return b;
+    b.ontime = it.rnr_ontime / total;
+    b.early = it.rnr_early / total;
+    b.late = it.rnr_late / total;
+    b.out_of_window = it.rnr_out_of_window / total;
+    return b;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(std::max(v, 1e-12));
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace rnr

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Derived metrics — the formulas of Section VII applied to raw results.
+ *
+ *   Coverage  = UsefulPrefetches / TotalBaselineMisses        (Fig 8)
+ *   Accuracy  = UsefulPrefetches / TotalPrefetches            (Fig 9)
+ *   MPKI      = L2 demand misses * 1000 / instructions        (Fig 7)
+ *   Speedup   = amortised over N iterations, matching the paper's
+ *               100-iteration runs: one record/cold iteration plus
+ *               (N-1) steady iterations                        (Fig 6)
+ *   Traffic   = extra off-chip bytes vs the no-prefetch run   (Fig 12)
+ *   Storage   = peak metadata bytes / input bytes             (Fig 13)
+ */
+#ifndef RNR_HARNESS_METRICS_H
+#define RNR_HARNESS_METRICS_H
+
+#include "harness/experiment.h"
+
+namespace rnr {
+
+/** Iterations the paper amortises over ("we use 100 iterations"). */
+constexpr unsigned kAmortizedIterations = 100;
+
+/** Useful prefetches in @p it (resident hits + late merges). */
+std::uint64_t usefulPrefetches(const IterStats &it);
+
+/** Amortised total cycles over @p n algorithm iterations. */
+double amortizedCycles(const ExperimentResult &r,
+                       unsigned n = kAmortizedIterations);
+
+/** Speedup of @p r over @p baseline (both amortised). */
+double speedup(const ExperimentResult &r, const ExperimentResult &baseline,
+               unsigned n = kAmortizedIterations);
+
+/** Steady-state L2 demand MPKI. */
+double mpki(const ExperimentResult &r);
+
+/** Miss coverage vs the baseline's steady iteration. */
+double coverage(const ExperimentResult &r,
+                const ExperimentResult &baseline);
+
+/** Prefetch accuracy of the steady iteration. */
+double accuracy(const ExperimentResult &r);
+
+/** Extra off-chip traffic fraction vs baseline (steady iteration). */
+double trafficOverhead(const ExperimentResult &r,
+                       const ExperimentResult &baseline);
+
+/** Metadata storage as a fraction of the input size. */
+double storageOverhead(const ExperimentResult &r);
+
+/** Record-iteration slowdown vs the baseline's first iteration. */
+double recordOverhead(const ExperimentResult &r,
+                      const ExperimentResult &baseline);
+
+/** Timeliness shares (Fig 11); each in [0,1], summing to ~1. */
+struct TimelinessBreakdown {
+    double ontime = 0, early = 0, late = 0, out_of_window = 0;
+};
+TimelinessBreakdown timeliness(const ExperimentResult &r);
+
+/** Geometric mean helper for the GEOMEAN columns. */
+double geomean(const std::vector<double> &values);
+
+} // namespace rnr
+
+#endif // RNR_HARNESS_METRICS_H

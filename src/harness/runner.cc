@@ -1,0 +1,311 @@
+#include "harness/runner.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "cpu/system.h"
+#include "prefetch/imp.h"
+#include "workloads/graph_gen.h"
+#include "workloads/hyperanf.h"
+#include "workloads/jacobi.h"
+#include "workloads/labelprop.h"
+#include "workloads/pagerank.h"
+#include "workloads/sparse_gen.h"
+#include "workloads/spcg.h"
+
+namespace rnr {
+
+namespace {
+
+/** Sums a counter over every core's cache/prefetcher stat group. */
+std::uint64_t
+sumL2(System &sys, const std::string &key)
+{
+    std::uint64_t total = 0;
+    for (unsigned c = 0; c < sys.coreCount(); ++c)
+        total += sys.mem().l2(c).stats().get(key);
+    return total;
+}
+
+std::uint64_t
+sumRnr(System &sys, const std::string &key)
+{
+    std::uint64_t total = 0;
+    for (unsigned c = 0; c < sys.coreCount(); ++c) {
+        if (RnrPrefetcher *r = asRnr(sys.mem().prefetcher(c)))
+            total += r->stats().get(key);
+    }
+    return total;
+}
+
+/** Snapshot of all cumulative counters an IterStats delta needs. */
+IterStats
+snapshot(System &sys)
+{
+    IterStats s;
+    s.l2_accesses = sumL2(sys, "accesses");
+    s.l2_demand_misses = sumL2(sys, "misses") - sumL2(sys, "mshr_merges");
+    s.pf_issued = sumL2(sys, "prefetches_issued");
+    s.pf_useful = sumL2(sys, "prefetch_useful");
+    s.pf_late_merged = sumL2(sys, "demand_merged_into_prefetch");
+    const StatGroup &d = sys.mem().dram().stats();
+    s.dram_bytes_total = d.get("bytes_total");
+    s.dram_bytes_demand = d.get("bytes_demand");
+    s.dram_bytes_prefetch = d.get("bytes_prefetch");
+    s.dram_bytes_metadata = d.get("bytes_metadata");
+    s.dram_bytes_writeback = d.get("bytes_writeback");
+    s.rnr_ontime = sumRnr(sys, "pf_ontime");
+    s.rnr_early = sumRnr(sys, "pf_early");
+    s.rnr_late = sumRnr(sys, "pf_late");
+    s.rnr_out_of_window = sumRnr(sys, "pf_out_of_window");
+    s.rnr_recorded = sumRnr(sys, "recorded_misses");
+    return s;
+}
+
+IterStats
+delta(const IterStats &after, const IterStats &before)
+{
+    IterStats d = after;
+    d.l2_accesses -= before.l2_accesses;
+    d.l2_demand_misses -= before.l2_demand_misses;
+    d.pf_issued -= before.pf_issued;
+    d.pf_useful -= before.pf_useful;
+    d.pf_late_merged -= before.pf_late_merged;
+    d.dram_bytes_total -= before.dram_bytes_total;
+    d.dram_bytes_demand -= before.dram_bytes_demand;
+    d.dram_bytes_prefetch -= before.dram_bytes_prefetch;
+    d.dram_bytes_metadata -= before.dram_bytes_metadata;
+    d.dram_bytes_writeback -= before.dram_bytes_writeback;
+    d.rnr_ontime -= before.rnr_ontime;
+    d.rnr_early -= before.rnr_early;
+    d.rnr_late -= before.rnr_late;
+    d.rnr_out_of_window -= before.rnr_out_of_window;
+    d.rnr_recorded -= before.rnr_recorded;
+    return d;
+}
+
+// ---- Result (de)serialisation for the file cache ----
+
+std::string
+serialize(const ExperimentResult &r)
+{
+    std::ostringstream os;
+    os << r.input_bytes << " " << r.target_bytes << " "
+       << r.seq_table_bytes << " " << r.div_table_bytes << " "
+       << r.iterations.size();
+    for (const IterStats &it : r.iterations) {
+        os << " " << it.cycles << " " << it.instructions << " "
+           << it.l2_accesses << " " << it.l2_demand_misses << " "
+           << it.pf_issued << " " << it.pf_useful << " "
+           << it.pf_late_merged << " " << it.dram_bytes_total << " "
+           << it.dram_bytes_demand << " " << it.dram_bytes_prefetch << " "
+           << it.dram_bytes_metadata << " " << it.dram_bytes_writeback
+           << " " << it.rnr_ontime << " " << it.rnr_early << " "
+           << it.rnr_late << " " << it.rnr_out_of_window << " "
+           << it.rnr_recorded;
+    }
+    return os.str();
+}
+
+bool
+deserialize(const std::string &line, ExperimentResult &r)
+{
+    std::istringstream is(line);
+    std::size_t n = 0;
+    if (!(is >> r.input_bytes >> r.target_bytes >> r.seq_table_bytes >>
+          r.div_table_bytes >> n))
+        return false;
+    r.iterations.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        IterStats it;
+        if (!(is >> it.cycles >> it.instructions >> it.l2_accesses >>
+              it.l2_demand_misses >> it.pf_issued >> it.pf_useful >>
+              it.pf_late_merged >> it.dram_bytes_total >>
+              it.dram_bytes_demand >> it.dram_bytes_prefetch >>
+              it.dram_bytes_metadata >> it.dram_bytes_writeback >>
+              it.rnr_ontime >> it.rnr_early >> it.rnr_late >>
+              it.rnr_out_of_window >> it.rnr_recorded))
+            return false;
+        r.iterations.push_back(it);
+    }
+    return !r.iterations.empty();
+}
+
+std::string
+cacheFilePath()
+{
+    if (const char *p = std::getenv("RNR_CACHE_FILE"))
+        return p;
+    return "rnr_results.cache";
+}
+
+bool
+cacheEnabled()
+{
+    const char *p = std::getenv("RNR_CACHE");
+    return !(p && std::string(p) == "0");
+}
+
+std::map<std::string, std::string> &
+fileCache()
+{
+    static std::map<std::string, std::string> cache = [] {
+        std::map<std::string, std::string> m;
+        if (cacheEnabled()) {
+            std::ifstream in(cacheFilePath());
+            std::string line;
+            while (std::getline(in, line)) {
+                const auto bar = line.find('|');
+                if (bar != std::string::npos)
+                    m[line.substr(0, bar)] = line.substr(bar + 1);
+            }
+        }
+        return m;
+    }();
+    return cache;
+}
+
+void
+appendToFileCache(const std::string &key, const std::string &value)
+{
+    if (!cacheEnabled())
+        return;
+    std::ofstream out(cacheFilePath(), std::ios::app);
+    out << key << "|" << value << "\n";
+}
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeWorkload(const ExperimentConfig &cfg)
+{
+    WorkloadOptions opts;
+    opts.cores = cfg.cores;
+    opts.use_rnr = true; // control records are harmless to baselines
+    opts.window_size = cfg.window_size;
+
+    if (cfg.app == "pagerank")
+        return std::make_unique<PageRankWorkload>(
+            makeGraphInput(cfg.input).graph, opts);
+    if (cfg.app == "hyperanf")
+        return std::make_unique<HyperAnfWorkload>(
+            makeGraphInput(cfg.input).graph, opts);
+    if (cfg.app == "spcg")
+        return std::make_unique<SpcgWorkload>(
+            makeMatrixInput(cfg.input).matrix, opts);
+    if (cfg.app == "labelprop")
+        return std::make_unique<LabelPropWorkload>(
+            makeGraphInput(cfg.input).graph, opts);
+    if (cfg.app == "jacobi")
+        return std::make_unique<JacobiWorkload>(
+            makeMatrixInput(cfg.input).matrix, opts);
+    throw std::invalid_argument("unknown app: " + cfg.app);
+}
+
+ExperimentResult
+runExperimentUncached(const ExperimentConfig &cfg)
+{
+    MachineConfig mcfg = MachineConfig::scaledDefault();
+    mcfg.cores = cfg.cores;
+    if (cfg.ideal_llc)
+        mcfg = MachineConfig::withInfiniteLlc(mcfg);
+
+    System sys(mcfg);
+    std::unique_ptr<Workload> wl = makeWorkload(cfg);
+
+    RnrPrefetcher::Options rnr_opts;
+    rnr_opts.control = cfg.control;
+    rnr_opts.window_size = cfg.window_size;
+
+    std::vector<std::unique_ptr<Prefetcher>> prefetchers;
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        prefetchers.push_back(createPrefetcher(cfg.prefetcher, rnr_opts));
+        if (auto *d = dynamic_cast<DropletPrefetcher *>(
+                prefetchers.back().get()))
+            d->setHint(wl->dropletHint(c));
+        if (auto *i = dynamic_cast<ImpPrefetcher *>(
+                prefetchers.back().get()))
+            i->setSniffer(wl->impSniffer(c));
+        sys.mem().setPrefetcher(c, prefetchers.back().get());
+    }
+
+    ExperimentResult result;
+    result.config = cfg;
+    result.input_bytes = wl->inputBytes();
+    result.target_bytes = wl->targetBytes();
+
+    std::vector<TraceBuffer> bufs(cfg.cores);
+    IterStats before = snapshot(sys);
+    for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
+        for (auto &b : bufs)
+            b.clear();
+        wl->emitIteration(iter, iter + 1 == cfg.iterations, bufs);
+
+        std::vector<const TraceBuffer *> ptrs;
+        for (auto &b : bufs)
+            ptrs.push_back(&b);
+        const IterationResult run = sys.run(ptrs);
+
+        IterStats after = snapshot(sys);
+        IterStats it = delta(after, before);
+        it.cycles = run.cycles();
+        it.instructions = run.instructions;
+        result.iterations.push_back(it);
+        before = after;
+    }
+
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        if (RnrPrefetcher *r = asRnr(sys.mem().prefetcher(c))) {
+            result.seq_table_bytes += r->seqTableBytes();
+            result.div_table_bytes += r->divTableBytes();
+        }
+    }
+    return result;
+}
+
+ExperimentResult
+runExperiment(const ExperimentConfig &cfg)
+{
+    static std::map<std::string, ExperimentResult> memo;
+    static std::mutex mu;
+    const std::string key = cfg.key();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = memo.find(key);
+        if (it != memo.end())
+            return it->second;
+        auto fit = fileCache().find(key);
+        if (fit != fileCache().end()) {
+            ExperimentResult r;
+            r.config = cfg;
+            if (deserialize(fit->second, r)) {
+                memo[key] = r;
+                return r;
+            }
+        }
+    }
+    ExperimentResult r = runExperimentUncached(cfg);
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        memo[key] = r;
+        appendToFileCache(key, serialize(r));
+    }
+    return r;
+}
+
+ExperimentResult
+runBaseline(const ExperimentConfig &cfg)
+{
+    ExperimentConfig base = cfg;
+    base.prefetcher = PrefetcherKind::None;
+    base.control = ReplayControlMode::WindowPace;
+    base.window_size = 0;
+    base.ideal_llc = false;
+    return runExperiment(base);
+}
+
+} // namespace rnr

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Experiment runner: builds the machine, the workload and the per-core
+ * prefetchers for an ExperimentConfig, simulates the requested number of
+ * algorithm iterations and collects the per-iteration counters.
+ *
+ * Results are cached (in-process and, optionally, in a small text file)
+ * keyed by ExperimentConfig::key(), so the per-figure bench binaries can
+ * share one simulation of each matrix cell instead of re-simulating.
+ */
+#ifndef RNR_HARNESS_RUNNER_H
+#define RNR_HARNESS_RUNNER_H
+
+#include <memory>
+#include <string>
+
+#include "harness/experiment.h"
+#include "workloads/workload.h"
+
+namespace rnr {
+
+/** Instantiates the workload named by @p cfg (app + input). */
+std::unique_ptr<Workload> makeWorkload(const ExperimentConfig &cfg);
+
+/** Simulates @p cfg (no caching). */
+ExperimentResult runExperimentUncached(const ExperimentConfig &cfg);
+
+/**
+ * Simulates @p cfg, consulting the in-process cache and the file cache
+ * (path from $RNR_CACHE_FILE, default "rnr_results.cache" in the working
+ * directory; set RNR_CACHE=0 to disable persistence).
+ */
+ExperimentResult runExperiment(const ExperimentConfig &cfg);
+
+/** Convenience: the no-prefetcher baseline matching @p cfg. */
+ExperimentResult runBaseline(const ExperimentConfig &cfg);
+
+} // namespace rnr
+
+#endif // RNR_HARNESS_RUNNER_H

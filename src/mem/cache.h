@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Set-associative cache model with timestamped fills.
+ *
+ * The cache is functional (it tracks exactly which blocks are resident)
+ * but every line remembers the tick at which its data actually arrived
+ * (fill_time).  A demand access that finds a line whose fill is still in
+ * the future models a "late prefetch": the requester waits until the fill
+ * tick rather than paying the full miss path.  Lines also carry prefetch
+ * provenance so useful/useless prefetch statistics fall out of ordinary
+ * hit/evict bookkeeping.
+ */
+#ifndef RNR_MEM_CACHE_H
+#define RNR_MEM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/mshr.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace rnr {
+
+/** One cache line's bookkeeping state. */
+struct CacheLine {
+    Addr tag = 0;
+    Tick fill_time = 0;      ///< Tick at which the data arrived.
+    std::uint64_t lru = 0;   ///< Higher = more recently used.
+    std::uint8_t rrpv = 3;   ///< SRRIP re-reference prediction value.
+    bool valid = false;
+    bool dirty = false;
+    bool prefetched = false; ///< Brought in by a prefetch...
+    bool referenced = false; ///< ...and since touched by a demand access.
+};
+
+/** What insert() displaced, so the caller can issue writebacks. */
+struct EvictResult {
+    Addr block = 0;               ///< Block number of the victim.
+    bool valid = false;
+    bool dirty = false;
+    bool prefetched_unused = false; ///< Victim was an unreferenced prefetch.
+};
+
+/** A set-associative, LRU-replacement cache level. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Demand lookup: updates LRU and reference bits.
+     * @return the resident line, or nullptr on miss.
+     */
+    CacheLine *access(Addr block, Tick now);
+
+    /** Lookup without side effects (no LRU update). */
+    const CacheLine *peek(Addr block) const;
+
+    /**
+     * Installs @p block, evicting the set's LRU victim.
+     * @param fill_time tick at which the block's data arrives.
+     * @param prefetched the fill was triggered by a prefetch.
+     * @return description of the displaced victim.
+     */
+    EvictResult insert(Addr block, Tick fill_time, bool prefetched,
+                       bool dirty);
+
+    /** Marks a resident block dirty (store hit); no-op when absent. */
+    void markDirty(Addr block, Tick now);
+
+    /** Invalidates every line and clears the MSHR file. */
+    void reset();
+
+    /** Number of valid lines (tests and occupancy probes). */
+    std::size_t residentCount() const;
+
+    const CacheConfig &config() const { return cfg_; }
+    Mshr &mshr() { return mshr_; }
+    /** In-flight prefetches (separate file, so prefetch lookahead is not
+     *  bounded by the demand MSHRs — ChampSim's PQ plays this role). */
+    Mshr &prefetchQueue() { return pq_; }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    std::size_t setIndex(Addr block) const { return block & set_mask_; }
+
+    CacheConfig cfg_;
+    std::size_t set_mask_;
+    std::vector<CacheLine> lines_; ///< sets x ways, row-major.
+    std::uint64_t lru_clock_ = 0;
+    Mshr mshr_;
+    Mshr pq_;
+    StatGroup stats_;
+};
+
+} // namespace rnr
+
+#endif // RNR_MEM_CACHE_H

@@ -1,0 +1,189 @@
+#include "mem/dram.h"
+
+#include <algorithm>
+
+namespace rnr {
+
+namespace {
+
+const char *
+originKey(ReqOrigin o)
+{
+    switch (o) {
+      case ReqOrigin::Demand: return "bytes_demand";
+      case ReqOrigin::Prefetch: return "bytes_prefetch";
+      case ReqOrigin::Metadata: return "bytes_metadata";
+      case ReqOrigin::Writeback: return "bytes_writeback";
+    }
+    return "bytes_other";
+}
+
+} // namespace
+
+Dram::Dram(const DramConfig &cfg)
+    : cfg_(cfg),
+      banks_(static_cast<std::size_t>(cfg.channels) * cfg.banks),
+      channel_free_(cfg.channels, 0),
+      stats_("DRAM")
+{
+}
+
+unsigned
+Dram::channelOf(Addr addr) const
+{
+    return static_cast<unsigned>(blockNumber(addr) % cfg_.channels);
+}
+
+unsigned
+Dram::bankOf(Addr addr) const
+{
+    // Block-granularity channel+bank interleaving (ChampSim's
+    // [row|column|bank|channel|offset] layout): consecutive cache blocks
+    // round-robin channels then banks, so a sequential stream engages
+    // every bank of every channel in parallel.
+    const std::uint64_t blk = blockNumber(addr) / cfg_.channels;
+    return channelOf(addr) * cfg_.banks +
+           static_cast<unsigned>(blk % cfg_.banks);
+}
+
+std::uint64_t
+Dram::rowOf(Addr addr) const
+{
+    // With channel+bank in the low bits, one bank's row holds every
+    // (channels*banks)-th block of a row_bytes * banks * channels region.
+    const std::uint64_t row_blocks = cfg_.row_bytes / kBlockSize;
+    return blockNumber(addr) / cfg_.channels / cfg_.banks / row_blocks;
+}
+
+void
+Dram::countBytes(ReqOrigin origin, std::uint64_t n)
+{
+    stats_.add(originKey(origin), n);
+    stats_.add("bytes_total", n);
+}
+
+Tick
+Dram::read(Addr addr, Tick now, ReqOrigin origin)
+{
+    stats_.add("reads");
+    countBytes(origin, kBlockSize);
+    const Tick arrival = now;
+
+    // FCFS read-queue occupancy: a new read waits until the queue has a
+    // free slot, i.e. until the earliest in-flight read completes.
+    auto pop_completed = [this](Tick t) {
+        while (!read_inflight_.empty() && read_inflight_.front() <= t) {
+            std::pop_heap(read_inflight_.begin(), read_inflight_.end(),
+                          std::greater<>());
+            read_inflight_.pop_back();
+        }
+    };
+    pop_completed(now);
+    if (read_inflight_.size() >= cfg_.read_queue) {
+        stats_.add("read_queue_full_stalls");
+        now = std::max(now, read_inflight_.front());
+        pop_completed(now);
+    }
+
+    Bank &bank = banks_[bankOf(addr)];
+    const std::uint64_t row = rowOf(addr);
+    const bool row_hit = bank.open_row == row;
+    stats_.add(row_hit ? "row_hits" : "row_misses");
+
+    // The bank is busy for its own access + burst; queueing for the
+    // shared channel does not extend the bank's busy window (an FR-FCFS
+    // controller would be moving other work onto the bank meanwhile).
+    const Tick start = std::max(now, bank.next_free);
+    const Tick access = row_hit ? cfg_.tCAS
+                                : cfg_.tRP + cfg_.tRCD + cfg_.tCAS;
+    // The channel is a bandwidth limiter: each read consumes one burst
+    // slot from the arrival-time cursor.  A request whose bank is still
+    // busy does not hold the channel back for later requests (FR-FCFS
+    // controllers fill such gaps with other ready bursts).
+    Tick &chan = channel_free_[channelOf(addr)];
+    const Tick slot = std::max(chan, now);
+    chan = slot + cfg_.tBURST;
+    const Tick burst_start = std::max(start + access, slot);
+    const Tick done = burst_start + cfg_.tBURST;
+
+    bank.open_row = row;
+    bank.next_free = start + access + cfg_.tBURST;
+
+    read_inflight_.push_back(done);
+    std::push_heap(read_inflight_.begin(), read_inflight_.end(),
+                   std::greater<>());
+    stats_.add("read_latency_sum", done - arrival);
+    stats_.add("read_rq_wait", now - arrival);
+    stats_.add("read_bank_wait", start - now);
+    stats_.add("read_channel_wait", burst_start - (start + access));
+    if (done - arrival > stats_.get("read_latency_max"))
+        stats_.set("read_latency_max", done - arrival);
+    return done;
+}
+
+void
+Dram::write(Addr addr, Tick now, ReqOrigin origin)
+{
+    stats_.add("writes");
+    countBytes(origin, kBlockSize);
+    write_queue_.push_back({addr, origin});
+
+    const auto high = static_cast<std::size_t>(
+        cfg_.drain_high * cfg_.write_queue);
+    if (write_queue_.size() >= high) {
+        const auto low = static_cast<std::size_t>(
+            cfg_.drain_low * cfg_.write_queue);
+        drainWrites(now, low);
+    }
+}
+
+void
+Dram::drainWrites(Tick now, std::size_t target_depth)
+{
+    stats_.add("write_drains");
+    // The controller prioritises demand reads (Table II's write-queue
+    // draining policy): drained writes occupy their banks and steal
+    // channel burst slots, but do not block the channel for the whole
+    // batch the way a naive stop-the-world drain would.
+    const Tick drain_start = std::max(now, channel_free_[0]);
+    while (write_queue_.size() > target_depth) {
+        const PendingWrite w = write_queue_.front();
+        write_queue_.pop_front();
+        Bank &bank = banks_[bankOf(w.addr)];
+        const std::uint64_t row = rowOf(w.addr);
+        const bool row_hit = bank.open_row == row;
+        const Tick access = row_hit ? cfg_.tCAS
+                                    : cfg_.tRP + cfg_.tRCD + cfg_.tCAS;
+        const Tick start = std::max(drain_start, bank.next_free);
+        bank.open_row = row;
+        bank.next_free = start + access + cfg_.tBURST;
+        // One stolen burst slot per write on its channel.
+        channel_free_[channelOf(w.addr)] += cfg_.tBURST;
+        stats_.add("writes_drained");
+    }
+}
+
+std::uint64_t
+Dram::bytes(ReqOrigin origin) const
+{
+    return stats_.get(originKey(origin));
+}
+
+std::uint64_t
+Dram::totalBytes() const
+{
+    return stats_.get("bytes_total");
+}
+
+void
+Dram::resetTiming()
+{
+    for (auto &b : banks_)
+        b = Bank{};
+    for (auto &c : channel_free_)
+        c = 0;
+    read_inflight_.clear();
+    write_queue_.clear();
+}
+
+} // namespace rnr

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The full memory hierarchy: per-core L1D + L2 + TLB, shared LLC + DRAM.
+ *
+ * Ties the cache levels together, hooks the per-core prefetcher into the
+ * L2 (ChampSim attaches prefetchers the same way), and provides the
+ * side-band metadata path RnR uses for its sequence/division tables
+ * (uncached, straight to DRAM, as in the paper: "the metadata are not
+ * stored in cache").
+ */
+#ifndef RNR_MEM_MEMORY_SYSTEM_H
+#define RNR_MEM_MEMORY_SYSTEM_H
+
+#include <memory>
+#include <vector>
+
+#include "mem/cache.h"
+#include "mem/dram.h"
+#include "mem/tlb.h"
+#include "prefetch/prefetcher.h"
+#include "sim/config.h"
+#include "sim/types.h"
+
+namespace rnr {
+
+/** Result of a demand access, as seen by the core model. */
+struct DemandResult {
+    Tick done = 0;       ///< Tick at which the load's data is available.
+    bool l1_hit = false;
+    bool l2_hit = false;
+    bool l2_miss = false; ///< True L2 miss (not an MSHR merge).
+};
+
+/** Per-core private hierarchy plus the shared backside. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MachineConfig &cfg);
+
+    /**
+     * Performs a demand load/store for @p core at tick @p now.
+     * Returns the completion tick plus hit/miss observations.
+     */
+    DemandResult demandAccess(unsigned core, Addr vaddr, bool is_write,
+                              std::uint32_t pc, Tick now);
+
+    /**
+     * Prefetches @p vaddr's block into @p core's L2 (prefetcher path).
+     * Counted in the issuing prefetcher's traffic, lower priority than
+     * demands only in that it never blocks them.
+     */
+    PrefetchIssue prefetchIntoL2(unsigned core, Addr vaddr, Tick now);
+
+    /**
+     * RnR metadata access: @p bytes streamed starting at @p addr,
+     * bypassing all caches.  Returns the completion tick of the last
+     * block.  Reads are issued at 64 B granularity (sequential, so they
+     * enjoy DRAM row-buffer locality); writes go through the write queue.
+     */
+    Tick metadataRead(Addr addr, std::uint64_t bytes, Tick now);
+    void metadataWrite(Addr addr, std::uint64_t bytes, Tick now);
+
+    /** Installs @p pf as @p core's L2 prefetcher (not owned). */
+    void setPrefetcher(unsigned core, Prefetcher *pf);
+    Prefetcher *prefetcher(unsigned core) { return prefetchers_[core]; }
+
+    /** Forwards a software control record to @p core's prefetcher. */
+    void control(unsigned core, const TraceRecord &rec, Tick now);
+
+    Cache &l1d(unsigned core) { return *l1d_[core]; }
+    Cache &l2(unsigned core) { return *l2_[core]; }
+    Cache &llc() { return *llc_; }
+    Dram &dram() { return dram_; }
+    Tlb &tlb(unsigned core) { return *tlb_[core]; }
+    const MachineConfig &config() const { return cfg_; }
+    unsigned cores() const { return cfg_.cores; }
+
+    /** Resets DRAM/queue timing (not cache contents) between phases. */
+    void resetTiming();
+
+  private:
+    /** Shared LLC + DRAM access; returns fill-complete tick. */
+    Tick accessShared(Addr block, Tick now, ReqOrigin origin);
+
+    /** Handles an L2 eviction: writeback + prefetcher notification. */
+    void handleL2Evict(unsigned core, const EvictResult &ev, Tick now);
+
+    MachineConfig cfg_;
+    std::vector<std::unique_ptr<Cache>> l1d_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::vector<std::unique_ptr<Tlb>> tlb_;
+    std::unique_ptr<Cache> llc_;
+    Dram dram_;
+    std::vector<Prefetcher *> prefetchers_;
+    NullPrefetcher null_pf_;
+};
+
+} // namespace rnr
+
+#endif // RNR_MEM_MEMORY_SYSTEM_H

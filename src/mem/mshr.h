@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Miss Status Holding Register file.
+ *
+ * Each cache owns one MSHR file.  Entries track the block number of an
+ * outstanding miss and the tick at which its fill completes.  Because the
+ * simulator computes a miss's completion time at issue, an MSHR entry is
+ * "free" again as soon as simulated time passes its fill tick; purge()
+ * drops such entries lazily.
+ */
+#ifndef RNR_MEM_MSHR_H
+#define RNR_MEM_MSHR_H
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace rnr {
+
+/** Fixed-capacity outstanding-miss tracker. */
+class Mshr
+{
+  public:
+    struct Entry {
+        Addr block;        ///< Block number (address >> 6).
+        Tick fill;         ///< Tick at which the fill arrives.
+        bool prefetch;     ///< Entry was allocated by a prefetch.
+    };
+
+    explicit Mshr(unsigned capacity) : capacity_(capacity) {}
+
+    /** Drops entries whose fill completed at or before @p now. */
+    void
+    purge(Tick now)
+    {
+        std::erase_if(entries_, [now](const Entry &e) {
+            return e.fill <= now;
+        });
+    }
+
+    /** Returns the in-flight entry for @p block, or nullptr. */
+    Entry *
+    find(Addr block)
+    {
+        for (auto &e : entries_) {
+            if (e.block == block)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t inFlight() const { return entries_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+    /**
+     * Earliest fill time among outstanding entries; callers stall until
+     * this tick when the file is full.  Requires a non-empty file.
+     */
+    Tick
+    earliestFill() const
+    {
+        assert(!entries_.empty());
+        Tick t = kTickMax;
+        for (const auto &e : entries_)
+            t = std::min(t, e.fill);
+        return t;
+    }
+
+    /** Allocates an entry; the caller must have ensured capacity. */
+    void
+    insert(Addr block, Tick fill, bool prefetch)
+    {
+        assert(!full());
+        entries_.push_back({block, fill, prefetch});
+    }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    unsigned capacity_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace rnr
+
+#endif // RNR_MEM_MSHR_H

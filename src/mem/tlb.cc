@@ -1,0 +1,47 @@
+#include "mem/tlb.h"
+
+namespace rnr {
+
+Tlb::Tlb(const TlbConfig &cfg)
+    : cfg_(cfg),
+      dtlb_(cfg.dtlb_entries, 0),
+      stlb_(cfg.stlb_entries, 0),
+      stats_("TLB")
+{
+}
+
+Tick
+Tlb::translate(Addr vaddr)
+{
+    const Addr page = pageNumber(vaddr);
+    const Addr tag = page + 1;
+
+    Addr &d = dtlb_[page % dtlb_.size()];
+    if (d == tag) {
+        stats_.add("dtlb_hits");
+        return 0;
+    }
+
+    Addr &s = stlb_[page % stlb_.size()];
+    if (s == tag) {
+        stats_.add("stlb_hits");
+        d = tag;
+        return cfg_.stlb_latency;
+    }
+
+    stats_.add("walks");
+    d = tag;
+    s = tag;
+    return cfg_.walk_latency;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &e : dtlb_)
+        e = 0;
+    for (auto &e : stlb_)
+        e = 0;
+}
+
+} // namespace rnr

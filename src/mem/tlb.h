@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Two-level data TLB model (per-core L1 DTLB + STLB).
+ *
+ * The simulator uses an identity virtual-to-physical mapping, so the TLB
+ * only contributes latency: a DTLB hit is free, an STLB hit adds the STLB
+ * latency, and a full miss adds a fixed page-walk penalty.  RnR's metadata
+ * engine performs its own translations (one per metadata page) and does
+ * not go through this model, matching the paper's dedicated page-address
+ * registers.
+ */
+#ifndef RNR_MEM_TLB_H
+#define RNR_MEM_TLB_H
+
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace rnr {
+
+/** Direct-mapped two-level TLB; returns added translation latency. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &cfg);
+
+    /** Translates the page of @p vaddr; returns extra latency in ticks. */
+    Tick translate(Addr vaddr);
+
+    /** Drops all cached translations. */
+    void flush();
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    TlbConfig cfg_;
+    /** Tag arrays store page_number+1 so 0 means empty. */
+    std::vector<Addr> dtlb_;
+    std::vector<Addr> stlb_;
+    StatGroup stats_;
+};
+
+} // namespace rnr
+
+#endif // RNR_MEM_TLB_H

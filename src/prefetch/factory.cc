@@ -1,0 +1,152 @@
+#include "prefetch/factory.h"
+
+#include <stdexcept>
+
+#include "prefetch/bingo.h"
+#include "prefetch/domino.h"
+#include "prefetch/droplet.h"
+#include "prefetch/ghb.h"
+#include "prefetch/imp.h"
+#include "prefetch/misb.h"
+#include "prefetch/next_line.h"
+#include "prefetch/stems.h"
+#include "prefetch/stream.h"
+#include "prefetch/stride.h"
+
+namespace rnr {
+
+std::string
+toString(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::None: return "none";
+      case PrefetcherKind::NextLine: return "nextline";
+      case PrefetcherKind::Stream: return "stream";
+      case PrefetcherKind::Stride: return "stride";
+      case PrefetcherKind::Ghb: return "ghb";
+      case PrefetcherKind::Domino: return "domino";
+      case PrefetcherKind::Bingo: return "bingo";
+      case PrefetcherKind::Stems: return "stems";
+      case PrefetcherKind::Misb: return "misb";
+      case PrefetcherKind::Droplet: return "droplet";
+      case PrefetcherKind::Imp: return "imp";
+      case PrefetcherKind::Rnr: return "rnr";
+      case PrefetcherKind::RnrCombined: return "rnr-combined";
+    }
+    return "unknown";
+}
+
+PrefetcherKind
+prefetcherKindFromString(const std::string &name)
+{
+    for (PrefetcherKind k : allPrefetcherKinds()) {
+        if (toString(k) == name)
+            return k;
+    }
+    throw std::invalid_argument("unknown prefetcher kind: " + name);
+}
+
+const std::vector<PrefetcherKind> &
+allPrefetcherKinds()
+{
+    static const std::vector<PrefetcherKind> kinds = {
+        PrefetcherKind::None,     PrefetcherKind::NextLine,
+        PrefetcherKind::Stream,   PrefetcherKind::Stride,
+        PrefetcherKind::Ghb,      PrefetcherKind::Domino,
+        PrefetcherKind::Bingo,    PrefetcherKind::Stems,
+        PrefetcherKind::Misb,     PrefetcherKind::Droplet,
+        PrefetcherKind::Imp,
+        PrefetcherKind::Rnr,      PrefetcherKind::RnrCombined,
+    };
+    return kinds;
+}
+
+CombinedPrefetcher::CombinedPrefetcher(std::unique_ptr<RnrPrefetcher> rnr,
+                                       std::unique_ptr<Prefetcher> stream)
+    : rnr_(std::move(rnr)), stream_(std::move(stream))
+{
+}
+
+void
+CombinedPrefetcher::attach(MemorySystem *ms, unsigned core)
+{
+    Prefetcher::attach(ms, core);
+    rnr_->attach(ms, core);
+    stream_->attach(ms, core);
+}
+
+void
+CombinedPrefetcher::onAccess(const L2AccessInfo &info)
+{
+    rnr_->onAccess(info);
+    stream_->onAccess(info);
+}
+
+void
+CombinedPrefetcher::onEvict(Addr block)
+{
+    rnr_->onEvict(block);
+    stream_->onEvict(block);
+}
+
+void
+CombinedPrefetcher::onControl(const TraceRecord &rec, Tick now)
+{
+    rnr_->onControl(rec, now);
+}
+
+bool
+CombinedPrefetcher::inTargetRegion(Addr vaddr) const
+{
+    return rnr_->inTargetRegion(vaddr);
+}
+
+std::unique_ptr<Prefetcher>
+createPrefetcher(PrefetcherKind kind, const RnrPrefetcher::Options &opts)
+{
+    switch (kind) {
+      case PrefetcherKind::None:
+        return std::make_unique<NullPrefetcher>();
+      case PrefetcherKind::NextLine:
+        return std::make_unique<NextLinePrefetcher>();
+      case PrefetcherKind::Stream:
+        return std::make_unique<StreamPrefetcher>();
+      case PrefetcherKind::Stride:
+        return std::make_unique<StridePrefetcher>();
+      case PrefetcherKind::Ghb:
+        return std::make_unique<GhbPrefetcher>();
+      case PrefetcherKind::Domino:
+        return std::make_unique<DominoPrefetcher>();
+      case PrefetcherKind::Bingo:
+        return std::make_unique<BingoPrefetcher>();
+      case PrefetcherKind::Stems:
+        return std::make_unique<StemsPrefetcher>();
+      case PrefetcherKind::Misb:
+        return std::make_unique<MisbPrefetcher>();
+      case PrefetcherKind::Droplet:
+        return std::make_unique<DropletPrefetcher>();
+      case PrefetcherKind::Imp:
+        return std::make_unique<ImpPrefetcher>();
+      case PrefetcherKind::Rnr:
+        return std::make_unique<RnrPrefetcher>(opts);
+      case PrefetcherKind::RnrCombined:
+        return std::make_unique<CombinedPrefetcher>(
+            std::make_unique<RnrPrefetcher>(opts),
+            std::make_unique<StreamPrefetcher>(
+                /*streams=*/16, /*distance=*/32,
+                /*skip_target_struct=*/true));
+    }
+    throw std::invalid_argument("unknown prefetcher kind");
+}
+
+RnrPrefetcher *
+asRnr(Prefetcher *pf)
+{
+    if (auto *r = dynamic_cast<RnrPrefetcher *>(pf))
+        return r;
+    if (auto *c = dynamic_cast<CombinedPrefetcher *>(pf))
+        return &c->rnr();
+    return nullptr;
+}
+
+} // namespace rnr

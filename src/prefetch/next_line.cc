@@ -1,0 +1,18 @@
+#include "prefetch/next_line.h"
+
+namespace rnr {
+
+void
+NextLinePrefetcher::onAccess(const L2AccessInfo &info)
+{
+    if (skip_target_ && info.target_struct)
+        return;
+    if (info.hit && !info.merged)
+        return; // only misses (and merges) extend a stream
+    for (unsigned d = 1; d <= degree_; ++d) {
+        const Addr next = (info.block + d) << kBlockBits;
+        issuePrefetch(next, info.now);
+    }
+}
+
+} // namespace rnr

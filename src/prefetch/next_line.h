@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Next-line prefetcher (Smith & Hsu style): on every demand miss (and on
+ * hits to prefetched lines, to keep a stream alive) prefetch the next
+ * sequential block(s).  This is the paper's regular-pattern baseline and
+ * also the "stream prefetcher" half of RnR-Combined.
+ */
+#ifndef RNR_PREFETCH_NEXT_LINE_H
+#define RNR_PREFETCH_NEXT_LINE_H
+
+#include "prefetch/prefetcher.h"
+
+namespace rnr {
+
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param degree how many sequential blocks to prefetch per trigger.
+     * @param skip_target_struct when true, ignores accesses inside RnR
+     *        target regions (Section V-D integration: the stream
+     *        prefetcher is trained only by misses outside the
+     *        record-and-replay address range).
+     */
+    explicit NextLinePrefetcher(unsigned degree = 1,
+                                bool skip_target_struct = false)
+        : degree_(degree), skip_target_(skip_target_struct)
+    {
+    }
+
+    void onAccess(const L2AccessInfo &info) override;
+    std::string name() const override { return "nextline"; }
+
+  private:
+    unsigned degree_;
+    bool skip_target_;
+};
+
+} // namespace rnr
+
+#endif // RNR_PREFETCH_NEXT_LINE_H

@@ -1,0 +1,28 @@
+#include "prefetch/prefetcher.h"
+
+#include "mem/memory_system.h"
+
+namespace rnr {
+
+void
+Prefetcher::attach(MemorySystem *ms, unsigned core)
+{
+    ms_ = ms;
+    core_ = core;
+    stats_ = StatGroup(name() + "." + std::to_string(core));
+}
+
+PrefetchIssue
+Prefetcher::issuePrefetch(Addr vaddr, Tick now)
+{
+    PrefetchIssue out = ms_->prefetchIntoL2(core_, vaddr, now);
+    if (out.issued)
+        stats_.add("issued");
+    else if (out.redundant)
+        stats_.add("redundant");
+    else if (out.mshr_full)
+        stats_.add("dropped_mshr_full");
+    return out;
+}
+
+} // namespace rnr

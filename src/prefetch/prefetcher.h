@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Common interface for every hardware prefetcher in the repository.
+ *
+ * Following the paper's design-space discussion (Section III), every
+ * prefetcher — baselines and RnR alike — is attached to a private L2 and
+ * prefetches into that L2.  The L2 invokes onAccess() for each demand
+ * access (hits and misses, with the outcome already resolved, like
+ * ChampSim's prefetcher_operate) and onEvict() when a line leaves the L2.
+ * RnR additionally receives the software interface's control records via
+ * onControl().
+ */
+#ifndef RNR_PREFETCH_PREFETCHER_H
+#define RNR_PREFETCH_PREFETCHER_H
+
+#include <string>
+
+#include "sim/stats.h"
+#include "sim/types.h"
+#include "trace/record.h"
+
+namespace rnr {
+
+class MemorySystem;
+
+/** Everything the L2 tells its prefetcher about one demand access. */
+struct L2AccessInfo {
+    unsigned core = 0;
+    Addr vaddr = 0;
+    Addr block = 0;        ///< Block number (vaddr >> 6).
+    std::uint32_t pc = 0;
+    Tick now = 0;
+    bool is_write = false;
+    bool hit = false;      ///< Resident in the L2 (possibly still filling).
+    bool merged = false;   ///< Miss merged into an in-flight MSHR entry.
+    bool merged_into_prefetch = false; ///< ...that a prefetch allocated.
+    bool target_struct = false; ///< Inside an enabled RnR boundary range.
+};
+
+/** Outcome of asking the L2 to prefetch a block. */
+struct PrefetchIssue {
+    bool issued = false;    ///< A new prefetch went out.
+    bool redundant = false; ///< Block already resident or in flight.
+    bool mshr_full = false; ///< No MSHR slot; caller may retry later.
+    Tick fill_time = 0;     ///< Valid when issued.
+};
+
+/** Abstract base for L2-attached prefetchers. */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /** Binds this prefetcher to @p core of @p ms; called once by setup. */
+    virtual void attach(MemorySystem *ms, unsigned core);
+
+    /** Invoked for every L2 demand access, after hit/miss resolution. */
+    virtual void onAccess(const L2AccessInfo &info) = 0;
+
+    /** Invoked when @p block is evicted from the L2. */
+    virtual void onEvict(Addr block) { (void)block; }
+
+    /** Invoked for RnR software-interface records; others ignore them. */
+    virtual void onControl(const TraceRecord &rec, Tick now)
+    {
+        (void)rec;
+        (void)now;
+    }
+
+    /**
+     * Invoked once per core "cycle batch" with the current core time so
+     * rate-controlled prefetchers (RnR pace control) can issue work that
+     * is not directly triggered by an access.
+     */
+    virtual void onTick(Tick now) { (void)now; }
+
+    /**
+     * True when @p vaddr falls in a software-declared target region.
+     * Only RnR overrides this; the memory system uses it to set
+     * L2AccessInfo::target_struct and to let a companion stream
+     * prefetcher skip target-structure misses (Section V-D).
+     */
+    virtual bool inTargetRegion(Addr vaddr) const
+    {
+        (void)vaddr;
+        return false;
+    }
+
+    virtual std::string name() const = 0;
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  protected:
+    /** Asks the attached L2 to fetch @p vaddr's block (into the L2). */
+    PrefetchIssue issuePrefetch(Addr vaddr, Tick now);
+
+    MemorySystem *ms_ = nullptr;
+    unsigned core_ = 0;
+    StatGroup stats_{"prefetcher"};
+};
+
+/** A prefetcher that never issues anything (the no-prefetch baseline). */
+class NullPrefetcher : public Prefetcher
+{
+  public:
+    void onAccess(const L2AccessInfo &) override {}
+    std::string name() const override { return "none"; }
+};
+
+} // namespace rnr
+
+#endif // RNR_PREFETCH_PREFETCHER_H

@@ -1,0 +1,86 @@
+#include "sim/config.h"
+
+#include <sstream>
+
+namespace rnr {
+
+unsigned
+CacheConfig::sets() const
+{
+    return static_cast<unsigned>(size_bytes / (kBlockSize * ways));
+}
+
+MachineConfig
+MachineConfig::paperBaseline()
+{
+    MachineConfig m;
+    m.cores = 4;
+
+    m.l1d = {"L1D", 64 * 1024, 8, 8, /*pq=*/8, /*latency=*/4,
+             /*shared=*/false};
+    m.l2 = {"L2", 256 * 1024, 8, 16, /*pq=*/32, /*latency=*/8,
+            /*shared=*/false};
+    m.llc = {"LLC", 8 * 1024 * 1024, 16, 128, /*pq=*/64, /*latency=*/30,
+             /*shared=*/true};
+    // The paper quotes cumulative access delays (4/12/42); per-level
+    // latencies above add up to the same totals.
+    return m;
+}
+
+MachineConfig
+MachineConfig::scaledDefault()
+{
+    MachineConfig m = paperBaseline();
+    m.l1d.size_bytes = 16 * 1024;
+    m.l2.size_bytes = 32 * 1024;
+    m.llc.size_bytes = 512 * 1024;
+    // Scale the demand-MLP resources with the caches: a full-size OoO
+    // core rarely sustains 16 truly independent L2 misses (dependent
+    // address generation, ROB pressure); with the scaled per-miss
+    // instruction counts, 8 keeps the baseline latency-bound, matching
+    // the regime the paper's speedups come from.
+    m.l2.mshrs = 8;
+    // DRAM service times scale with the caches: the scaled kernels issue
+    // far fewer instructions per miss than the paper's 500M-instruction
+    // runs, so keeping DDR4's absolute row-cycle times against 16x
+    // smaller caches would make every run bandwidth-bound and flatten
+    // all prefetcher differences.  The scaled timings (and the extra
+    // banks, standing in for rank/bank-group parallelism and for the
+    // FR-FCFS efficiency the FCFS model lacks) keep the baseline
+    // latency-bound and give prefetchers the same headroom they have in
+    // the paper's configuration.
+    m.dram.banks = 32;
+    m.dram.tCAS = m.dram.tRCD = m.dram.tRP = 20;
+    m.dram.tBURST = 2;
+    return m;
+}
+
+MachineConfig
+MachineConfig::withInfiniteLlc(const MachineConfig &base)
+{
+    MachineConfig m = base;
+    // 64 MB fully covers every scaled input (largest is ~16 MB) while
+    // keeping the line array small enough to allocate cheaply.
+    m.llc.size_bytes = std::uint64_t{64} << 20;
+    return m;
+}
+
+std::string
+MachineConfig::describe() const
+{
+    std::ostringstream os;
+    os << cores << " cores, " << core.issue_width << "-wide OoO, ROB "
+       << core.rob_size << ", LSQ " << core.lsq_size << "\n";
+    for (const CacheConfig *c : {&l1d, &l2, &llc}) {
+        os << c->name << ": " << c->size_bytes / 1024 << " KB, " << c->ways
+           << "-way, " << c->mshrs << " MSHRs, +" << c->latency
+           << " cyc, " << (c->shared ? "shared" : "private") << "\n";
+    }
+    os << "DRAM: 1 channel, " << dram.banks << " banks, RQ "
+       << dram.read_queue << " / WQ " << dram.write_queue
+       << " (drain " << dram.drain_high * 100 << "%/" << dram.drain_low * 100
+       << "%), tCAS=tRCD=tRP=" << dram.tCAS << " core cyc";
+    return os.str();
+}
+
+} // namespace rnr

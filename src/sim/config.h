@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Machine configuration (the paper's Table II) plus the scaled variant used
+ * by default so that experiments complete in seconds on a development host.
+ *
+ * All latencies are expressed in core cycles at 4 GHz.  The paper models a
+ * DDR4-2400 part (1200 MHz bus); one DRAM clock is therefore 4000/1200 =
+ * 3.33 core cycles and the datasheet's tCL = tRCD = tRP = 17 DRAM cycles
+ * become ~57 core cycles each.
+ */
+#ifndef RNR_SIM_CONFIG_H
+#define RNR_SIM_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.h"
+
+namespace rnr {
+
+/** Cache replacement policy. */
+enum class ReplacementPolicy {
+    Lru,   ///< Least recently used (the default everywhere).
+    Srrip, ///< Static RRIP (2-bit re-reference prediction), which
+           ///< resists streaming thrash: new lines start "far" and must
+           ///< prove reuse before they can displace proven lines.
+};
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig {
+    std::string name;
+    std::uint64_t size_bytes = 0;
+    unsigned ways = 8;
+    unsigned mshrs = 8;
+    /** In-flight prefetch-queue entries (separate from demand MSHRs). */
+    unsigned prefetch_queue = 16;
+    Tick latency = 4;          ///< Hit latency added by this level.
+    bool shared = false;       ///< Shared across cores (LLC) or private.
+    ReplacementPolicy replacement = ReplacementPolicy::Lru;
+
+    unsigned sets() const;
+};
+
+/** DRAM timing and structure (single channel, Table II). */
+struct DramConfig {
+    unsigned channels = 1; ///< Independent channels (block-interleaved).
+    unsigned banks = 16;   ///< Banks per channel.
+    unsigned read_queue = 64;
+    unsigned write_queue = 32;
+    /** Write-queue drain thresholds as a fraction of capacity. */
+    double drain_high = 0.75;
+    double drain_low = 0.25;
+    Tick tCAS = 57;            ///< Column access (row-buffer hit), core cyc.
+    Tick tRCD = 57;            ///< Activate-to-read.
+    Tick tRP = 57;             ///< Precharge.
+    Tick tBURST = 14;          ///< Data burst occupancy of the channel.
+    unsigned row_bytes = 8192; ///< Row-buffer width.
+};
+
+/** Core front/back-end parameters (Table II, 4-wide OoO). */
+struct CoreConfig {
+    unsigned issue_width = 4;
+    unsigned retire_width = 4;
+    unsigned rob_size = 256;
+    unsigned lsq_size = 64;
+    Tick exec_latency = 1;     ///< Latency of a non-memory instruction.
+};
+
+/** TLB model parameters. */
+struct TlbConfig {
+    unsigned dtlb_entries = 64;
+    unsigned stlb_entries = 1536;
+    Tick stlb_latency = 8;
+    Tick walk_latency = 60;
+};
+
+/** Full machine description. */
+struct MachineConfig {
+    unsigned cores = 4;
+    CoreConfig core;
+    CacheConfig l1d;
+    CacheConfig l2;
+    CacheConfig llc;
+    TlbConfig tlb;
+    DramConfig dram;
+
+    /**
+     * Builds the paper's Table II configuration: 4 cores, 64 KB L1D,
+     * 256 KB private L2, 8 MB shared LLC, DDR4-2400 single channel.
+     */
+    static MachineConfig paperBaseline();
+
+    /**
+     * Builds the scaled configuration used by the default experiments:
+     * identical structure and L1:L2:LLC capacity ratios, shrunk 16x so
+     * that the scaled synthetic inputs (DESIGN.md section 4) keep the
+     * same does-not-fit relationships while simulating in seconds.
+     */
+    static MachineConfig scaledDefault();
+
+    /** Variant with an effectively infinite LLC ("ideal" bar in Fig 6). */
+    static MachineConfig withInfiniteLlc(const MachineConfig &base);
+
+    /** Human-readable one-line-per-component dump (bench headers). */
+    std::string describe() const;
+};
+
+} // namespace rnr
+
+#endif // RNR_SIM_CONFIG_H

@@ -1,0 +1,30 @@
+#include "sim/stats.h"
+
+#include <sstream>
+
+namespace rnr {
+
+std::uint64_t
+StatGroup::get(const std::string &key) const
+{
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters_)
+        kv.second = 0;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters_)
+        os << name_ << "." << kv.first << " = " << kv.second << "\n";
+    return os.str();
+}
+
+} // namespace rnr

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Lightweight named-counter statistics registry.
+ *
+ * Components own a StatGroup and declare counters up front; the harness
+ * walks the registry to compute the paper's derived metrics (MPKI, miss
+ * coverage, accuracy, off-chip traffic) without each component having to
+ * know which figure it feeds.
+ */
+#ifndef RNR_SIM_STATS_H
+#define RNR_SIM_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rnr {
+
+/** A named group of monotonically increasing 64-bit counters. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Adds @p delta to counter @p key, creating it at zero if absent. */
+    void
+    add(const std::string &key, std::uint64_t delta = 1)
+    {
+        counters_[key] += delta;
+    }
+
+    /** Sets counter @p key to an absolute value (for gauges). */
+    void
+    set(const std::string &key, std::uint64_t value)
+    {
+        counters_[key] = value;
+    }
+
+    /** Returns the value of @p key, or 0 when it was never touched. */
+    std::uint64_t get(const std::string &key) const;
+
+    /** Resets every counter to zero (per-iteration measurement windows). */
+    void reset();
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+
+    /** Formats "group.key = value" lines, sorted by key. */
+    std::string dump() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace rnr
+
+#endif // RNR_SIM_STATS_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fundamental types shared by every subsystem of the RnR simulator.
+ *
+ * The simulator is trace-driven and timestamp-based: components do not tick
+ * every cycle; instead each request carries the core-cycle time at which it
+ * occurs and each shared resource tracks the time at which it next becomes
+ * free.  All times are expressed in core cycles (the paper's 4 GHz cores).
+ */
+#ifndef RNR_SIM_TYPES_H
+#define RNR_SIM_TYPES_H
+
+#include <cstdint>
+
+namespace rnr {
+
+/** Simulated time in core cycles. */
+using Tick = std::uint64_t;
+
+/** Virtual or physical byte address. */
+using Addr = std::uint64_t;
+
+/** A tick value that is later than any reachable simulation time. */
+constexpr Tick kTickMax = ~Tick{0};
+
+/** Log2 of the cache block size; all caches share one block size. */
+constexpr unsigned kBlockBits = 6;
+/** Cache block size in bytes (64 B, as in Table II's platform). */
+constexpr unsigned kBlockSize = 1u << kBlockBits;
+
+/** Log2 of the (small) page size used by the TLB model. */
+constexpr unsigned kPageBits = 12;
+constexpr Addr kPageSize = Addr{1} << kPageBits;
+
+/** Returns the block-aligned address containing @p a. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~Addr{kBlockSize - 1};
+}
+
+/** Returns the block number (address >> 6) containing @p a. */
+constexpr Addr
+blockNumber(Addr a)
+{
+    return a >> kBlockBits;
+}
+
+/** Returns the page number containing @p a. */
+constexpr Addr
+pageNumber(Addr a)
+{
+    return a >> kPageBits;
+}
+
+/** Kind of memory operation carried by a trace record or request. */
+enum class MemOp : std::uint8_t {
+    Load,
+    Store,
+};
+
+/** Who generated a memory request; used for priority and statistics. */
+enum class ReqOrigin : std::uint8_t {
+    Demand,         ///< A load/store issued by the core.
+    Prefetch,       ///< Issued by a hardware prefetcher into the L2.
+    Metadata,       ///< RnR sequence/division table traffic (uncached).
+    Writeback,      ///< Dirty-block eviction traffic.
+};
+
+} // namespace rnr
+
+#endif // RNR_SIM_TYPES_H

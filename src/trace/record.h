@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Trace record format.
+ *
+ * Workloads execute natively in-process and emit one TraceRecord per
+ * traced memory operation (the role PIN plays in the paper's methodology).
+ * Records carry the count of untraced "plain" instructions executed since
+ * the previous record, so the core model can charge front-end bandwidth
+ * and ROB occupancy for them without storing them individually.
+ *
+ * RnR API calls (Table I of the paper) appear in the trace as control
+ * records; the simulated core forwards them to the per-core prefetcher,
+ * which is how the software half of RnR programs the hardware half.
+ */
+#ifndef RNR_TRACE_RECORD_H
+#define RNR_TRACE_RECORD_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace rnr {
+
+/** RnR architectural-state operations (paper Table I). */
+enum class RnrOp : std::uint8_t {
+    Init,          ///< RnR.init(): allocate metadata, set ASID + defaults.
+    AddrBaseSet,   ///< AddrBase.set(addr, size): add a boundary entry.
+    AddrEnable,    ///< AddrBase.enable(addr).
+    AddrDisable,   ///< AddrBase.disable(addr).
+    WindowSizeSet, ///< WindowSize.set(size).
+    Start,         ///< PrefetchState.start(): begin recording.
+    Replay,        ///< PrefetchState.replay(): replay from the beginning.
+    Pause,         ///< PrefetchState.pause().
+    Resume,        ///< PrefetchState.resume().
+    EndState,      ///< PrefetchState.end(): disable RnR.
+    Free,          ///< RnR.end(): release metadata storage.
+};
+
+/** Discriminator for TraceRecord. */
+enum class RecordKind : std::uint8_t {
+    Load,
+    Store,
+    Control,
+};
+
+/** One traced event. 32 bytes; traces hold millions of these. */
+struct TraceRecord {
+    Addr addr = 0;          ///< Memory address, or control payload 0.
+    std::uint64_t aux = 0;  ///< Control payload 1 (e.g. a size).
+    std::uint32_t pc = 0;   ///< Stable id of the access site ("PC").
+    std::uint32_t gap = 0;  ///< Untraced instructions since last record.
+    RecordKind kind = RecordKind::Load;
+    RnrOp ctrl = RnrOp::Init;
+
+    static TraceRecord
+    load(Addr a, std::uint32_t pc, std::uint32_t gap)
+    {
+        TraceRecord r;
+        r.addr = a;
+        r.pc = pc;
+        r.gap = gap;
+        r.kind = RecordKind::Load;
+        return r;
+    }
+
+    static TraceRecord
+    store(Addr a, std::uint32_t pc, std::uint32_t gap)
+    {
+        TraceRecord r = load(a, pc, gap);
+        r.kind = RecordKind::Store;
+        return r;
+    }
+
+    static TraceRecord
+    control(RnrOp op, Addr payload0 = 0, std::uint64_t payload1 = 0)
+    {
+        TraceRecord r;
+        r.kind = RecordKind::Control;
+        r.ctrl = op;
+        r.addr = payload0;
+        r.aux = payload1;
+        return r;
+    }
+};
+
+} // namespace rnr
+
+#endif // RNR_TRACE_RECORD_H

@@ -1,0 +1,3 @@
+// TraceBuffer is header-only; this translation unit exists so the build
+// fails loudly if the header stops compiling stand-alone.
+#include "trace/trace_buffer.h"

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A per-core, per-iteration container of trace records.
+ *
+ * Workloads fill one TraceBuffer per core per iteration; the System then
+ * drives every core through its buffer.  Buffers are plain vectors with a
+ * few convenience counters so tests can assert on trace shape.
+ */
+#ifndef RNR_TRACE_TRACE_BUFFER_H
+#define RNR_TRACE_TRACE_BUFFER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace rnr {
+
+/** Growable record container with summary counters. */
+class TraceBuffer
+{
+  public:
+    void
+    push(const TraceRecord &rec)
+    {
+        records_.push_back(rec);
+        switch (rec.kind) {
+          case RecordKind::Load: ++loads_; break;
+          case RecordKind::Store: ++stores_; break;
+          case RecordKind::Control: ++controls_; break;
+        }
+        instrs_ += rec.gap + (rec.kind != RecordKind::Control ? 1 : 0);
+    }
+
+    void
+    clear()
+    {
+        records_.clear();
+        loads_ = stores_ = controls_ = instrs_ = 0;
+    }
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+
+    std::uint64_t loads() const { return loads_; }
+    std::uint64_t stores() const { return stores_; }
+    std::uint64_t controls() const { return controls_; }
+    /** Total instructions this trace represents (memory ops + gaps). */
+    std::uint64_t instructions() const { return instrs_; }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+    std::uint64_t controls_ = 0;
+    std::uint64_t instrs_ = 0;
+};
+
+} // namespace rnr
+
+#endif // RNR_TRACE_TRACE_BUFFER_H

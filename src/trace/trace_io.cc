@@ -1,0 +1,82 @@
+#include "trace/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace rnr {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'N', 'R', 'T', 'R', 'A', 'C', 'E'};
+
+template <typename T>
+void
+put(std::ofstream &out, T value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+template <typename T>
+bool
+get(std::ifstream &in, T &value)
+{
+    in.read(reinterpret_cast<char *>(&value), sizeof(value));
+    return static_cast<bool>(in);
+}
+
+} // namespace
+
+bool
+writeTraceFile(const std::string &path, const TraceBuffer &buf)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out.write(kMagic, sizeof(kMagic));
+    put<std::uint32_t>(out, kTraceFormatVersion);
+    put<std::uint32_t>(out, 0); // reserved
+    put<std::uint64_t>(out, buf.size());
+    for (const TraceRecord &r : buf.records()) {
+        put<std::uint64_t>(out, r.addr);
+        put<std::uint64_t>(out, r.aux);
+        put<std::uint32_t>(out, r.pc);
+        put<std::uint32_t>(out, r.gap);
+        put<std::uint8_t>(out, static_cast<std::uint8_t>(r.kind));
+        put<std::uint8_t>(out, static_cast<std::uint8_t>(r.ctrl));
+        put<std::uint16_t>(out, 0); // padding
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+readTraceFile(const std::string &path, TraceBuffer &buf)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return false;
+    std::uint32_t version = 0, reserved = 0;
+    std::uint64_t count = 0;
+    if (!get(in, version) || version != kTraceFormatVersion ||
+        !get(in, reserved) || !get(in, count))
+        return false;
+
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceRecord r;
+        std::uint8_t kind = 0, ctrl = 0;
+        std::uint16_t padding = 0;
+        if (!get(in, r.addr) || !get(in, r.aux) || !get(in, r.pc) ||
+            !get(in, r.gap) || !get(in, kind) || !get(in, ctrl) ||
+            !get(in, padding))
+            return false;
+        r.kind = static_cast<RecordKind>(kind);
+        r.ctrl = static_cast<RnrOp>(ctrl);
+        buf.push(r);
+    }
+    return true;
+}
+
+} // namespace rnr

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Binary trace file I/O.
+ *
+ * ChampSim workflows revolve around trace files captured once and
+ * replayed across many configurations; this module gives the in-process
+ * traces the same property.  The format is versioned, little-endian and
+ * self-describing enough for the trace_inspect example to summarise a
+ * file without the generating workload.
+ *
+ * Layout: 8-byte magic "RNRTRACE", u32 version, u32 reserved,
+ * u64 record count, then per record: u64 addr, u64 aux, u32 pc,
+ * u32 gap, u8 kind, u8 ctrl, u16 padding.
+ */
+#ifndef RNR_TRACE_TRACE_IO_H
+#define RNR_TRACE_TRACE_IO_H
+
+#include <string>
+
+#include "trace/trace_buffer.h"
+
+namespace rnr {
+
+/** Current trace-file format version. */
+constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/** Writes @p buf to @p path; returns false on I/O failure. */
+bool writeTraceFile(const std::string &path, const TraceBuffer &buf);
+
+/**
+ * Reads a trace file into @p buf (appending).
+ * @return false on I/O failure, bad magic, or version mismatch.
+ */
+bool readTraceFile(const std::string &path, TraceBuffer &buf);
+
+} // namespace rnr
+
+#endif // RNR_TRACE_TRACE_IO_H

@@ -1,0 +1,26 @@
+#include "trace/tracer.h"
+
+namespace rnr {
+
+Addr
+AddressSpace::allocate(const std::string &name, std::uint64_t bytes)
+{
+    const Addr base = cursor_;
+    regions_.push_back({name, base, bytes});
+    // Page-align the next region so structures never share a page,
+    // mirroring how large arrays are laid out by a real allocator.
+    cursor_ += (bytes + kPageSize - 1) & ~(kPageSize - 1);
+    return base;
+}
+
+const AddressSpace::Region *
+AddressSpace::find(const std::string &name) const
+{
+    for (const auto &r : regions_) {
+        if (r.name == name)
+            return &r;
+    }
+    return nullptr;
+}
+
+} // namespace rnr

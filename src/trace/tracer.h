@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Instrumentation facade: the in-process equivalent of the paper's PIN
+ * tooling, plus a simulated virtual-address space.
+ *
+ * Workloads compute on ordinary host containers but report every traced
+ * access as an offset into a *simulated* address space.  AddressSpace is a
+ * bump allocator handing out page-aligned regions for each named array, so
+ * the traces workloads emit look exactly like the kernel traces the paper
+ * extracts: interleaved loads/stores over a handful of large arrays.
+ */
+#ifndef RNR_TRACE_TRACER_H
+#define RNR_TRACE_TRACER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/record.h"
+#include "trace/trace_buffer.h"
+
+namespace rnr {
+
+/** Simulated-VA bump allocator shared by all cores of a workload. */
+class AddressSpace
+{
+  public:
+    struct Region {
+        std::string name;
+        Addr base;
+        std::uint64_t bytes;
+    };
+
+    /** Reserves @p bytes for @p name; returns the region base address. */
+    Addr allocate(const std::string &name, std::uint64_t bytes);
+
+    /** Total bytes allocated so far (input-size denominators, Fig 13). */
+    std::uint64_t totalBytes() const { return cursor_ - kBase; }
+
+    const std::vector<Region> &regions() const { return regions_; }
+
+    /** Finds a region by name; returns nullptr when absent. */
+    const Region *find(const std::string &name) const;
+
+  private:
+    /** Leave low VA space free so address 0 is never handed out. */
+    static constexpr Addr kBase = 0x10000000;
+
+    Addr cursor_ = kBase;
+    std::vector<Region> regions_;
+};
+
+/**
+ * Per-core trace emitter.  Plain-instruction work between memory ops is
+ * accumulated with instr() and attached as the gap of the next record.
+ */
+class Tracer
+{
+  public:
+    explicit Tracer(TraceBuffer *buf) : buf_(buf) {}
+
+    /** Accounts @p n untraced instructions of compute. */
+    void instr(std::uint32_t n) { gap_ += n; }
+
+    void
+    load(Addr a, std::uint32_t pc)
+    {
+        buf_->push(TraceRecord::load(a, pc, takeGap()));
+    }
+
+    void
+    store(Addr a, std::uint32_t pc)
+    {
+        buf_->push(TraceRecord::store(a, pc, takeGap()));
+    }
+
+    /** Emits an RnR software-interface record (Table I call). */
+    void
+    control(RnrOp op, Addr payload0 = 0, std::uint64_t payload1 = 0)
+    {
+        TraceRecord r = TraceRecord::control(op, payload0, payload1);
+        r.gap = takeGap();
+        buf_->push(r);
+    }
+
+    TraceBuffer *buffer() { return buf_; }
+
+    /** Redirects subsequent records to @p buf (per-iteration buffers). */
+    void
+    retarget(TraceBuffer *buf)
+    {
+        buf_ = buf;
+        gap_ = 0;
+    }
+
+  private:
+    std::uint32_t
+    takeGap()
+    {
+        std::uint32_t g = gap_;
+        gap_ = 0;
+        return g;
+    }
+
+    TraceBuffer *buf_;
+    std::uint32_t gap_ = 0;
+};
+
+} // namespace rnr
+
+#endif // RNR_TRACE_TRACER_H

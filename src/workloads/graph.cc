@@ -1,0 +1,88 @@
+#include "workloads/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rnr {
+
+Graph
+Graph::fromEdgeList(
+    std::uint32_t num_vertices,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_list)
+{
+    std::sort(edge_list.begin(), edge_list.end());
+    edge_list.erase(std::unique(edge_list.begin(), edge_list.end()),
+                    edge_list.end());
+
+    Graph g;
+    g.num_vertices = num_vertices;
+    g.offsets.assign(num_vertices + 1, 0);
+    for (const auto &[src, dst] : edge_list) {
+        assert(src < num_vertices && dst < num_vertices);
+        ++g.offsets[src + 1];
+    }
+    for (std::uint32_t v = 0; v < num_vertices; ++v)
+        g.offsets[v + 1] += g.offsets[v];
+    g.edges.reserve(edge_list.size());
+    for (const auto &[src, dst] : edge_list) {
+        (void)src;
+        g.edges.push_back(dst);
+    }
+    return g;
+}
+
+Graph
+Graph::transpose() const
+{
+    Graph t;
+    t.num_vertices = num_vertices;
+    t.offsets.assign(num_vertices + 1, 0);
+    for (std::uint32_t dst : edges)
+        ++t.offsets[dst + 1];
+    for (std::uint32_t v = 0; v < num_vertices; ++v)
+        t.offsets[v + 1] += t.offsets[v];
+    t.edges.resize(edges.size());
+    std::vector<std::uint32_t> cursor(t.offsets.begin(),
+                                      t.offsets.end() - 1);
+    for (std::uint32_t src = 0; src < num_vertices; ++src) {
+        for (std::uint32_t e = offsets[src]; e < offsets[src + 1]; ++e)
+            t.edges[cursor[edges[e]]++] = src;
+    }
+    return t;
+}
+
+std::vector<std::uint32_t>
+Graph::outDegrees() const
+{
+    std::vector<std::uint32_t> deg(num_vertices);
+    for (std::uint32_t v = 0; v < num_vertices; ++v)
+        deg[v] = degree(v);
+    return deg;
+}
+
+Graph
+Graph::relabel(const std::vector<std::uint32_t> &order) const
+{
+    assert(order.size() == num_vertices);
+    // order[i] = old id that becomes new id i; build the inverse map.
+    std::vector<std::uint32_t> new_id(num_vertices);
+    for (std::uint32_t i = 0; i < num_vertices; ++i)
+        new_id[order[i]] = i;
+
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_list;
+    edge_list.reserve(edges.size());
+    for (std::uint32_t src = 0; src < num_vertices; ++src) {
+        for (std::uint32_t e = offsets[src]; e < offsets[src + 1]; ++e)
+            edge_list.emplace_back(new_id[src], new_id[edges[e]]);
+    }
+    return fromEdgeList(num_vertices, std::move(edge_list));
+}
+
+std::uint64_t
+Graph::bytes() const
+{
+    return offsets.size() * sizeof(std::uint32_t) +
+           edges.size() * sizeof(std::uint32_t);
+}
+
+} // namespace rnr

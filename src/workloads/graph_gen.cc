@@ -1,0 +1,123 @@
+#include "workloads/graph_gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace rnr {
+
+Graph
+makeUrandGraph(std::uint32_t vertices, std::uint32_t avg_degree,
+               std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    const std::uint64_t target = std::uint64_t{vertices} * avg_degree;
+    edges.reserve(target);
+    for (std::uint64_t e = 0; e < target; ++e) {
+        const auto src = static_cast<std::uint32_t>(rng.below(vertices));
+        const auto dst = static_cast<std::uint32_t>(rng.below(vertices));
+        if (src != dst)
+            edges.emplace_back(src, dst);
+    }
+    return Graph::fromEdgeList(vertices, std::move(edges));
+}
+
+Graph
+makeCommunityGraph(std::uint32_t vertices, std::uint32_t avg_degree,
+                   std::uint32_t cluster_size, double in_cluster_fraction,
+                   std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    const std::uint64_t target = std::uint64_t{vertices} * avg_degree;
+    edges.reserve(target);
+    for (std::uint64_t e = 0; e < target; ++e) {
+        const auto src = static_cast<std::uint32_t>(rng.below(vertices));
+        std::uint32_t dst;
+        if (rng.uniform() < in_cluster_fraction) {
+            // Stay within the source's cluster.
+            const std::uint32_t cluster = src / cluster_size;
+            const std::uint32_t base = cluster * cluster_size;
+            const std::uint32_t span =
+                std::min(cluster_size, vertices - base);
+            dst = base + static_cast<std::uint32_t>(rng.below(span));
+        } else {
+            // Long link with preferential attachment: squaring a uniform
+            // variate skews the target toward low ids, yielding a
+            // power-law-ish in-degree tail like real social graphs.
+            const double u = rng.uniform();
+            dst = static_cast<std::uint32_t>(u * u * vertices);
+            if (dst >= vertices)
+                dst = vertices - 1;
+        }
+        if (src != dst)
+            edges.emplace_back(src, dst);
+    }
+    return Graph::fromEdgeList(vertices, std::move(edges));
+}
+
+Graph
+makeRoadGraph(std::uint32_t width, std::uint32_t height, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const std::uint32_t vertices = width * height;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    edges.reserve(std::uint64_t{vertices} * 4);
+    auto id = [width](std::uint32_t x, std::uint32_t y) {
+        return y * width + x;
+    };
+    for (std::uint32_t y = 0; y < height; ++y) {
+        for (std::uint32_t x = 0; x < width; ++x) {
+            const std::uint32_t v = id(x, y);
+            if (x + 1 < width) {
+                edges.emplace_back(v, id(x + 1, y));
+                edges.emplace_back(id(x + 1, y), v);
+            }
+            if (y + 1 < height) {
+                edges.emplace_back(v, id(x, y + 1));
+                edges.emplace_back(id(x, y + 1), v);
+            }
+            // Occasional shortcut to a nearby (but not adjacent) vertex,
+            // like highway ramps; keeps degree near-regular.
+            if (rng.uniform() < 0.05) {
+                const std::uint32_t dx =
+                    static_cast<std::uint32_t>(rng.below(8));
+                const std::uint32_t dy =
+                    static_cast<std::uint32_t>(rng.below(8));
+                const std::uint32_t tx = std::min(x + dx, width - 1);
+                const std::uint32_t ty = std::min(y + dy, height - 1);
+                if (id(tx, ty) != v) {
+                    edges.emplace_back(v, id(tx, ty));
+                    edges.emplace_back(id(tx, ty), v);
+                }
+            }
+        }
+    }
+    return Graph::fromEdgeList(vertices, std::move(edges));
+}
+
+std::vector<std::string>
+graphInputNames()
+{
+    return {"urand", "amazon", "com-orkut", "roadUSA"};
+}
+
+GraphInput
+makeGraphInput(const std::string &name)
+{
+    // Scaled sizes: DESIGN.md section 4 — the irregular vertex-value
+    // array must exceed the scaled LLC several-fold.
+    if (name == "urand")
+        return {name, makeUrandGraph(1u << 16, 16, 11)};
+    if (name == "amazon")
+        return {name, makeCommunityGraph(1u << 16, 6, 64, 0.75, 12)};
+    if (name == "com-orkut")
+        return {name, makeCommunityGraph(1u << 16, 24, 256, 0.55, 13)};
+    if (name == "roadUSA")
+        return {name, makeRoadGraph(360, 360, 14)};
+    throw std::invalid_argument("unknown graph input: " + name);
+}
+
+} // namespace rnr

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Synthetic graph generators standing in for the paper's Table III graph
+ * inputs (see DESIGN.md "Substitutions").  Each generator reproduces the
+ * structural property the evaluation leans on:
+ *
+ *  - urand    — uniformly random edges: no locality of any kind; the
+ *               input on which every baseline prefetcher collapses.
+ *  - amazon   — co-purchase network: power-law-ish degrees with strong
+ *               community structure (most edges stay inside a small
+ *               cluster), giving moderate reuse locality.
+ *  - com-orkut— social network: denser, larger power-law communities
+ *               with many cross-community edges.
+ *  - roadUSA  — planar road network: near-regular degree (~2-4), edges
+ *               connect spatially adjacent vertices, so index-sorted
+ *               traversal has excellent locality.
+ */
+#ifndef RNR_WORKLOADS_GRAPH_GEN_H
+#define RNR_WORKLOADS_GRAPH_GEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/graph.h"
+
+namespace rnr {
+
+/** Uniform random graph ("urand"). */
+Graph makeUrandGraph(std::uint32_t vertices, std::uint32_t avg_degree,
+                     std::uint64_t seed = 1);
+
+/**
+ * Community graph: vertices grouped into clusters of @p cluster_size;
+ * @p in_cluster_fraction of edges stay inside the cluster, the rest are
+ * preferential-attachment long links ("amazon", "com-orkut").
+ */
+Graph makeCommunityGraph(std::uint32_t vertices, std::uint32_t avg_degree,
+                         std::uint32_t cluster_size,
+                         double in_cluster_fraction,
+                         std::uint64_t seed = 2);
+
+/**
+ * 2-D grid road network: width x height lattice with a sprinkle of
+ * diagonal shortcuts ("roadUSA").
+ */
+Graph makeRoadGraph(std::uint32_t width, std::uint32_t height,
+                    std::uint64_t seed = 3);
+
+/** One named graph input of the evaluation. */
+struct GraphInput {
+    std::string name;
+    Graph graph;
+};
+
+/** The four Table III graph inputs at the scaled sizes. */
+std::vector<std::string> graphInputNames();
+GraphInput makeGraphInput(const std::string &name);
+
+} // namespace rnr
+
+#endif // RNR_WORKLOADS_GRAPH_GEN_H

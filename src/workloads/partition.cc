@@ -1,0 +1,107 @@
+#include "workloads/partition.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace rnr {
+
+Partitioning
+partitionGraph(const Graph &g, unsigned parts)
+{
+    const std::uint32_t V = g.num_vertices;
+    Partitioning out;
+    out.partition.assign(V, ~0u);
+
+    // Seeds spread evenly across the id space (spatial graphs lay ids
+    // out spatially, so this spreads seeds geographically too).
+    std::vector<std::deque<std::uint32_t>> frontier(parts);
+    std::vector<std::uint32_t> sizes(parts, 0);
+    for (unsigned p = 0; p < parts; ++p) {
+        std::uint32_t seed = static_cast<std::uint32_t>(
+            (std::uint64_t{V} * p) / parts);
+        while (seed < V && out.partition[seed] != ~0u)
+            ++seed;
+        if (seed < V) {
+            out.partition[seed] = p;
+            ++sizes[p];
+            frontier[p].push_back(seed);
+        }
+    }
+
+    // Region growing: repeatedly expand the smallest partition.
+    std::uint32_t assigned =
+        static_cast<std::uint32_t>(std::count_if(
+            out.partition.begin(), out.partition.end(),
+            [](std::uint32_t x) { return x != ~0u; }));
+    std::uint32_t scan = 0; // fallback cursor for disconnected vertices
+    while (assigned < V) {
+        // Pick the smallest partition that still has a frontier; if all
+        // frontiers are empty, restart from an unassigned vertex.
+        unsigned best = parts;
+        for (unsigned p = 0; p < parts; ++p) {
+            if (frontier[p].empty())
+                continue;
+            if (best == parts || sizes[p] < sizes[best])
+                best = p;
+        }
+        if (best == parts) {
+            while (scan < V && out.partition[scan] != ~0u)
+                ++scan;
+            if (scan >= V)
+                break;
+            unsigned smallest = 0;
+            for (unsigned p = 1; p < parts; ++p) {
+                if (sizes[p] < sizes[smallest])
+                    smallest = p;
+            }
+            out.partition[scan] = smallest;
+            ++sizes[smallest];
+            ++assigned;
+            frontier[smallest].push_back(scan);
+            continue;
+        }
+
+        const std::uint32_t v = frontier[best].front();
+        frontier[best].pop_front();
+        for (std::uint32_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+            const std::uint32_t w = g.edges[e];
+            if (out.partition[w] == ~0u) {
+                out.partition[w] = best;
+                ++sizes[best];
+                ++assigned;
+                frontier[best].push_back(w);
+            }
+        }
+    }
+
+    // Relabel order: concatenate partitions, preserving id order within
+    // a partition (keeps spatial graphs spatially sorted).
+    out.order.reserve(V);
+    out.starts.assign(parts + 1, 0);
+    for (unsigned p = 0; p < parts; ++p) {
+        out.starts[p] = static_cast<std::uint32_t>(out.order.size());
+        for (std::uint32_t v = 0; v < V; ++v) {
+            if (out.partition[v] == p)
+                out.order.push_back(v);
+        }
+    }
+    out.starts[parts] = V;
+    return out;
+}
+
+double
+Partitioning::edgeCut(const Graph &g) const
+{
+    if (g.numEdges() == 0)
+        return 0.0;
+    std::uint64_t cut = 0;
+    for (std::uint32_t v = 0; v < g.num_vertices; ++v) {
+        for (std::uint32_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+            if (partition[v] != partition[g.edges[e]])
+                ++cut;
+        }
+    }
+    return static_cast<double>(cut) / static_cast<double>(g.numEdges());
+}
+
+} // namespace rnr

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Balanced locality-aware graph partitioner — the METIS stand-in for the
+ * paper's 4-way SPMD partitioning (see DESIGN.md "Substitutions").
+ *
+ * Uses multi-seed BFS region growing: each partition grows from a seed in
+ * rounds, always expanding the currently smallest partition along the
+ * frontier, which (like METIS's objective) keeps partitions balanced and
+ * edge-cut low for graphs with any community or spatial structure.
+ */
+#ifndef RNR_WORKLOADS_PARTITION_H
+#define RNR_WORKLOADS_PARTITION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/graph.h"
+
+namespace rnr {
+
+/** Vertex-range assignment after relabelling. */
+struct Partitioning {
+    /** partition[v_old] = owning part of original vertex v_old. */
+    std::vector<std::uint32_t> partition;
+    /** order[i] = original id of new vertex i (part-contiguous). */
+    std::vector<std::uint32_t> order;
+    /** New-id range [starts[p], starts[p+1]) belongs to part p. */
+    std::vector<std::uint32_t> starts;
+
+    /** Fraction of edges crossing partitions (quality probe). */
+    double edgeCut(const Graph &g) const;
+};
+
+/** Partitions @p g into @p parts balanced BFS regions. */
+Partitioning partitionGraph(const Graph &g, unsigned parts);
+
+} // namespace rnr
+
+#endif // RNR_WORKLOADS_PARTITION_H

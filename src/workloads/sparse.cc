@@ -1,0 +1,98 @@
+#include "workloads/sparse.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rnr {
+
+SparseMatrix
+SparseMatrix::fromPattern(
+    std::uint32_t n,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> entries)
+{
+    // Mirror to make the pattern symmetric, drop the diagonal (added
+    // explicitly below) and deduplicate.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> sym;
+    sym.reserve(entries.size() * 2);
+    for (auto [i, j] : entries) {
+        assert(i < n && j < n);
+        if (i == j)
+            continue;
+        sym.emplace_back(i, j);
+        sym.emplace_back(j, i);
+    }
+    std::sort(sym.begin(), sym.end());
+    sym.erase(std::unique(sym.begin(), sym.end()), sym.end());
+
+    SparseMatrix m;
+    m.n = n;
+    m.row_ptr.assign(n + 1, 0);
+    for (auto [i, j] : sym) {
+        (void)j;
+        ++m.row_ptr[i + 1];
+    }
+    // +1 per row for the diagonal.
+    for (std::uint32_t i = 0; i < n; ++i)
+        m.row_ptr[i + 1] += m.row_ptr[i] + 1;
+
+    m.col.resize(m.row_ptr[n]);
+    m.val.resize(m.row_ptr[n]);
+    std::vector<std::uint32_t> cursor(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        cursor[i] = m.row_ptr[i];
+    std::vector<std::uint32_t> offdiag_count(n, 0);
+
+    std::size_t k = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        bool placed_diag = false;
+        while (k < sym.size() && sym[k].first == i) {
+            const std::uint32_t j = sym[k].second;
+            if (!placed_diag && j > i) {
+                m.col[cursor[i]] = i;
+                ++cursor[i];
+                placed_diag = true;
+            }
+            m.col[cursor[i]] = j;
+            m.val[cursor[i]] = -1.0;
+            ++cursor[i];
+            ++offdiag_count[i];
+            ++k;
+        }
+        if (!placed_diag) {
+            m.col[cursor[i]] = i;
+            ++cursor[i];
+        }
+    }
+    // Diagonal dominance: d_ii = (#offdiag) + 1.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        for (std::uint32_t e = m.row_ptr[i]; e < m.row_ptr[i + 1]; ++e) {
+            if (m.col[e] == i)
+                m.val[e] = offdiag_count[i] + 1.0;
+        }
+    }
+    return m;
+}
+
+void
+SparseMatrix::multiply(const std::vector<double> &x,
+                       std::vector<double> &y) const
+{
+    assert(x.size() == n);
+    y.assign(n, 0.0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (std::uint32_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e)
+            acc += val[e] * x[col[e]];
+        y[i] = acc;
+    }
+}
+
+std::uint64_t
+SparseMatrix::bytes() const
+{
+    return row_ptr.size() * sizeof(std::uint32_t) +
+           col.size() * sizeof(std::uint32_t) +
+           val.size() * sizeof(double);
+}
+
+} // namespace rnr

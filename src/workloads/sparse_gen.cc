@@ -1,0 +1,142 @@
+#include "workloads/sparse_gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace rnr {
+
+SparseMatrix
+makeStencilMatrix(std::uint32_t nx, std::uint32_t ny, std::uint32_t nz)
+{
+    const std::uint32_t n = nx * ny * nz;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
+    entries.reserve(std::uint64_t{n} * 3);
+    auto id = [nx, ny](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+        return (z * ny + y) * nx + x;
+    };
+    for (std::uint32_t z = 0; z < nz; ++z) {
+        for (std::uint32_t y = 0; y < ny; ++y) {
+            for (std::uint32_t x = 0; x < nx; ++x) {
+                const std::uint32_t v = id(x, y, z);
+                if (x + 1 < nx)
+                    entries.emplace_back(v, id(x + 1, y, z));
+                if (y + 1 < ny)
+                    entries.emplace_back(v, id(x, y + 1, z));
+                if (z + 1 < nz)
+                    entries.emplace_back(v, id(x, y, z + 1));
+            }
+        }
+    }
+    return SparseMatrix::fromPattern(n, std::move(entries));
+}
+
+SparseMatrix
+makeBandedScatterMatrix(std::uint32_t n, std::uint32_t band_halfwidth,
+                        std::uint32_t per_row, double scatter_fraction,
+                        std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
+    entries.reserve(std::uint64_t{n} * per_row);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        for (std::uint32_t k = 0; k < per_row; ++k) {
+            std::uint32_t j;
+            if (rng.uniform() < scatter_fraction) {
+                j = static_cast<std::uint32_t>(rng.below(n));
+            } else {
+                const std::int64_t d =
+                    static_cast<std::int64_t>(
+                        rng.below(2 * band_halfwidth + 1)) -
+                    band_halfwidth;
+                const std::int64_t jj = static_cast<std::int64_t>(i) + d;
+                if (jj < 0 || jj >= static_cast<std::int64_t>(n))
+                    continue;
+                j = static_cast<std::uint32_t>(jj);
+            }
+            if (j != i)
+                entries.emplace_back(i, j);
+        }
+    }
+    return SparseMatrix::fromPattern(n, std::move(entries));
+}
+
+SparseMatrix
+makeKktMatrix(std::uint32_t n, std::uint32_t block, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
+    const std::uint32_t half = n / 2;
+    // Hessian block: banded couplings among the first half.
+    for (std::uint32_t i = 0; i < half; ++i) {
+        for (std::uint32_t k = 1; k <= 3; ++k) {
+            if (i + k < half)
+                entries.emplace_back(i, i + k);
+        }
+        // Block-local dense coupling.
+        const std::uint32_t b = (i / block) * block;
+        for (std::uint32_t k = 0; k < 4; ++k) {
+            const std::uint32_t j =
+                b + static_cast<std::uint32_t>(rng.below(block));
+            if (j < half && j != i)
+                entries.emplace_back(i, j);
+        }
+    }
+    // Constraint block: each constraint row couples to a few scattered
+    // primal variables (the far-away "arrow" structure).
+    for (std::uint32_t i = half; i < n; ++i) {
+        for (std::uint32_t k = 0; k < 6; ++k) {
+            const std::uint32_t j =
+                static_cast<std::uint32_t>(rng.below(half));
+            entries.emplace_back(i, j);
+        }
+    }
+    return SparseMatrix::fromPattern(n, std::move(entries));
+}
+
+SparseMatrix
+makeClusteredMatrix(std::uint32_t n, std::uint32_t cluster,
+                    std::uint32_t per_row, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
+    entries.reserve(std::uint64_t{n} * per_row);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t b = (i / cluster) * cluster;
+        const std::uint32_t span = std::min(cluster, n - b);
+        for (std::uint32_t k = 0; k < per_row; ++k) {
+            std::uint32_t j;
+            if (rng.uniform() < 0.85) {
+                j = b + static_cast<std::uint32_t>(rng.below(span));
+            } else {
+                j = static_cast<std::uint32_t>(rng.below(n));
+            }
+            if (j != i)
+                entries.emplace_back(i, j);
+        }
+    }
+    return SparseMatrix::fromPattern(n, std::move(entries));
+}
+
+std::vector<std::string>
+matrixInputNames()
+{
+    return {"atmosmodj", "bbmat", "nlpkkt80", "pdb1HYS"};
+}
+
+MatrixInput
+makeMatrixInput(const std::string &name)
+{
+    if (name == "atmosmodj")
+        return {name, makeStencilMatrix(32, 32, 48)};
+    if (name == "bbmat")
+        return {name, makeBandedScatterMatrix(40000, 96, 16, 0.25)};
+    if (name == "nlpkkt80")
+        return {name, makeKktMatrix(52000, 16)};
+    if (name == "pdb1HYS")
+        return {name, makeClusteredMatrix(36000, 128, 28)};
+    throw std::invalid_argument("unknown matrix input: " + name);
+}
+
+} // namespace rnr

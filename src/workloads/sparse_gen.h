@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Synthetic sparse-matrix generators standing in for the paper's
+ * SuiteSparse inputs (see DESIGN.md "Substitutions").  Each reproduces
+ * the sparsity *character* of its namesake:
+ *
+ *  - atmosmodj — 3-D atmospheric model: 7-point stencil, tightly banded,
+ *                excellent column locality.
+ *  - bbmat     — CFD Beam-Warming matrix: moderate bandwidth with
+ *                scattered off-band entries.
+ *  - nlpkkt80  — KKT optimisation system: 2x2 block structure plus
+ *                far-away constraint coupling (arrow-ish), mixed
+ *                locality.
+ *  - pdb1HYS   — protein structure: dense clusters (residue contact
+ *                blocks) with long-range contacts, high nnz/row.
+ */
+#ifndef RNR_WORKLOADS_SPARSE_GEN_H
+#define RNR_WORKLOADS_SPARSE_GEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/sparse.h"
+
+namespace rnr {
+
+SparseMatrix makeStencilMatrix(std::uint32_t nx, std::uint32_t ny,
+                               std::uint32_t nz);
+SparseMatrix makeBandedScatterMatrix(std::uint32_t n,
+                                     std::uint32_t band_halfwidth,
+                                     std::uint32_t per_row,
+                                     double scatter_fraction,
+                                     std::uint64_t seed = 21);
+SparseMatrix makeKktMatrix(std::uint32_t n, std::uint32_t block,
+                           std::uint64_t seed = 22);
+SparseMatrix makeClusteredMatrix(std::uint32_t n,
+                                 std::uint32_t cluster,
+                                 std::uint32_t per_row,
+                                 std::uint64_t seed = 23);
+
+/** One named matrix input of the evaluation. */
+struct MatrixInput {
+    std::string name;
+    SparseMatrix matrix;
+};
+
+/** The four Table III matrix inputs at the scaled sizes. */
+std::vector<std::string> matrixInputNames();
+MatrixInput makeMatrixInput(const std::string &name);
+
+} // namespace rnr
+
+#endif // RNR_WORKLOADS_SPARSE_GEN_H

@@ -1,0 +1,25 @@
+#include "workloads/workload.h"
+
+#include <cassert>
+
+namespace rnr {
+
+Workload::Workload(WorkloadOptions opts) : opts_(opts)
+{
+    for (unsigned c = 0; c < opts_.cores; ++c) {
+        tracers_.push_back(std::make_unique<Tracer>(nullptr));
+        runtimes_.push_back(std::make_unique<RnrRuntime>(
+            tracers_.back().get(), &space_, "core" + std::to_string(c),
+            opts_.use_rnr));
+    }
+}
+
+void
+Workload::retargetAll(std::vector<TraceBuffer> &bufs)
+{
+    assert(bufs.size() == opts_.cores);
+    for (unsigned c = 0; c < opts_.cores; ++c)
+        tracers_[c]->retarget(&bufs[c]);
+}
+
+} // namespace rnr

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/replay_control.h"
+
+namespace rnr {
+namespace {
+
+/**
+ * The paper's Fig 5 example: window size 3; window 1 spans 6 reads with
+ * 3 misses (50% miss ratio), window 2 spans 9 reads with 3 misses
+ * (33.3%).  Division table stores cumulative reads at window ends.
+ */
+const std::vector<std::uint64_t> kFig5Division = {6, 15};
+
+TEST(ReplayControlTest, NoControlIssuesFixedBursts)
+{
+    ReplayController rc(ReplayControlMode::None, 3, /*degree=*/4);
+    rc.beginReplay(&kFig5Division, 6);
+    EXPECT_EQ(rc.initialBurst(), 6u); // min(2*degree, total)
+    // Every read requests another burst regardless of progress.
+    EXPECT_EQ(rc.onStructRead(1, 6), 0u); // already all issued
+    rc.beginReplay(&kFig5Division, 100);
+    EXPECT_EQ(rc.onStructRead(1, 8), 4u);
+    EXPECT_EQ(rc.onStructRead(2, 12), 4u);
+}
+
+TEST(ReplayControlTest, WindowControlMatchesFig5Timeline)
+{
+    ReplayController rc(ReplayControlMode::Window, 3);
+    rc.beginReplay(&kFig5Division, 6);
+    // At replay start windows 0 and 1 (all 6 entries) may be resident.
+    EXPECT_EQ(rc.initialBurst(), 6u);
+    // Reads 1..5: still inside window 0 (div[0] = 6): budget unchanged.
+    for (std::uint64_t read = 1; read <= 5; ++read)
+        EXPECT_EQ(rc.onStructRead(read, 6), 0u) << read;
+    EXPECT_EQ(rc.currentWindow(), 0u);
+    // Read 6 completes window 0.
+    rc.onStructRead(6, 6);
+    EXPECT_EQ(rc.currentWindow(), 1u);
+}
+
+TEST(ReplayControlTest, WindowBudgetGrowsByWholeWindows)
+{
+    const std::vector<std::uint64_t> div = {10, 20, 30, 40};
+    ReplayController rc(ReplayControlMode::Window, 4);
+    rc.beginReplay(&div, 16);
+    EXPECT_EQ(rc.initialBurst(), 8u); // windows 0 and 1
+    // Crossing div[0]=10 unlocks window 2's four entries.
+    EXPECT_EQ(rc.onStructRead(10, 8), 4u);
+    // Crossing div[1]=20 unlocks window 3.
+    EXPECT_EQ(rc.onStructRead(20, 12), 4u);
+}
+
+TEST(ReplayControlTest, PaceComputedFromDivisionTable)
+{
+    ReplayController rc(ReplayControlMode::WindowPace, 3);
+    rc.beginReplay(&kFig5Division, 6);
+    // Window 0: 6 reads / 3 entries -> one prefetch per 2 reads.
+    EXPECT_EQ(rc.pace(), 2u);
+    // Advance into window 1: 9 reads / 3 entries -> pace 3.
+    rc.onStructRead(6, 6);
+    EXPECT_EQ(rc.pace(), 3u);
+}
+
+TEST(ReplayControlTest, PacedIssueTracksConsumption)
+{
+    const std::vector<std::uint64_t> div = {100, 200};
+    ReplayController rc(ReplayControlMode::WindowPace, 50);
+    rc.beginReplay(&div, 100);
+    std::uint64_t issued = rc.initialBurst();
+    EXPECT_LE(issued, ReplayController::kPaceLookahead);
+    // Walk the reads; issuance must stay within lookahead of the
+    // interpolated consumption and never exceed the window budget.
+    for (std::uint64_t read = 1; read <= 200; ++read) {
+        issued += rc.onStructRead(read, issued);
+        const std::uint64_t consumed_upper = read; // <= 1 entry per read
+        EXPECT_LE(issued,
+                  consumed_upper + ReplayController::kPaceLookahead);
+    }
+    EXPECT_EQ(issued, 100u); // everything eventually issues
+}
+
+TEST(ReplayControlTest, BudgetNeverExceedsTotalEntries)
+{
+    const std::vector<std::uint64_t> div = {4, 8};
+    ReplayController rc(ReplayControlMode::Window, 4);
+    rc.beginReplay(&div, 5); // partial tail window
+    EXPECT_EQ(rc.initialBurst(), 5u);
+    EXPECT_EQ(rc.onStructRead(100, 5), 0u);
+}
+
+TEST(ReplayControlTest, EmptyDivisionTableIsSafe)
+{
+    const std::vector<std::uint64_t> empty;
+    ReplayController rc(ReplayControlMode::WindowPace, 8);
+    rc.beginReplay(&empty, 0);
+    EXPECT_EQ(rc.initialBurst(), 0u);
+    EXPECT_EQ(rc.onStructRead(1, 0), 0u);
+}
+
+TEST(ReplayControlTest, WindowSizeCanBeAdoptedLate)
+{
+    ReplayController rc(ReplayControlMode::Window, 999);
+    rc.setWindowSize(3);
+    rc.beginReplay(&kFig5Division, 6);
+    EXPECT_EQ(rc.initialBurst(), 6u);
+}
+
+/** Property: cumulative issuance is monotonic and bounded. */
+class ReplayModeTest
+    : public ::testing::TestWithParam<ReplayControlMode>
+{
+};
+
+TEST_P(ReplayModeTest, IssuanceMonotonicAndBounded)
+{
+    std::vector<std::uint64_t> div;
+    for (int w = 1; w <= 20; ++w)
+        div.push_back(w * 30);
+    ReplayController rc(GetParam(), 10);
+    rc.beginReplay(&div, 200);
+    std::uint64_t issued = std::min<std::uint64_t>(rc.initialBurst(), 200);
+    for (std::uint64_t read = 1; read <= 600; ++read) {
+        const std::uint64_t more = rc.onStructRead(read, issued);
+        issued += more;
+        ASSERT_LE(issued, 200u);
+    }
+    if (GetParam() != ReplayControlMode::None) {
+        EXPECT_EQ(issued, 200u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ReplayModeTest,
+                         ::testing::Values(ReplayControlMode::None,
+                                           ReplayControlMode::Window,
+                                           ReplayControlMode::WindowPace));
+
+} // namespace
+} // namespace rnr

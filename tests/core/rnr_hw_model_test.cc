@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "core/rnr_hw_model.h"
+#include "core/rnr_prefetcher.h"
+
+namespace rnr {
+namespace {
+
+TEST(HwModelTest, TotalStateUnderOneKilobyte)
+{
+    const RnrHwCost c = computeRnrHwCost();
+    // Section VII-B: "less than 1 KB for each core".
+    EXPECT_LT(c.total_bytes, 1024u);
+    EXPECT_GT(c.total_bytes, 256u); // two 128 B buffers alone
+}
+
+TEST(HwModelTest, ContextSwitchBytesNearPaper)
+{
+    const RnrHwCost c = computeRnrHwCost();
+    EXPECT_NEAR(static_cast<double>(c.context_switch_bytes), 86.5, 2.0);
+    EXPECT_EQ(c.context_switch_bytes,
+              RnrPrefetcher::contextSwitchBytes());
+}
+
+TEST(HwModelTest, BitTotalsMatchRegisterList)
+{
+    const RnrHwCost c = computeRnrHwCost();
+    std::uint64_t arch = 0, internal = 0;
+    for (const auto &r : c.registers)
+        (r.architectural ? arch : internal) += r.bits;
+    EXPECT_EQ(arch, c.arch_state_bits);
+    EXPECT_EQ(internal, c.internal_state_bits);
+}
+
+TEST(HwModelTest, AreaIsNegligibleFractionOfChip)
+{
+    const RnrHwCost c = computeRnrHwCost();
+    // Section VII-B: < 0.01% of the 46.19 mm^2 die.
+    EXPECT_LT(c.chip_fraction, 0.0001);
+    EXPECT_GT(c.area_mm2_22nm, 0.0);
+}
+
+TEST(HwModelTest, DescribeListsEveryRegister)
+{
+    const RnrHwCost c = computeRnrHwCost();
+    const std::string d = c.describe();
+    for (const auto &r : c.registers)
+        EXPECT_NE(d.find(r.name), std::string::npos) << r.name;
+}
+
+} // namespace
+} // namespace rnr

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "core/rnr_state.h"
+
+namespace rnr {
+namespace {
+
+TEST(RnrStateTest, BoundaryContainsRespectsEnableAndRange)
+{
+    BoundaryEntry b;
+    b.base = 0x1000;
+    b.size = 0x100;
+    EXPECT_FALSE(b.contains(0x1000)); // invalid
+    b.valid = true;
+    EXPECT_FALSE(b.contains(0x1000)); // disabled
+    b.enabled = true;
+    EXPECT_TRUE(b.contains(0x1000));
+    EXPECT_TRUE(b.contains(0x10FF));
+    EXPECT_FALSE(b.contains(0x1100));
+    EXPECT_FALSE(b.contains(0xFFF));
+}
+
+TEST(RnrStateTest, SeqEntryRoundTrips)
+{
+    const SeqEntry e = SeqEntry::make(1, 12345);
+    EXPECT_EQ(e.slot(), 1u);
+    EXPECT_EQ(e.blockOffset(), 12345u);
+}
+
+TEST(RnrStateTest, SeqEntryIsTwoBytes)
+{
+    // Fig 4 annotates the staging buffer as 128 x 2 B entries.
+    EXPECT_EQ(sizeof(SeqEntry), 2u);
+    EXPECT_EQ(kSeqEntryBytes, 2u);
+    EXPECT_EQ(kMetaBufferBytes, 128u);
+}
+
+class SeqEntrySweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::uint64_t>>
+{
+};
+
+TEST_P(SeqEntrySweep, PackUnpackIdentity)
+{
+    const auto [slot, offset] = GetParam();
+    const SeqEntry e = SeqEntry::make(slot, offset);
+    EXPECT_EQ(e.slot(), slot);
+    EXPECT_EQ(e.blockOffset(), offset);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, SeqEntrySweep,
+    ::testing::Combine(::testing::Values(0u, 1u),
+                       ::testing::Values(std::uint64_t{0}, 1, 255, 4096,
+                                         SeqEntry::kMaxOffset)));
+
+TEST(RnrStateTest, DefaultArchStateIsIdle)
+{
+    RnrArchState s;
+    EXPECT_EQ(s.state, RnrState::Idle);
+    for (const auto &b : s.boundaries) {
+        EXPECT_FALSE(b.valid);
+        EXPECT_FALSE(b.enabled);
+    }
+}
+
+} // namespace
+} // namespace rnr

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "cpu/system.h"
+#include "test_util.h"
+
+namespace rnr {
+namespace {
+
+MachineConfig
+twoCores()
+{
+    MachineConfig m = test::tinyMachine();
+    m.cores = 2;
+    return m;
+}
+
+TEST(SystemTest, RunsAllCoresToCompletion)
+{
+    System sys(twoCores());
+    TraceBuffer t0, t1;
+    for (int i = 0; i < 100; ++i) {
+        t0.push(TraceRecord::load(0x10000 + Addr(i) * 64, 1, 2));
+        t1.push(TraceRecord::load(0x90000 + Addr(i) * 64, 2, 2));
+    }
+    IterationResult r = sys.run({&t0, &t1});
+    EXPECT_TRUE(sys.core(0).done());
+    EXPECT_TRUE(sys.core(1).done());
+    EXPECT_EQ(r.instructions, t0.instructions() + t1.instructions());
+    EXPECT_GT(r.cycles(), 0u);
+}
+
+TEST(SystemTest, EmptyTracesAreLegal)
+{
+    System sys(twoCores());
+    TraceBuffer t0, t1;
+    IterationResult r = sys.run({&t0, &t1});
+    EXPECT_EQ(r.instructions, 0u);
+}
+
+TEST(SystemTest, BarrierSynchronisesIterations)
+{
+    System sys(twoCores());
+    TraceBuffer big, small;
+    for (int i = 0; i < 500; ++i)
+        big.push(TraceRecord::load(0x10000 + Addr(i) * 64, 1, 8));
+    small.push(TraceRecord::load(0x90000, 2, 0));
+
+    IterationResult first = sys.run({&big, &small});
+    // The next iteration starts at the barrier: both cores' clocks are
+    // at least the previous max finish.
+    IterationResult second = sys.run({&small, &big});
+    EXPECT_GE(second.start, first.end);
+}
+
+TEST(SystemTest, SharedResourcesCoupleCores)
+{
+    // Two cores hammering the same DRAM finish later than one core
+    // doing half the work alone.
+    MachineConfig m = twoCores();
+    System both(m);
+    TraceBuffer a, b;
+    for (int i = 0; i < 2000; ++i) {
+        a.push(TraceRecord::load(0x100000 + Addr(i * 37 % 4096) * 64, 1, 1));
+        b.push(TraceRecord::load(0x900000 + Addr(i * 53 % 4096) * 64, 2, 1));
+    }
+    IterationResult rb = both.run({&a, &b});
+
+    System alone(m);
+    TraceBuffer empty;
+    IterationResult ra = alone.run({&a, &empty});
+    EXPECT_GT(rb.cycles(), ra.cycles());
+}
+
+TEST(SystemTest, IterationCyclesAreMaxAcrossCores)
+{
+    System sys(twoCores());
+    TraceBuffer t0, t1;
+    for (int i = 0; i < 300; ++i)
+        t0.push(TraceRecord::load(0x10000 + Addr(i) * 64, 1, 4));
+    t1.push(TraceRecord::load(0x90000, 2, 0));
+    IterationResult r = sys.run({&t0, &t1});
+    EXPECT_GE(r.end, sys.core(0).finishTime());
+    EXPECT_GE(r.end, sys.core(1).finishTime());
+}
+
+} // namespace
+} // namespace rnr

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "harness/metrics.h"
+
+namespace rnr {
+namespace {
+
+ExperimentResult
+makeResult(Tick first_cycles, Tick steady_cycles)
+{
+    ExperimentResult r;
+    IterStats a, b;
+    a.cycles = first_cycles;
+    a.instructions = 1000000;
+    b.cycles = steady_cycles;
+    b.instructions = 1000000;
+    r.iterations = {a, b};
+    return r;
+}
+
+TEST(MetricsTest, AmortizedCyclesWeightsSteadyState)
+{
+    ExperimentResult r = makeResult(200, 100);
+    EXPECT_DOUBLE_EQ(amortizedCycles(r, 100), 200 + 99 * 100.0);
+    EXPECT_DOUBLE_EQ(amortizedCycles(r, 1), 200.0);
+}
+
+TEST(MetricsTest, SpeedupIsBaselineOverConfig)
+{
+    ExperimentResult base = makeResult(1000, 1000);
+    ExperimentResult fast = makeResult(1200, 400);
+    // Amortised: (1000*100) / (1200 + 99*400) = 100000 / 40800.
+    EXPECT_NEAR(speedup(fast, base, 100), 100000.0 / 40800.0, 1e-9);
+}
+
+TEST(MetricsTest, MpkiUsesSteadyIteration)
+{
+    ExperimentResult r = makeResult(100, 100);
+    r.iterations.back().l2_demand_misses = 5000;
+    EXPECT_DOUBLE_EQ(mpki(r), 5.0);
+}
+
+TEST(MetricsTest, CoverageAgainstBaselineMisses)
+{
+    ExperimentResult base = makeResult(100, 100);
+    base.iterations.back().l2_demand_misses = 1000;
+    ExperimentResult r = makeResult(100, 100);
+    r.iterations.back().pf_useful = 800;
+    r.iterations.back().pf_late_merged = 100;
+    EXPECT_DOUBLE_EQ(coverage(r, base), 0.9);
+}
+
+TEST(MetricsTest, CoverageClampedToOne)
+{
+    ExperimentResult base = makeResult(100, 100);
+    base.iterations.back().l2_demand_misses = 10;
+    ExperimentResult r = makeResult(100, 100);
+    r.iterations.back().pf_useful = 500;
+    EXPECT_DOUBLE_EQ(coverage(r, base), 1.0);
+}
+
+TEST(MetricsTest, AccuracyIsUsefulOverIssued)
+{
+    ExperimentResult r = makeResult(100, 100);
+    r.iterations.back().pf_issued = 1000;
+    r.iterations.back().pf_useful = 950;
+    r.iterations.back().pf_late_merged = 25;
+    EXPECT_DOUBLE_EQ(accuracy(r), 0.975);
+}
+
+TEST(MetricsTest, AccuracyZeroWhenNothingIssued)
+{
+    ExperimentResult r = makeResult(100, 100);
+    EXPECT_DOUBLE_EQ(accuracy(r), 0.0);
+}
+
+TEST(MetricsTest, TrafficOverheadRelativeToBaseline)
+{
+    ExperimentResult base = makeResult(100, 100);
+    base.iterations.back().dram_bytes_total = 1000;
+    ExperimentResult r = makeResult(100, 100);
+    r.iterations.back().dram_bytes_total = 1120;
+    EXPECT_NEAR(trafficOverhead(r, base), 0.12, 1e-12);
+}
+
+TEST(MetricsTest, StorageOverheadVsInput)
+{
+    ExperimentResult r = makeResult(100, 100);
+    r.input_bytes = 1000;
+    r.seq_table_bytes = 110;
+    r.div_table_bytes = 10;
+    EXPECT_DOUBLE_EQ(storageOverhead(r), 0.12);
+}
+
+TEST(MetricsTest, RecordOverheadComparesFirstIterations)
+{
+    ExperimentResult base = makeResult(1000, 500);
+    ExperimentResult r = makeResult(1010, 400);
+    EXPECT_NEAR(recordOverhead(r, base), 0.01, 1e-12);
+}
+
+TEST(MetricsTest, TimelinessSharesSumToOne)
+{
+    ExperimentResult r = makeResult(100, 100);
+    IterStats &it = r.iterations.back();
+    it.rnr_ontime = 90;
+    it.rnr_early = 5;
+    it.rnr_late = 3;
+    it.rnr_out_of_window = 2;
+    const TimelinessBreakdown b = timeliness(r);
+    EXPECT_DOUBLE_EQ(b.ontime, 0.90);
+    EXPECT_DOUBLE_EQ(b.early, 0.05);
+    EXPECT_DOUBLE_EQ(b.late, 0.03);
+    EXPECT_DOUBLE_EQ(b.out_of_window, 0.02);
+    EXPECT_NEAR(b.ontime + b.early + b.late + b.out_of_window, 1.0,
+                1e-12);
+}
+
+TEST(MetricsTest, GeomeanOfKnownValues)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({3.0, 3.0, 3.0}), 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+} // namespace
+} // namespace rnr

@@ -1,0 +1,112 @@
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+
+namespace rnr {
+namespace {
+
+struct RunnerFixture : ::testing::Test {
+    static void
+    SetUpTestSuite()
+    {
+        // Keep tests hermetic: no file-cache reads or writes.
+        setenv("RNR_CACHE", "0", 1);
+    }
+};
+
+TEST_F(RunnerFixture, ConfigKeyDistinguishesDimensions)
+{
+    ExperimentConfig a, b;
+    EXPECT_EQ(a.key(), b.key());
+    b.prefetcher = PrefetcherKind::Rnr;
+    EXPECT_NE(a.key(), b.key());
+    b = a;
+    b.window_size = 128;
+    EXPECT_NE(a.key(), b.key());
+    b = a;
+    b.ideal_llc = true;
+    EXPECT_NE(a.key(), b.key());
+}
+
+TEST_F(RunnerFixture, MakeWorkloadKnowsAllApps)
+{
+    for (const char *app : {"pagerank", "hyperanf"}) {
+        ExperimentConfig cfg;
+        cfg.app = app;
+        cfg.input = "amazon";
+        EXPECT_NE(makeWorkload(cfg), nullptr) << app;
+    }
+    ExperimentConfig cg;
+    cg.app = "spcg";
+    cg.input = "pdb1HYS";
+    EXPECT_NE(makeWorkload(cg), nullptr);
+}
+
+TEST_F(RunnerFixture, UnknownAppThrows)
+{
+    ExperimentConfig cfg;
+    cfg.app = "bogus";
+    EXPECT_THROW(makeWorkload(cfg), std::invalid_argument);
+}
+
+TEST_F(RunnerFixture, ExperimentProducesPerIterationStats)
+{
+    ExperimentConfig cfg;
+    cfg.app = "pagerank";
+    cfg.input = "amazon";
+    cfg.iterations = 2;
+    const ExperimentResult r = runExperiment(cfg);
+    ASSERT_EQ(r.iterations.size(), 2u);
+    for (const IterStats &it : r.iterations) {
+        EXPECT_GT(it.cycles, 0u);
+        EXPECT_GT(it.instructions, 0u);
+        EXPECT_GT(it.l2_accesses, 0u);
+        EXPECT_GT(it.dram_bytes_total, 0u);
+    }
+    EXPECT_GT(r.input_bytes, 0u);
+    EXPECT_GT(r.target_bytes, 0u);
+}
+
+TEST_F(RunnerFixture, InProcessCacheReturnsIdenticalResult)
+{
+    ExperimentConfig cfg;
+    cfg.app = "pagerank";
+    cfg.input = "amazon";
+    cfg.iterations = 2;
+    const ExperimentResult a = runExperiment(cfg);
+    const ExperimentResult b = runExperiment(cfg);
+    ASSERT_EQ(a.iterations.size(), b.iterations.size());
+    EXPECT_EQ(a.steady().cycles, b.steady().cycles);
+    EXPECT_EQ(a.steady().l2_demand_misses, b.steady().l2_demand_misses);
+}
+
+TEST_F(RunnerFixture, RnrRunRecordsMetadata)
+{
+    ExperimentConfig cfg;
+    cfg.app = "pagerank";
+    cfg.input = "amazon";
+    cfg.iterations = 2;
+    cfg.prefetcher = PrefetcherKind::Rnr;
+    const ExperimentResult r = runExperiment(cfg);
+    EXPECT_GT(r.seq_table_bytes, 0u);
+    EXPECT_GT(r.div_table_bytes, 0u);
+    EXPECT_GT(r.first().rnr_recorded, 0u);
+    EXPECT_GT(r.steady().pf_issued, 0u);
+}
+
+TEST_F(RunnerFixture, RunBaselineStripsPrefetcher)
+{
+    ExperimentConfig cfg;
+    cfg.app = "pagerank";
+    cfg.input = "amazon";
+    cfg.iterations = 2;
+    cfg.prefetcher = PrefetcherKind::Rnr;
+    const ExperimentResult base = runBaseline(cfg);
+    EXPECT_EQ(base.config.prefetcher, PrefetcherKind::None);
+    EXPECT_EQ(base.steady().pf_issued, 0u);
+}
+
+} // namespace
+} // namespace rnr

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Cross-module invariants checked over randomized runs:
+ *  - timing sanity (completions never precede requests; iteration times
+ *    are monotone in issue width),
+ *  - conservation (every DRAM byte is attributed to exactly one origin;
+ *    prefetch counters balance),
+ *  - semantic transparency (prefetchers never change workload results).
+ */
+#include <gtest/gtest.h>
+
+#include "cpu/system.h"
+#include "sim/rng.h"
+#include "test_util.h"
+#include "workloads/jacobi.h"
+#include "workloads/labelprop.h"
+#include "workloads/graph_gen.h"
+#include "workloads/sparse_gen.h"
+
+namespace rnr {
+namespace {
+
+TEST(InvariantsTest, CompletionNeverPrecedesRequest)
+{
+    MemorySystem ms(test::tinyMachine());
+    Rng rng(5);
+    Tick now = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const Addr a = 0x1000000 + rng.below(1 << 18) * 8;
+        const bool write = rng.below(4) == 0;
+        const DemandResult r = ms.demandAccess(0, a, write, 1, now);
+        ASSERT_GE(r.done, now);
+        now += rng.below(20);
+    }
+}
+
+TEST(InvariantsTest, DramBytesPartitionByOrigin)
+{
+    MachineConfig m = test::tinyMachine();
+    System sys(m);
+    WorkloadOptions o;
+    o.cores = 1;
+    LabelPropWorkload wl(makeUrandGraph(4096, 8, 51), o);
+    auto pfs = test::attachPrefetchers(sys, PrefetcherKind::RnrCombined,
+                                       {}, &wl);
+    test::runWorkload(sys, wl, 3);
+
+    const Dram &d = sys.mem().dram();
+    const std::uint64_t sum = d.bytes(ReqOrigin::Demand) +
+                              d.bytes(ReqOrigin::Prefetch) +
+                              d.bytes(ReqOrigin::Metadata) +
+                              d.bytes(ReqOrigin::Writeback);
+    EXPECT_EQ(sum, d.totalBytes());
+    EXPECT_EQ(d.totalBytes(),
+              (d.stats().get("reads") + d.stats().get("writes")) *
+                  kBlockSize);
+}
+
+TEST(InvariantsTest, PrefetchCountersBalance)
+{
+    MachineConfig m = test::tinyMachine();
+    System sys(m);
+    WorkloadOptions o;
+    o.cores = 1;
+    LabelPropWorkload wl(makeUrandGraph(4096, 8, 53), o);
+    auto pfs =
+        test::attachPrefetchers(sys, PrefetcherKind::Rnr, {}, &wl);
+    test::runWorkload(sys, wl, 3);
+
+    const StatGroup &s = sys.mem().l2(0).stats();
+    // Every issued prefetch either becomes useful, is evicted unused,
+    // or is still resident/in flight at the end.
+    const std::uint64_t accounted =
+        s.get("prefetch_useful") + s.get("prefetch_evicted_unused");
+    EXPECT_LE(accounted, s.get("prefetches_issued"));
+    EXPECT_GE(accounted + 2 * m.l2.size_bytes / kBlockSize +
+                  m.l2.prefetch_queue,
+              s.get("prefetches_issued"));
+}
+
+TEST(InvariantsTest, IssueWidthMonotonicallyHelps)
+{
+    auto cycles_at = [](unsigned width) {
+        MachineConfig m = test::tinyMachine();
+        m.core.issue_width = width;
+        System sys(m);
+        WorkloadOptions o;
+        o.cores = 1;
+        LabelPropWorkload wl(makeUrandGraph(2048, 8, 57), o);
+        return test::runWorkload(sys, wl, 2).back().cycles();
+    };
+    const Tick w1 = cycles_at(1);
+    const Tick w4 = cycles_at(4);
+    const Tick w8 = cycles_at(8);
+    EXPECT_GE(w1, w4);
+    EXPECT_GE(w4, w8);
+}
+
+TEST(InvariantsTest, PrefetchersNeverChangeResults)
+{
+    auto labels_under = [](PrefetcherKind kind) {
+        MachineConfig m = test::tinyMachine();
+        m.cores = 2;
+        System sys(m);
+        WorkloadOptions o;
+        o.cores = 2;
+        LabelPropWorkload wl(makeCommunityGraph(2048, 6, 64, 0.8, 61),
+                             o);
+        auto pfs = test::attachPrefetchers(sys, kind, {}, &wl);
+        test::runWorkload(sys, wl, 6);
+        std::vector<std::uint32_t> out;
+        for (std::uint32_t v = 0; v < 2048; ++v)
+            out.push_back(wl.label(v));
+        return out;
+    };
+    const auto base = labels_under(PrefetcherKind::None);
+    for (PrefetcherKind k :
+         {PrefetcherKind::Stream, PrefetcherKind::Misb,
+          PrefetcherKind::Rnr, PrefetcherKind::RnrCombined}) {
+        EXPECT_EQ(labels_under(k), base) << toString(k);
+    }
+}
+
+TEST(InvariantsTest, JacobiMatchesDirectSolveRegardlessOfTiming)
+{
+    MachineConfig m = test::tinyMachine();
+    m.cores = 2;
+    System sys(m);
+    WorkloadOptions o;
+    o.cores = 2;
+    JacobiWorkload wl(makeStencilMatrix(5, 5, 5), o);
+    auto pfs = test::attachPrefetchers(sys, PrefetcherKind::RnrCombined);
+    test::runWorkload(sys, wl, 40);
+    for (double xi : wl.solution())
+        ASSERT_NEAR(xi, 1.0, 1e-2);
+}
+
+} // namespace
+} // namespace rnr

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+
+namespace rnr {
+namespace {
+
+CacheConfig
+smallCache(unsigned ways = 2, std::uint64_t bytes = 2 * 1024)
+{
+    CacheConfig c;
+    c.name = "T";
+    c.size_bytes = bytes; // 2 KB, 2-way -> 16 sets
+    c.ways = ways;
+    c.mshrs = 4;
+    c.latency = 4;
+    return c;
+}
+
+TEST(CacheTest, MissThenHit)
+{
+    Cache c(smallCache());
+    EXPECT_EQ(c.access(100, 0), nullptr);
+    c.insert(100, 50, false, false);
+    ASSERT_NE(c.access(100, 60), nullptr);
+    EXPECT_EQ(c.stats().get("hits"), 1u);
+    EXPECT_EQ(c.stats().get("misses"), 1u);
+}
+
+TEST(CacheTest, LruEvictsLeastRecentlyUsed)
+{
+    Cache c(smallCache(2));
+    const unsigned sets = c.config().sets();
+    // Three blocks in the same set of a 2-way cache.
+    const Addr a = 0, b = sets, d = 2 * sets;
+    c.insert(a, 0, false, false);
+    c.insert(b, 1, false, false);
+    c.access(a, 10); // make b the LRU line
+    EvictResult ev = c.insert(d, 20, false, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.block, b);
+    EXPECT_NE(c.peek(a), nullptr);
+    EXPECT_EQ(c.peek(b), nullptr);
+}
+
+TEST(CacheTest, DirtyVictimReportsWriteback)
+{
+    Cache c(smallCache(1));
+    const unsigned sets = c.config().sets();
+    c.insert(7, 0, false, /*dirty=*/true);
+    EvictResult ev = c.insert(7 + sets, 5, false, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_EQ(c.stats().get("writebacks"), 1u);
+}
+
+TEST(CacheTest, LateFillVisibleThroughFillTime)
+{
+    Cache c(smallCache());
+    c.insert(42, /*fill_time=*/500, true, false);
+    CacheLine *line = c.access(42, 100); // access before fill completes
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->fill_time, 500u);
+    EXPECT_EQ(c.stats().get("hits_on_inflight_fill"), 1u);
+}
+
+TEST(CacheTest, PrefetchUsefulCountedOnceOnFirstReference)
+{
+    Cache c(smallCache());
+    c.insert(9, 0, /*prefetched=*/true, false);
+    c.access(9, 10);
+    c.access(9, 20);
+    EXPECT_EQ(c.stats().get("prefetch_useful"), 1u);
+}
+
+TEST(CacheTest, UnreferencedPrefetchEvictionCounted)
+{
+    Cache c(smallCache(1));
+    const unsigned sets = c.config().sets();
+    c.insert(3, 0, /*prefetched=*/true, false);
+    EvictResult ev = c.insert(3 + sets, 5, false, false);
+    EXPECT_TRUE(ev.prefetched_unused);
+    EXPECT_EQ(c.stats().get("prefetch_evicted_unused"), 1u);
+}
+
+TEST(CacheTest, ReinsertResidentRefreshesEarlierFill)
+{
+    Cache c(smallCache());
+    c.insert(5, 300, false, false);
+    EvictResult ev = c.insert(5, 200, true, false);
+    EXPECT_FALSE(ev.valid);
+    EXPECT_EQ(c.peek(5)->fill_time, 200u);
+    // A later fill must not delay an earlier one.
+    c.insert(5, 900, false, false);
+    EXPECT_EQ(c.peek(5)->fill_time, 200u);
+}
+
+TEST(CacheTest, MarkDirtyOnResidentOnly)
+{
+    Cache c(smallCache());
+    c.markDirty(77, 0); // absent: no crash, no insert
+    EXPECT_EQ(c.peek(77), nullptr);
+    c.insert(77, 0, false, false);
+    c.markDirty(77, 5);
+    EXPECT_TRUE(c.peek(77)->dirty);
+}
+
+TEST(CacheTest, ResetInvalidatesEverything)
+{
+    Cache c(smallCache());
+    c.insert(1, 0, false, false);
+    c.insert(2, 0, false, false);
+    EXPECT_EQ(c.residentCount(), 2u);
+    c.reset();
+    EXPECT_EQ(c.residentCount(), 0u);
+    EXPECT_EQ(c.peek(1), nullptr);
+}
+
+TEST(CacheTest, PeekDoesNotPerturbLru)
+{
+    Cache c(smallCache(2));
+    const unsigned sets = c.config().sets();
+    const Addr a = 0, b = sets, d = 2 * sets;
+    c.insert(a, 0, false, false);
+    c.insert(b, 1, false, false);
+    c.peek(a); // must NOT refresh a's recency
+    EvictResult ev = c.insert(d, 5, false, false);
+    EXPECT_EQ(ev.block, a); // a is still the LRU line
+}
+
+/** Property: inserting N distinct blocks never exceeds capacity. */
+class CacheFillTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CacheFillTest, OccupancyBoundedByCapacity)
+{
+    Cache c(smallCache(GetParam()));
+    const std::size_t capacity =
+        c.config().sets() * static_cast<std::size_t>(c.config().ways);
+    for (Addr blk = 0; blk < 4 * capacity; ++blk)
+        c.insert(blk, 0, false, false);
+    EXPECT_EQ(c.residentCount(), capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, CacheFillTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+} // namespace
+} // namespace rnr

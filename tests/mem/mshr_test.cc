@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "mem/mshr.h"
+
+namespace rnr {
+namespace {
+
+TEST(MshrTest, InsertAndFind)
+{
+    Mshr m(4);
+    m.insert(10, 100, false);
+    ASSERT_NE(m.find(10), nullptr);
+    EXPECT_EQ(m.find(10)->fill, 100u);
+    EXPECT_EQ(m.find(11), nullptr);
+}
+
+TEST(MshrTest, PurgeDropsCompletedEntries)
+{
+    Mshr m(4);
+    m.insert(1, 50, false);
+    m.insert(2, 150, false);
+    m.purge(100);
+    EXPECT_EQ(m.find(1), nullptr);
+    EXPECT_NE(m.find(2), nullptr);
+    EXPECT_EQ(m.inFlight(), 1u);
+}
+
+TEST(MshrTest, FullAndEarliestFill)
+{
+    Mshr m(2);
+    m.insert(1, 300, false);
+    EXPECT_FALSE(m.full());
+    m.insert(2, 200, true);
+    EXPECT_TRUE(m.full());
+    EXPECT_EQ(m.earliestFill(), 200u);
+}
+
+TEST(MshrTest, PrefetchFlagStored)
+{
+    Mshr m(2);
+    m.insert(5, 100, true);
+    EXPECT_TRUE(m.find(5)->prefetch);
+}
+
+TEST(MshrTest, ClearEmpties)
+{
+    Mshr m(2);
+    m.insert(1, 10, false);
+    m.clear();
+    EXPECT_EQ(m.inFlight(), 0u);
+    EXPECT_EQ(m.find(1), nullptr);
+}
+
+} // namespace
+} // namespace rnr

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+
+namespace rnr {
+namespace {
+
+CacheConfig
+srripCache(unsigned ways = 4)
+{
+    CacheConfig c;
+    c.name = "SRRIP";
+    c.size_bytes = std::uint64_t{ways} * kBlockSize; // one set
+    c.ways = ways;
+    c.replacement = ReplacementPolicy::Srrip;
+    return c;
+}
+
+TEST(SrripTest, ReusedLinesSurviveStreamingScan)
+{
+    Cache c(srripCache(4));
+    // Two hot blocks with proven reuse.
+    c.insert(1, 0, false, false);
+    c.insert(2, 0, false, false);
+    c.access(1, 1);
+    c.access(2, 2);
+    // A streaming burst of never-reused blocks (one ageing round's
+    // worth; a longer untouched scan would age the hot lines out too —
+    // in real workloads the hot lines keep being re-referenced).
+    for (Addr b = 100; b < 104; ++b)
+        c.insert(b, 10, false, false);
+    // Under LRU the burst flushes blocks 1 and 2; SRRIP makes the scan
+    // evict itself instead.
+    EXPECT_NE(c.peek(1), nullptr);
+    EXPECT_NE(c.peek(2), nullptr);
+}
+
+TEST(SrripTest, LruCacheFlushedByTheSameScan)
+{
+    CacheConfig cfg = srripCache(4);
+    cfg.replacement = ReplacementPolicy::Lru;
+    Cache c(cfg);
+    c.insert(1, 0, false, false);
+    c.insert(2, 0, false, false);
+    c.access(1, 1);
+    c.access(2, 2);
+    for (Addr b = 100; b < 104; ++b)
+        c.insert(b, 10, false, false);
+    EXPECT_EQ(c.peek(1), nullptr);
+    EXPECT_EQ(c.peek(2), nullptr);
+}
+
+TEST(SrripTest, AgeingAlwaysFindsAVictim)
+{
+    Cache c(srripCache(2));
+    // Fill the set and make every line "near" (rrpv 0).
+    c.insert(1, 0, false, false);
+    c.insert(2, 0, false, false);
+    c.access(1, 1);
+    c.access(2, 2);
+    // Insert must still succeed by ageing the set.
+    EvictResult ev = c.insert(3, 5, false, false);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_NE(c.peek(3), nullptr);
+    EXPECT_EQ(c.residentCount(), 2u);
+}
+
+} // namespace
+} // namespace rnr

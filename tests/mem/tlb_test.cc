@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "mem/tlb.h"
+
+namespace rnr {
+namespace {
+
+TlbConfig
+cfg()
+{
+    TlbConfig t;
+    t.dtlb_entries = 4;
+    t.stlb_entries = 16;
+    t.stlb_latency = 8;
+    t.walk_latency = 60;
+    return t;
+}
+
+TEST(TlbTest, FirstAccessWalks)
+{
+    Tlb t(cfg());
+    EXPECT_EQ(t.translate(0x1000), 60u);
+    EXPECT_EQ(t.stats().get("walks"), 1u);
+}
+
+TEST(TlbTest, RepeatHitsDtlbForFree)
+{
+    Tlb t(cfg());
+    t.translate(0x1000);
+    EXPECT_EQ(t.translate(0x1400), 0u); // same page
+    EXPECT_EQ(t.stats().get("dtlb_hits"), 1u);
+}
+
+TEST(TlbTest, DtlbConflictFallsBackToStlb)
+{
+    Tlb t(cfg());
+    t.translate(0x1000);              // page 1 -> dtlb slot 1
+    t.translate((1 + 4) * 0x1000ull); // page 5 -> same dtlb slot, walks
+    // Page 1 was evicted from the DTLB but still sits in the STLB.
+    EXPECT_EQ(t.translate(0x1000), 8u);
+    EXPECT_EQ(t.stats().get("stlb_hits"), 1u);
+}
+
+TEST(TlbTest, FlushForgetsEverything)
+{
+    Tlb t(cfg());
+    t.translate(0x1000);
+    t.flush();
+    EXPECT_EQ(t.translate(0x1000), 60u);
+    EXPECT_EQ(t.stats().get("walks"), 2u);
+}
+
+} // namespace
+} // namespace rnr

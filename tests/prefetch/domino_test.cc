@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "prefetch/domino.h"
+#include "test_util.h"
+
+namespace rnr {
+namespace {
+
+struct DominoFixture : ::testing::Test {
+    DominoFixture() : ms(test::tinyMachine()) {}
+
+    void
+    misses(DominoPrefetcher &pf, const std::vector<Addr> &blocks)
+    {
+        ms.setPrefetcher(0, &pf);
+        for (Addr b : blocks) {
+            ms.demandAccess(0, b << kBlockBits, false, 1, t_);
+            t_ += 1500;
+            ms.l2(0).reset();
+            ms.l1d(0).reset();
+        }
+    }
+
+    MemorySystem ms;
+    Tick t_ = 0;
+};
+
+TEST_F(DominoFixture, PairIndexedReplay)
+{
+    DominoPrefetcher pf(1024, 2);
+    misses(pf, {10, 20, 30, 40});
+    // Re-observing the pair (10, 20) predicts 30, 40.
+    misses(pf, {10});
+    const std::uint64_t before = pf.stats().get("issued");
+    misses(pf, {20});
+    EXPECT_EQ(pf.stats().get("issued"), before + 2);
+}
+
+TEST_F(DominoFixture, DisambiguatesSharedAddress)
+{
+    // The Section II example GHB gets wrong: 9 -> 12 in one context,
+    // 9 -> 20 in another.  Domino keys on pairs, so (5, 9) predicts 12
+    // while (7, 9) predicts 20.
+    DominoPrefetcher pf(1024, 1);
+    misses(pf, {5, 9, 12, 100, 7, 9, 20, 200});
+    misses(pf, {5});
+    ms.setPrefetcher(0, &pf);
+    ms.demandAccess(0, Addr(9) << kBlockBits, false, 1, t_);
+    EXPECT_NE(ms.l2(0).peek(12), nullptr);
+    EXPECT_EQ(ms.l2(0).peek(20), nullptr);
+}
+
+TEST_F(DominoFixture, SingleMissCannotPredict)
+{
+    DominoPrefetcher pf(1024, 4);
+    misses(pf, {1, 2, 3});
+    const std::uint64_t before = pf.stats().get("issued");
+    // A fresh pair that was never observed predicts nothing.
+    misses(pf, {500, 600});
+    EXPECT_EQ(pf.stats().get("issued"), before);
+}
+
+} // namespace
+} // namespace rnr

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "prefetch/factory.h"
+#include "test_util.h"
+
+namespace rnr {
+namespace {
+
+TEST(FactoryTest, NamesRoundTrip)
+{
+    for (PrefetcherKind k : allPrefetcherKinds())
+        EXPECT_EQ(prefetcherKindFromString(toString(k)), k);
+}
+
+TEST(FactoryTest, UnknownNameThrows)
+{
+    EXPECT_THROW(prefetcherKindFromString("bogus"),
+                 std::invalid_argument);
+}
+
+TEST(FactoryTest, CreatesEveryKind)
+{
+    for (PrefetcherKind k : allPrefetcherKinds()) {
+        auto pf = createPrefetcher(k);
+        ASSERT_NE(pf, nullptr) << toString(k);
+        if (k != PrefetcherKind::Rnr &&
+            k != PrefetcherKind::RnrCombined) {
+            EXPECT_EQ(pf->name(), toString(k));
+        }
+    }
+}
+
+TEST(FactoryTest, AsRnrFindsTheRnrHalf)
+{
+    auto rnr = createPrefetcher(PrefetcherKind::Rnr);
+    auto combined = createPrefetcher(PrefetcherKind::RnrCombined);
+    auto nextline = createPrefetcher(PrefetcherKind::NextLine);
+    EXPECT_NE(asRnr(rnr.get()), nullptr);
+    EXPECT_NE(asRnr(combined.get()), nullptr);
+    EXPECT_EQ(asRnr(nextline.get()), nullptr);
+}
+
+TEST(FactoryTest, CombinedForwardsControlAndTargets)
+{
+    MemorySystem ms(test::tinyMachine());
+    auto combined = createPrefetcher(PrefetcherKind::RnrCombined);
+    ms.setPrefetcher(0, combined.get());
+
+    combined->onControl(TraceRecord::control(RnrOp::Init, 0x700000,
+                                             0x710000), 0);
+    combined->onControl(TraceRecord::control(RnrOp::AddrBaseSet, 0x1000,
+                                             0x1000), 0);
+    combined->onControl(TraceRecord::control(RnrOp::AddrEnable, 0x1000),
+                        0);
+    combined->onControl(TraceRecord::control(RnrOp::Start), 0);
+    EXPECT_TRUE(combined->inTargetRegion(0x1800));
+    EXPECT_FALSE(combined->inTargetRegion(0x3000));
+    EXPECT_EQ(asRnr(combined.get())->arch().state, RnrState::Record);
+}
+
+TEST(FactoryTest, RnrOptionsReachTheInstance)
+{
+    RnrPrefetcher::Options opts;
+    opts.control = ReplayControlMode::None;
+    opts.window_size = 64;
+    auto pf = createPrefetcher(PrefetcherKind::Rnr, opts);
+    RnrPrefetcher *r = asRnr(pf.get());
+    ASSERT_NE(r, nullptr);
+    // Window size becomes architectural at Init.
+    MemorySystem ms(test::tinyMachine());
+    ms.setPrefetcher(0, pf.get());
+    r->onControl(TraceRecord::control(RnrOp::Init, 0x1000, 0x2000), 0);
+    EXPECT_EQ(r->arch().window_size, 64u);
+}
+
+} // namespace
+} // namespace rnr

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "prefetch/imp.h"
+#include "sim/rng.h"
+#include "test_util.h"
+
+namespace rnr {
+namespace {
+
+struct ImpFixture : ::testing::Test {
+    ImpFixture() : ms(test::tinyMachine()) {}
+
+    /** Index array of 4 B values at 0x100000; A at 0x800000, 8 B elems. */
+    IndexSniffer
+    sniffer(std::vector<std::uint64_t> values)
+    {
+        values_ = std::move(values);
+        IndexSniffer s;
+        s.index_base = 0x100000;
+        s.index_count = values_.size();
+        s.index_elem_bytes = 4;
+        s.value_of = [this](std::uint64_t i) { return values_[i]; };
+        return s;
+    }
+
+    Addr
+    targetOf(std::uint64_t value) const
+    {
+        return 0x800000 + value * 8;
+    }
+
+    /** Walks the A[B[i]] kernel: index load then indirect load. */
+    void
+    walk(ImpPrefetcher &pf, std::size_t count)
+    {
+        ms.setPrefetcher(0, &pf);
+        for (std::size_t i = 0; i < count; ++i) {
+            ms.demandAccess(0, 0x100000 + i * 4, false, 1, t_);
+            t_ += 300;
+            ms.demandAccess(0, targetOf(values_[i]), false, 2, t_);
+            t_ += 300;
+            // Keep indirect accesses missing so training pairs form.
+            ms.l2(0).reset();
+            ms.l1d(0).reset();
+        }
+    }
+
+    MemorySystem ms;
+    std::vector<std::uint64_t> values_;
+    Tick t_ = 0;
+};
+
+TEST_F(ImpFixture, ConfirmsLinearMapAfterEnoughPairs)
+{
+    ImpPrefetcher pf(4, 3);
+    pf.setSniffer(sniffer({5, 900, 33, 470, 12, 7, 810, 256}));
+    EXPECT_FALSE(pf.patternConfirmed());
+    walk(pf, 5);
+    EXPECT_TRUE(pf.patternConfirmed());
+    EXPECT_EQ(pf.coefficient(), 8);
+}
+
+TEST_F(ImpFixture, PrefetchesAheadOnceConfirmed)
+{
+    ImpPrefetcher pf(/*distance=*/2, 3);
+    pf.setSniffer(sniffer({5, 900, 33, 470, 12, 7, 810, 256}));
+    walk(pf, 6);
+    ASSERT_TRUE(pf.patternConfirmed());
+    // One more index access at i=5 (caches were reset, so it reaches
+    // the L2): prefetches the target of B[5 + 2] = 256.
+    ms.demandAccess(0, 0x100000 + 5 * 4, false, 1, t_);
+    EXPECT_GT(pf.stats().get("issued"), 0u);
+    EXPECT_NE(ms.l2(0).peek(blockNumber(targetOf(256))), nullptr);
+}
+
+TEST_F(ImpFixture, NoSnifferMeansInert)
+{
+    ImpPrefetcher pf(4, 3);
+    ms.setPrefetcher(0, &pf);
+    ms.demandAccess(0, 0x100000, false, 1, 0);
+    ms.demandAccess(0, 0x800000, false, 2, 500);
+    EXPECT_EQ(pf.stats().get("issued"), 0u);
+    EXPECT_FALSE(pf.patternConfirmed());
+}
+
+TEST_F(ImpFixture, UnrelatedMissesDoNotConfirm)
+{
+    ImpPrefetcher pf(4, 3);
+    pf.setSniffer(sniffer({5, 900, 33, 470, 12}));
+    ms.setPrefetcher(0, &pf);
+    // Index loads paired with misses at addresses unrelated to the
+    // values: no consistent linear map exists.
+    Rng rng(3);
+    for (std::size_t i = 0; i < 5; ++i) {
+        ms.demandAccess(0, 0x100000 + i * 4, false, 1, t_);
+        t_ += 300;
+        ms.demandAccess(0, 0xF00000 + rng.below(1 << 20) * 64, false, 2,
+                        t_);
+        t_ += 300;
+        ms.l2(0).reset();
+        ms.l1d(0).reset();
+    }
+    EXPECT_FALSE(pf.patternConfirmed());
+}
+
+} // namespace
+} // namespace rnr

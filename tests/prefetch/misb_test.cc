@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "prefetch/misb.h"
+#include "test_util.h"
+
+namespace rnr {
+namespace {
+
+struct MisbFixture : ::testing::Test {
+    MisbFixture() : ms(test::tinyMachine()) {}
+
+    void
+    miss(Prefetcher &pf, Addr block, std::uint32_t pc)
+    {
+        ms.setPrefetcher(0, &pf);
+        ms.demandAccess(0, block << kBlockBits, false, pc, t_);
+        t_ += 1500;
+        ms.l2(0).reset();
+        ms.l1d(0).reset();
+    }
+
+    MemorySystem ms;
+    Tick t_ = 0;
+};
+
+TEST_F(MisbFixture, LinearisedStreamReplaysStructuralNeighbours)
+{
+    MisbPrefetcher pf(4, 256);
+    // PC 7's miss stream: 100, 250, 400 (irregular physical blocks).
+    miss(pf, 100, 7);
+    miss(pf, 250, 7);
+    miss(pf, 400, 7);
+    // Revisit 100: structural +1.. map back to 250, 400.
+    ms.setPrefetcher(0, &pf);
+    ms.demandAccess(0, Addr(100) << kBlockBits, false, 7, t_);
+    EXPECT_NE(ms.l2(0).peek(250), nullptr);
+    EXPECT_NE(ms.l2(0).peek(400), nullptr);
+}
+
+TEST_F(MisbFixture, StreamsArePcLocalised)
+{
+    MisbPrefetcher pf(4, 256);
+    // Interleaved streams: pc1 = 10, 20; pc2 = 500, 600.
+    miss(pf, 10, 1);
+    miss(pf, 500, 2);
+    miss(pf, 20, 1);
+    miss(pf, 600, 2);
+    // Revisit 10 on pc1: prefetch 20, not 500/600.
+    ms.setPrefetcher(0, &pf);
+    ms.demandAccess(0, Addr(10) << kBlockBits, false, 1, t_);
+    EXPECT_NE(ms.l2(0).peek(20), nullptr);
+    EXPECT_EQ(ms.l2(0).peek(500), nullptr);
+    EXPECT_EQ(ms.l2(0).peek(600), nullptr);
+}
+
+TEST_F(MisbFixture, OffChipMetadataTrafficCharged)
+{
+    MisbPrefetcher pf(4, /*metadata cache entries=*/2);
+    for (int i = 0; i < 64; ++i)
+        miss(pf, Addr(1000) + Addr(i) * 97, 3);
+    EXPECT_GT(pf.stats().get("metadata_cache_misses"), 0u);
+    EXPECT_GT(ms.dram().bytes(ReqOrigin::Metadata), 0u);
+}
+
+TEST_F(MisbFixture, MetadataCacheHitsAvoidTraffic)
+{
+    MisbPrefetcher pf(4, 4096);
+    miss(pf, 5, 1);
+    miss(pf, 5, 1);
+    miss(pf, 5, 1);
+    EXPECT_GT(pf.stats().get("metadata_cache_hits"), 0u);
+}
+
+TEST_F(MisbFixture, FirstMappingWins)
+{
+    MisbPrefetcher pf(4, 256);
+    // Block 50 joins pc1's stream after 40.
+    miss(pf, 40, 1);
+    miss(pf, 50, 1);
+    // pc2 also misses 40 then 99: 40 keeps its original mapping, so
+    // revisiting 40 on pc2's stream still predicts 50.
+    miss(pf, 40, 2);
+    miss(pf, 99, 2);
+    ms.setPrefetcher(0, &pf);
+    ms.demandAccess(0, Addr(40) << kBlockBits, false, 1, t_);
+    EXPECT_NE(ms.l2(0).peek(50), nullptr);
+}
+
+} // namespace
+} // namespace rnr

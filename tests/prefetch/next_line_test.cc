@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "prefetch/next_line.h"
+#include "test_util.h"
+
+namespace rnr {
+namespace {
+
+struct NextLineFixture : ::testing::Test {
+    NextLineFixture() : ms(test::tinyMachine()) {}
+    MemorySystem ms;
+};
+
+TEST_F(NextLineFixture, MissPrefetchesNextBlock)
+{
+    NextLinePrefetcher pf(1);
+    ms.setPrefetcher(0, &pf);
+    ms.demandAccess(0, 0x10000, false, 1, 0);
+    EXPECT_NE(ms.l2(0).peek(blockNumber(0x10000) + 1), nullptr);
+    EXPECT_EQ(pf.stats().get("issued"), 1u);
+}
+
+TEST_F(NextLineFixture, DegreeControlsDepth)
+{
+    NextLinePrefetcher pf(3);
+    ms.setPrefetcher(0, &pf);
+    ms.demandAccess(0, 0x10000, false, 1, 0);
+    for (unsigned d = 1; d <= 3; ++d)
+        EXPECT_NE(ms.l2(0).peek(blockNumber(0x10000) + d), nullptr);
+    EXPECT_EQ(ms.l2(0).peek(blockNumber(0x10000) + 4), nullptr);
+}
+
+TEST_F(NextLineFixture, HitsDoNotTrigger)
+{
+    NextLinePrefetcher pf(1);
+    ms.setPrefetcher(0, &pf);
+    Tick t = ms.demandAccess(0, 0x10000, false, 1, 0).done;
+    const std::uint64_t before = pf.stats().get("issued");
+    // L1 is bypassed by going to a different word... use the same block
+    // after it left L1?  Simplest: an L2 hit via the L1-filtered path is
+    // not constructable cheaply, so assert the miss-only policy via the
+    // issue counter after a straight repeat (L1 hit, no L2 access).
+    ms.demandAccess(0, 0x10000, false, 1, t + 1);
+    EXPECT_EQ(pf.stats().get("issued"), before);
+}
+
+TEST_F(NextLineFixture, SkipsTargetStructWhenConfigured)
+{
+    // Wrap in a probe that declares a target region.
+    struct Target : NextLinePrefetcher {
+        Target() : NextLinePrefetcher(1, /*skip_target_struct=*/true) {}
+        bool
+        inTargetRegion(Addr a) const override
+        {
+            return a >= 0x40000 && a < 0x50000;
+        }
+    } pf;
+    ms.setPrefetcher(0, &pf);
+    ms.demandAccess(0, 0x40000, false, 1, 0);
+    EXPECT_EQ(pf.stats().get("issued"), 0u);
+    ms.demandAccess(0, 0x80000, false, 1, 100);
+    EXPECT_EQ(pf.stats().get("issued"), 1u);
+}
+
+} // namespace
+} // namespace rnr

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "prefetch/stream.h"
+#include "test_util.h"
+
+namespace rnr {
+namespace {
+
+struct StreamFixture : ::testing::Test {
+    StreamFixture() : ms(test::tinyMachine()) {}
+
+    void
+    access(Prefetcher &pf, Addr block)
+    {
+        ms.setPrefetcher(0, &pf);
+        ms.demandAccess(0, block << kBlockBits, false, 1, t_);
+        t_ += 600;
+    }
+
+    MemorySystem ms;
+    Tick t_ = 0;
+};
+
+TEST_F(StreamFixture, SingleAccessDoesNotPrefetch)
+{
+    StreamPrefetcher pf(4, 8);
+    access(pf, 100);
+    EXPECT_EQ(pf.stats().get("issued"), 0u);
+}
+
+TEST_F(StreamFixture, SequentialAccessesRunAhead)
+{
+    StreamPrefetcher pf(4, 8);
+    access(pf, 100);
+    access(pf, 101);
+    // Confidence reached: run up to 8 blocks past the demand edge.
+    for (Addr b = 102; b <= 109; ++b)
+        EXPECT_NE(ms.l2(0).peek(b), nullptr) << b;
+    EXPECT_EQ(ms.l2(0).peek(110), nullptr);
+}
+
+TEST_F(StreamFixture, CursorAdvancesWithDemand)
+{
+    StreamPrefetcher pf(4, 4);
+    access(pf, 200);
+    access(pf, 201);
+    access(pf, 205); // small skip still matches the stream
+    EXPECT_NE(ms.l2(0).peek(209), nullptr);
+}
+
+TEST_F(StreamFixture, TracksMultipleConcurrentStreams)
+{
+    StreamPrefetcher pf(4, 4);
+    access(pf, 1000);
+    access(pf, 5000);
+    access(pf, 1001);
+    access(pf, 5001);
+    EXPECT_NE(ms.l2(0).peek(1002), nullptr);
+    EXPECT_NE(ms.l2(0).peek(5002), nullptr);
+}
+
+TEST_F(StreamFixture, SkipsTargetRegionsWhenConfigured)
+{
+    struct Target : StreamPrefetcher {
+        Target() : StreamPrefetcher(4, 4, /*skip_target_struct=*/true) {}
+        bool
+        inTargetRegion(Addr a) const override
+        {
+            return a < (Addr{500} << kBlockBits);
+        }
+    } pf;
+    access(pf, 100);
+    access(pf, 101);
+    EXPECT_EQ(pf.stats().get("issued"), 0u);
+    access(pf, 600);
+    access(pf, 601);
+    EXPECT_GT(pf.stats().get("issued"), 0u);
+}
+
+TEST_F(StreamFixture, RandomAccessesStayQuiet)
+{
+    StreamPrefetcher pf(4, 8);
+    const Addr blocks[] = {10, 9000, 42, 7777, 123, 31000};
+    for (Addr b : blocks)
+        access(pf, b);
+    EXPECT_EQ(pf.stats().get("issued"), 0u);
+}
+
+} // namespace
+} // namespace rnr

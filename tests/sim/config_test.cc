@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "sim/config.h"
+
+namespace rnr {
+namespace {
+
+TEST(ConfigTest, PaperBaselineMatchesTableII)
+{
+    const MachineConfig m = MachineConfig::paperBaseline();
+    EXPECT_EQ(m.cores, 4u);
+    EXPECT_EQ(m.core.issue_width, 4u);
+    EXPECT_EQ(m.core.rob_size, 256u);
+    EXPECT_EQ(m.core.lsq_size, 64u);
+    EXPECT_EQ(m.l1d.size_bytes, 64u * 1024);
+    EXPECT_EQ(m.l2.size_bytes, 256u * 1024);
+    EXPECT_EQ(m.llc.size_bytes, 8u * 1024 * 1024);
+    EXPECT_EQ(m.l2.mshrs, 16u);
+    EXPECT_EQ(m.llc.mshrs, 128u);
+    EXPECT_TRUE(m.llc.shared);
+    EXPECT_FALSE(m.l2.shared);
+    EXPECT_EQ(m.dram.read_queue, 64u);
+    EXPECT_EQ(m.dram.write_queue, 32u);
+    EXPECT_DOUBLE_EQ(m.dram.drain_high, 0.75);
+    EXPECT_DOUBLE_EQ(m.dram.drain_low, 0.25);
+}
+
+TEST(ConfigTest, ScaledDefaultKeepsStructure)
+{
+    const MachineConfig m = MachineConfig::scaledDefault();
+    EXPECT_EQ(m.cores, 4u);
+    // Capacity order is preserved: L1 < L2 < LLC.
+    EXPECT_LT(m.l1d.size_bytes, m.l2.size_bytes);
+    EXPECT_LT(m.l2.size_bytes, m.llc.size_bytes);
+    // The scaled machine shrinks each level relative to the paper's.
+    const MachineConfig p = MachineConfig::paperBaseline();
+    EXPECT_LT(m.l1d.size_bytes, p.l1d.size_bytes);
+    EXPECT_LT(m.llc.size_bytes, p.llc.size_bytes);
+}
+
+TEST(ConfigTest, SetCountsArePowersOfTwo)
+{
+    for (const MachineConfig &m :
+         {MachineConfig::paperBaseline(), MachineConfig::scaledDefault()}) {
+        for (const CacheConfig *c : {&m.l1d, &m.l2, &m.llc}) {
+            const unsigned sets = c->sets();
+            EXPECT_GT(sets, 0u) << c->name;
+            EXPECT_EQ(sets & (sets - 1), 0u) << c->name;
+        }
+    }
+}
+
+TEST(ConfigTest, InfiniteLlcCoversScaledInputs)
+{
+    const MachineConfig m =
+        MachineConfig::withInfiniteLlc(MachineConfig::scaledDefault());
+    // Must dwarf every scaled input (largest ~16 MB).
+    EXPECT_GE(m.llc.size_bytes, std::uint64_t{32} << 20);
+    // Other levels unchanged.
+    EXPECT_EQ(m.l2.size_bytes, MachineConfig::scaledDefault().l2.size_bytes);
+}
+
+TEST(ConfigTest, DescribeMentionsEveryLevel)
+{
+    const std::string d = MachineConfig::paperBaseline().describe();
+    EXPECT_NE(d.find("L1D"), std::string::npos);
+    EXPECT_NE(d.find("L2"), std::string::npos);
+    EXPECT_NE(d.find("LLC"), std::string::npos);
+    EXPECT_NE(d.find("DRAM"), std::string::npos);
+}
+
+} // namespace
+} // namespace rnr

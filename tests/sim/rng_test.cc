@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace rnr {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next64() == b.next64();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ReseedRestartsSequence)
+{
+    Rng a(7);
+    const std::uint64_t first = a.next64();
+    a.next64();
+    a.reseed(7);
+    EXPECT_EQ(a.next64(), first);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng r(3);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    // Mean of U(0,1) is 0.5; loose tolerance for 10k samples.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+class RngBoundTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngBoundTest, BelowStaysInRange)
+{
+    const std::uint64_t bound = GetParam();
+    Rng r(11);
+    std::uint64_t max_seen = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t v = r.below(bound);
+        ASSERT_LT(v, bound);
+        max_seen = std::max(max_seen, v);
+    }
+    // The generator should cover most of the range.
+    if (bound > 16) {
+        EXPECT_GT(max_seen, bound / 2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundTest,
+                         ::testing::Values(1, 2, 7, 100, 65536,
+                                           std::uint64_t{1} << 32));
+
+} // namespace
+} // namespace rnr

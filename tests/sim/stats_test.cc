@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "sim/stats.h"
+
+namespace rnr {
+namespace {
+
+TEST(StatsTest, AddAndGet)
+{
+    StatGroup g("test");
+    EXPECT_EQ(g.get("missing"), 0u);
+    g.add("hits");
+    g.add("hits", 4);
+    EXPECT_EQ(g.get("hits"), 5u);
+}
+
+TEST(StatsTest, SetOverwrites)
+{
+    StatGroup g("test");
+    g.add("gauge", 10);
+    g.set("gauge", 3);
+    EXPECT_EQ(g.get("gauge"), 3u);
+}
+
+TEST(StatsTest, ResetZeroesButKeepsKeys)
+{
+    StatGroup g("test");
+    g.add("a", 7);
+    g.add("b", 9);
+    g.reset();
+    EXPECT_EQ(g.get("a"), 0u);
+    EXPECT_EQ(g.get("b"), 0u);
+    EXPECT_EQ(g.counters().size(), 2u);
+}
+
+TEST(StatsTest, DumpFormatsSortedLines)
+{
+    StatGroup g("grp");
+    g.add("beta", 2);
+    g.add("alpha", 1);
+    const std::string d = g.dump();
+    const auto a = d.find("grp.alpha = 1");
+    const auto b = d.find("grp.beta = 2");
+    ASSERT_NE(a, std::string::npos);
+    ASSERT_NE(b, std::string::npos);
+    EXPECT_LT(a, b); // map iteration gives sorted keys
+}
+
+} // namespace
+} // namespace rnr

@@ -1,0 +1,100 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_io.h"
+
+namespace rnr {
+namespace {
+
+struct TraceIoFixture : ::testing::Test {
+    std::string
+    tmpPath(const char *name)
+    {
+        return testing::TempDir() + "/" + name;
+    }
+};
+
+TEST_F(TraceIoFixture, RoundTripPreservesEveryField)
+{
+    TraceBuffer original;
+    original.push(TraceRecord::load(0x123456789abc, 42, 7));
+    original.push(TraceRecord::store(0xdeadbeef00, 43, 0));
+    original.push(TraceRecord::control(RnrOp::AddrBaseSet, 0x1000, 4096));
+    original.push(TraceRecord::control(RnrOp::Replay));
+
+    const std::string path = tmpPath("roundtrip.rnrt");
+    ASSERT_TRUE(writeTraceFile(path, original));
+
+    TraceBuffer loaded;
+    ASSERT_TRUE(readTraceFile(path, loaded));
+    ASSERT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.loads(), original.loads());
+    EXPECT_EQ(loaded.stores(), original.stores());
+    EXPECT_EQ(loaded.controls(), original.controls());
+    EXPECT_EQ(loaded.instructions(), original.instructions());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        const TraceRecord &a = original.records()[i];
+        const TraceRecord &b = loaded.records()[i];
+        EXPECT_EQ(a.addr, b.addr) << i;
+        EXPECT_EQ(a.aux, b.aux) << i;
+        EXPECT_EQ(a.pc, b.pc) << i;
+        EXPECT_EQ(a.gap, b.gap) << i;
+        EXPECT_EQ(a.kind, b.kind) << i;
+        EXPECT_EQ(a.ctrl, b.ctrl) << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceIoFixture, EmptyTraceRoundTrips)
+{
+    TraceBuffer empty, loaded;
+    const std::string path = tmpPath("empty.rnrt");
+    ASSERT_TRUE(writeTraceFile(path, empty));
+    ASSERT_TRUE(readTraceFile(path, loaded));
+    EXPECT_TRUE(loaded.empty());
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceIoFixture, MissingFileFails)
+{
+    TraceBuffer buf;
+    EXPECT_FALSE(readTraceFile(tmpPath("does-not-exist.rnrt"), buf));
+}
+
+TEST_F(TraceIoFixture, BadMagicRejected)
+{
+    const std::string path = tmpPath("bad.rnrt");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "NOTATRACEFILE_____________";
+    }
+    TraceBuffer buf;
+    EXPECT_FALSE(readTraceFile(path, buf));
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceIoFixture, TruncatedFileRejected)
+{
+    TraceBuffer original;
+    for (int i = 0; i < 10; ++i)
+        original.push(TraceRecord::load(Addr(i) * 64, 1, 1));
+    const std::string path = tmpPath("trunc.rnrt");
+    ASSERT_TRUE(writeTraceFile(path, original));
+    // Chop the file mid-record.
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() - 13));
+    }
+    TraceBuffer buf;
+    EXPECT_FALSE(readTraceFile(path, buf));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace rnr

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "workloads/graph_gen.h"
+#include "workloads/partition.h"
+
+namespace rnr {
+namespace {
+
+TEST(GraphGenTest, UrandDeterministicAndSized)
+{
+    Graph a = makeUrandGraph(1024, 8, 5);
+    Graph b = makeUrandGraph(1024, 8, 5);
+    EXPECT_EQ(a.edges, b.edges);
+    EXPECT_EQ(a.num_vertices, 1024u);
+    // Dedup removes a few, but the bulk remains.
+    EXPECT_GT(a.numEdges(), 1024u * 6);
+    EXPECT_LE(a.numEdges(), 1024u * 8);
+}
+
+TEST(GraphGenTest, NoSelfLoops)
+{
+    Graph g = makeUrandGraph(512, 8, 9);
+    for (std::uint32_t v = 0; v < g.num_vertices; ++v) {
+        for (std::uint32_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e)
+            ASSERT_NE(g.edges[e], v);
+    }
+}
+
+TEST(GraphGenTest, CommunityGraphHasLocality)
+{
+    // Partitioning a community graph should cut far fewer edges than
+    // partitioning a uniform random one.
+    Graph community = makeCommunityGraph(4096, 8, 64, 0.9, 3);
+    Graph random = makeUrandGraph(4096, 8, 3);
+    const double cut_c =
+        partitionGraph(community, 4).edgeCut(community);
+    const double cut_r = partitionGraph(random, 4).edgeCut(random);
+    EXPECT_LT(cut_c, cut_r * 0.7);
+}
+
+TEST(GraphGenTest, RoadGraphNearRegularDegree)
+{
+    Graph g = makeRoadGraph(64, 64, 7);
+    EXPECT_EQ(g.num_vertices, 64u * 64);
+    double total = 0;
+    std::uint32_t max_deg = 0;
+    for (std::uint32_t v = 0; v < g.num_vertices; ++v) {
+        total += g.degree(v);
+        max_deg = std::max(max_deg, g.degree(v));
+    }
+    const double avg = total / g.num_vertices;
+    EXPECT_GT(avg, 3.0);
+    EXPECT_LT(avg, 6.0);
+    EXPECT_LE(max_deg, 16u); // no hubs in a road network
+}
+
+class GraphInputTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GraphInputTest, RegistryProducesValidGraphs)
+{
+    const GraphInput in = makeGraphInput(GetParam());
+    EXPECT_EQ(in.name, GetParam());
+    EXPECT_GT(in.graph.num_vertices, 10000u);
+    EXPECT_GT(in.graph.numEdges(), in.graph.num_vertices);
+    EXPECT_EQ(in.graph.offsets.size(), in.graph.num_vertices + 1u);
+    EXPECT_EQ(in.graph.offsets.back(), in.graph.numEdges());
+}
+
+INSTANTIATE_TEST_SUITE_P(TableIII, GraphInputTest,
+                         ::testing::ValuesIn(graphInputNames()));
+
+TEST(GraphGenTest, UnknownInputThrows)
+{
+    EXPECT_THROW(makeGraphInput("nope"), std::invalid_argument);
+}
+
+} // namespace
+} // namespace rnr

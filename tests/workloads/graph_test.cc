@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "workloads/graph.h"
+
+namespace rnr {
+namespace {
+
+Graph
+diamond()
+{
+    // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+    return Graph::fromEdgeList(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+}
+
+TEST(GraphTest, FromEdgeListBuildsSortedCsr)
+{
+    Graph g = diamond();
+    EXPECT_EQ(g.num_vertices, 4u);
+    EXPECT_EQ(g.numEdges(), 4u);
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(3), 0u);
+    EXPECT_EQ(g.edges[g.offsets[0]], 1u);
+    EXPECT_EQ(g.edges[g.offsets[0] + 1], 2u);
+}
+
+TEST(GraphTest, DuplicateEdgesRemoved)
+{
+    Graph g = Graph::fromEdgeList(2, {{0, 1}, {0, 1}, {0, 1}});
+    EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(GraphTest, TransposeReversesEdges)
+{
+    Graph t = diamond().transpose();
+    // In-edges of 3 are {1, 2}.
+    EXPECT_EQ(t.degree(3), 2u);
+    EXPECT_EQ(t.degree(0), 0u);
+    std::vector<std::uint32_t> in3(t.edges.begin() + t.offsets[3],
+                                   t.edges.begin() + t.offsets[4]);
+    EXPECT_EQ(in3, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(GraphTest, TransposeTwiceIsIdentity)
+{
+    Graph g = diamond();
+    Graph tt = g.transpose().transpose();
+    EXPECT_EQ(tt.offsets, g.offsets);
+    EXPECT_EQ(tt.edges, g.edges);
+}
+
+TEST(GraphTest, OutDegreesMatchOffsets)
+{
+    Graph g = diamond();
+    const auto deg = g.outDegrees();
+    EXPECT_EQ(deg, (std::vector<std::uint32_t>{2, 1, 1, 0}));
+}
+
+TEST(GraphTest, RelabelPreservesStructure)
+{
+    Graph g = diamond();
+    // New order: reverse the ids.
+    Graph r = g.relabel({3, 2, 1, 0});
+    EXPECT_EQ(r.numEdges(), g.numEdges());
+    // Old edge 0->1 becomes 3->2.
+    bool found = false;
+    for (std::uint32_t e = r.offsets[3]; e < r.offsets[4]; ++e)
+        found |= r.edges[e] == 2;
+    EXPECT_TRUE(found);
+}
+
+TEST(GraphTest, BytesCoversBothArrays)
+{
+    Graph g = diamond();
+    EXPECT_EQ(g.bytes(), (g.offsets.size() + g.edges.size()) * 4);
+}
+
+} // namespace
+} // namespace rnr

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "workloads/graph_gen.h"
+#include "workloads/hyperanf.h"
+
+namespace rnr {
+namespace {
+
+WorkloadOptions
+opts()
+{
+    WorkloadOptions o;
+    o.cores = 2;
+    return o;
+}
+
+std::vector<TraceBuffer>
+emit(HyperAnfWorkload &wl, unsigned iter, bool last)
+{
+    std::vector<TraceBuffer> bufs(wl.cores());
+    wl.emitIteration(iter, last, bufs);
+    return bufs;
+}
+
+TEST(HyperAnfTest, NeighbourhoodFunctionGrowsMonotonically)
+{
+    HyperAnfWorkload wl(makeUrandGraph(512, 6, 21), opts());
+    double prev = wl.neighbourhoodFunction();
+    for (unsigned it = 0; it < 6; ++it) {
+        emit(wl, it, it == 5);
+        const double nf = wl.neighbourhoodFunction();
+        EXPECT_GE(nf, prev);
+        prev = nf;
+    }
+}
+
+TEST(HyperAnfTest, ConvergesWithinDiameterIterations)
+{
+    // A small dense random graph has a tiny diameter: sketches stop
+    // changing after a handful of rounds.
+    HyperAnfWorkload wl(makeUrandGraph(256, 8, 23), opts());
+    std::uint64_t last = 1;
+    for (unsigned it = 0; it < 12 && last; ++it) {
+        emit(wl, it, false);
+        last = wl.lastChanged();
+    }
+    EXPECT_EQ(last, 0u);
+}
+
+TEST(HyperAnfTest, EstimatesAreAtLeastOneVertex)
+{
+    HyperAnfWorkload wl(makeUrandGraph(128, 4, 29), opts());
+    emit(wl, 0, true);
+    for (std::uint32_t v = 0; v < 128; ++v)
+        EXPECT_GT(wl.estimate(v), 0.5);
+}
+
+TEST(HyperAnfTest, TraceIsEdgeCentric)
+{
+    HyperAnfWorkload wl(makeUrandGraph(256, 6, 31), opts());
+    auto bufs = emit(wl, 0, false);
+    std::uint64_t loads = 0, stores = 0;
+    for (const auto &b : bufs) {
+        loads += b.loads();
+        stores += b.stores();
+    }
+    // 3 loads (edge pair, hc[src], hc[dst]) + 1 store per edge.
+    EXPECT_EQ(loads % 3, 0u);
+    EXPECT_EQ(stores, loads / 3);
+}
+
+TEST(HyperAnfTest, RnrTargetsTheSketchArray)
+{
+    HyperAnfWorkload wl(makeUrandGraph(256, 6, 33), opts());
+    auto bufs = emit(wl, 0, false);
+    const auto &recs = bufs[0].records();
+    ASSERT_GE(recs.size(), 3u);
+    EXPECT_EQ(recs[0].ctrl, RnrOp::Init);
+    EXPECT_EQ(recs[1].ctrl, RnrOp::AddrBaseSet);
+    const AddressSpace::Region *r = wl.space().find("anf_sketches");
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(recs[1].addr, r->base);
+}
+
+TEST(HyperAnfTest, IterationTracesRepeatExactly)
+{
+    HyperAnfWorkload wl(makeUrandGraph(256, 6, 35), opts());
+    auto a = emit(wl, 1, false);
+    auto b = emit(wl, 2, false);
+    ASSERT_EQ(a[0].size(), b[0].size());
+    for (std::size_t i = 0; i < a[0].size(); ++i)
+        ASSERT_EQ(a[0].records()[i].addr, b[0].records()[i].addr) << i;
+}
+
+} // namespace
+} // namespace rnr

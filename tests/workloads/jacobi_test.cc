@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "workloads/jacobi.h"
+#include "workloads/sparse_gen.h"
+
+namespace rnr {
+namespace {
+
+WorkloadOptions
+opts()
+{
+    WorkloadOptions o;
+    o.cores = 2;
+    return o;
+}
+
+std::vector<TraceBuffer>
+emit(JacobiWorkload &wl, unsigned iter, bool last)
+{
+    std::vector<TraceBuffer> bufs(wl.cores());
+    wl.emitIteration(iter, last, bufs);
+    return bufs;
+}
+
+TEST(JacobiTest, ConvergesToOnesOnDominantMatrix)
+{
+    JacobiWorkload wl(makeStencilMatrix(6, 6, 6), opts());
+    for (unsigned it = 0; it < 60; ++it)
+        emit(wl, it, it == 59);
+    EXPECT_LT(wl.lastDelta(), 1e-4);
+    for (double xi : wl.solution())
+        ASSERT_NEAR(xi, 1.0, 1e-3);
+}
+
+TEST(JacobiTest, DeltaShrinksMonotonically)
+{
+    JacobiWorkload wl(makeStencilMatrix(8, 8, 4), opts());
+    emit(wl, 0, false);
+    double prev = wl.lastDelta();
+    for (unsigned it = 1; it < 10; ++it) {
+        emit(wl, it, false);
+        EXPECT_LE(wl.lastDelta(), prev * 1.0001) << it;
+        prev = wl.lastDelta();
+    }
+}
+
+TEST(JacobiTest, SwapProtocolEmittedEachIteration)
+{
+    JacobiWorkload wl(makeStencilMatrix(4, 4, 4), opts());
+    auto bufs = emit(wl, 0, false);
+    const auto &recs = bufs[0].records();
+    // Setup declares both x buffers; epilogue swaps the enable.
+    EXPECT_EQ(recs[1].ctrl, RnrOp::AddrBaseSet);
+    EXPECT_EQ(recs[2].ctrl, RnrOp::AddrBaseSet);
+    EXPECT_EQ(recs[recs.size() - 2].ctrl, RnrOp::AddrDisable);
+    EXPECT_EQ(recs[recs.size() - 1].ctrl, RnrOp::AddrEnable);
+}
+
+TEST(JacobiTest, OddIterationTracesRepeat)
+{
+    JacobiWorkload wl(makeBandedScatterMatrix(512, 16, 8, 0.3, 7),
+                      opts());
+    emit(wl, 0, false);
+    auto a = emit(wl, 1, false);
+    emit(wl, 2, false);
+    auto b = emit(wl, 3, false);
+    ASSERT_EQ(a[0].size(), b[0].size());
+    for (std::size_t i = 0; i < a[0].size(); ++i)
+        ASSERT_EQ(a[0].records()[i].addr, b[0].records()[i].addr) << i;
+}
+
+TEST(JacobiTest, ImpSnifferDescribesColumnArray)
+{
+    JacobiWorkload wl(makeStencilMatrix(4, 4, 4), opts());
+    IndexSniffer s = wl.impSniffer(0);
+    ASSERT_TRUE(static_cast<bool>(s.value_of));
+    EXPECT_GT(s.index_count, 0u);
+    EXPECT_EQ(s.value_of(0), wl.matrix().col[wl.matrix().row_ptr[0]]);
+}
+
+} // namespace
+} // namespace rnr

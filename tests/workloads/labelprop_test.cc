@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "workloads/graph_gen.h"
+#include "workloads/labelprop.h"
+
+namespace rnr {
+namespace {
+
+WorkloadOptions
+opts()
+{
+    WorkloadOptions o;
+    o.cores = 2;
+    return o;
+}
+
+std::vector<TraceBuffer>
+emit(LabelPropWorkload &wl, unsigned iter, bool last)
+{
+    std::vector<TraceBuffer> bufs(wl.cores());
+    wl.emitIteration(iter, last, bufs);
+    return bufs;
+}
+
+TEST(LabelPropTest, ConvergesToComponentMinima)
+{
+    // A connected random graph converges to a single label: 0.
+    LabelPropWorkload wl(makeUrandGraph(512, 8, 41), opts());
+    unsigned it = 0;
+    while (it < 64) {
+        emit(wl, it, false);
+        ++it;
+        if (wl.lastChanged() == 0)
+            break;
+    }
+    EXPECT_EQ(wl.lastChanged(), 0u);
+    EXPECT_EQ(wl.distinctLabels(), 1u);
+    EXPECT_EQ(wl.label(100), 0u);
+}
+
+TEST(LabelPropTest, DisconnectedComponentsKeepSeparateLabels)
+{
+    // Two cliques with no edge between them.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        for (std::uint32_t j = 0; j < 8; ++j) {
+            if (i != j) {
+                edges.emplace_back(i, j);
+                edges.emplace_back(8 + i, 8 + j);
+            }
+        }
+    }
+    LabelPropWorkload wl(Graph::fromEdgeList(16, edges), opts());
+    for (unsigned it = 0; it < 8; ++it)
+        emit(wl, it, it == 7);
+    EXPECT_EQ(wl.distinctLabels(), 2u);
+}
+
+TEST(LabelPropTest, TraceTargetsTheLabelArray)
+{
+    LabelPropWorkload wl(makeUrandGraph(256, 6, 43), opts());
+    auto bufs = emit(wl, 0, false);
+    const auto &recs = bufs[0].records();
+    EXPECT_EQ(recs[0].ctrl, RnrOp::Init);
+    EXPECT_EQ(recs[1].ctrl, RnrOp::AddrBaseSet);
+    const AddressSpace::Region *r = wl.space().find("lp_labels");
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(recs[1].addr, r->base);
+    EXPECT_EQ(recs[1].aux, r->bytes);
+}
+
+TEST(LabelPropTest, AccessSequenceRepeatsAcrossIterations)
+{
+    LabelPropWorkload wl(makeUrandGraph(256, 6, 47), opts());
+    auto a = emit(wl, 1, false);
+    auto b = emit(wl, 2, false);
+    ASSERT_EQ(a[0].size(), b[0].size());
+    for (std::size_t i = 0; i < a[0].size(); ++i)
+        ASSERT_EQ(a[0].records()[i].addr, b[0].records()[i].addr) << i;
+}
+
+} // namespace
+} // namespace rnr

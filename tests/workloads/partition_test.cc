@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "workloads/graph_gen.h"
+#include "workloads/partition.h"
+
+namespace rnr {
+namespace {
+
+TEST(PartitionTest, EveryVertexAssignedExactlyOnce)
+{
+    Graph g = makeUrandGraph(2048, 6, 4);
+    Partitioning p = partitionGraph(g, 4);
+    ASSERT_EQ(p.order.size(), g.num_vertices);
+    std::vector<bool> seen(g.num_vertices, false);
+    for (std::uint32_t v : p.order) {
+        ASSERT_LT(v, g.num_vertices);
+        ASSERT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+}
+
+TEST(PartitionTest, PartitionsAreBalanced)
+{
+    Graph g = makeUrandGraph(4096, 6, 5);
+    Partitioning p = partitionGraph(g, 4);
+    for (unsigned part = 0; part < 4; ++part) {
+        const std::uint32_t size =
+            p.starts[part + 1] - p.starts[part];
+        EXPECT_NEAR(size, 1024.0, 200.0) << part;
+    }
+}
+
+TEST(PartitionTest, StartsConsistentWithPartitionMap)
+{
+    Graph g = makeRoadGraph(32, 32, 6);
+    Partitioning p = partitionGraph(g, 4);
+    for (unsigned part = 0; part < 4; ++part) {
+        for (std::uint32_t i = p.starts[part]; i < p.starts[part + 1];
+             ++i)
+            ASSERT_EQ(p.partition[p.order[i]], part);
+    }
+}
+
+TEST(PartitionTest, SpatialGraphGetsLowEdgeCut)
+{
+    Graph g = makeRoadGraph(64, 64, 7);
+    Partitioning p = partitionGraph(g, 4);
+    // BFS growth on a planar grid keeps the cut small; random
+    // assignment would cut ~75% of edges.
+    EXPECT_LT(p.edgeCut(g), 0.25);
+}
+
+TEST(PartitionTest, HandlesDisconnectedVertices)
+{
+    // A graph with isolated vertices (no edges at all).
+    Graph g;
+    g.num_vertices = 64;
+    g.offsets.assign(65, 0);
+    Partitioning p = partitionGraph(g, 4);
+    EXPECT_EQ(p.order.size(), 64u);
+    for (unsigned part = 0; part < 4; ++part)
+        EXPECT_EQ(p.starts[part + 1] - p.starts[part], 16u);
+}
+
+TEST(PartitionTest, SinglePartitionIsIdentityCut)
+{
+    Graph g = makeUrandGraph(256, 4, 8);
+    Partitioning p = partitionGraph(g, 1);
+    EXPECT_EQ(p.edgeCut(g), 0.0);
+}
+
+} // namespace
+} // namespace rnr

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "workloads/sparse_gen.h"
+
+namespace rnr {
+namespace {
+
+class MatrixInputTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(MatrixInputTest, RegistryProducesValidSpdMatrices)
+{
+    const MatrixInput in = makeMatrixInput(GetParam());
+    const SparseMatrix &m = in.matrix;
+    EXPECT_GT(m.n, 10000u);
+    EXPECT_EQ(m.row_ptr.size(), m.n + 1u);
+    EXPECT_EQ(m.row_ptr.back(), m.nnz());
+    // Spot-check diagonal dominance on a sample of rows.
+    for (std::uint32_t i = 0; i < m.n; i += m.n / 97 + 1) {
+        double diag = 0, off = 0;
+        for (std::uint32_t e = m.row_ptr[i]; e < m.row_ptr[i + 1]; ++e) {
+            if (m.col[e] == i)
+                diag = m.val[e];
+            else
+                off += std::abs(m.val[e]);
+        }
+        ASSERT_GT(diag, off) << GetParam() << " row " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TableIII, MatrixInputTest,
+                         ::testing::ValuesIn(matrixInputNames()));
+
+TEST(SparseGenTest, StencilIsBanded)
+{
+    SparseMatrix m = makeStencilMatrix(8, 8, 8);
+    EXPECT_EQ(m.n, 512u);
+    // Off-diagonals of a 7-point stencil stay within +-nx*ny.
+    for (std::uint32_t i = 0; i < m.n; ++i) {
+        for (std::uint32_t e = m.row_ptr[i]; e < m.row_ptr[i + 1]; ++e) {
+            const std::int64_t d =
+                std::int64_t(m.col[e]) - std::int64_t(i);
+            ASSERT_LE(std::abs(d), 64);
+        }
+    }
+}
+
+TEST(SparseGenTest, ScatterFractionAddsFarEntries)
+{
+    SparseMatrix banded =
+        makeBandedScatterMatrix(4096, 16, 8, 0.0, 1);
+    SparseMatrix scattered =
+        makeBandedScatterMatrix(4096, 16, 8, 0.5, 1);
+    auto far_entries = [](const SparseMatrix &m) {
+        std::uint64_t far = 0;
+        for (std::uint32_t i = 0; i < m.n; ++i) {
+            for (std::uint32_t e = m.row_ptr[i]; e < m.row_ptr[i + 1];
+                 ++e) {
+                if (std::abs(std::int64_t(m.col[e]) - std::int64_t(i)) >
+                    64)
+                    ++far;
+            }
+        }
+        return far;
+    };
+    EXPECT_EQ(far_entries(banded), 0u);
+    EXPECT_GT(far_entries(scattered), 1000u);
+}
+
+TEST(SparseGenTest, KktCouplesConstraintRowsToPrimal)
+{
+    SparseMatrix m = makeKktMatrix(2048, 16);
+    const std::uint32_t half = m.n / 2;
+    std::uint64_t cross = 0;
+    for (std::uint32_t i = half; i < m.n; ++i) {
+        for (std::uint32_t e = m.row_ptr[i]; e < m.row_ptr[i + 1]; ++e)
+            cross += m.col[e] < half;
+    }
+    EXPECT_GT(cross, std::uint64_t{half});
+}
+
+TEST(SparseGenTest, ClusteredMatrixDenseRows)
+{
+    SparseMatrix m = makeClusteredMatrix(4096, 128, 24);
+    EXPECT_GT(static_cast<double>(m.nnz()) / m.n, 20.0);
+}
+
+TEST(SparseGenTest, UnknownInputThrows)
+{
+    EXPECT_THROW(makeMatrixInput("nope"), std::invalid_argument);
+}
+
+} // namespace
+} // namespace rnr

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "workloads/sparse.h"
+
+namespace rnr {
+namespace {
+
+SparseMatrix
+chain(std::uint32_t n)
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
+    for (std::uint32_t i = 0; i + 1 < n; ++i)
+        entries.emplace_back(i, i + 1);
+    return SparseMatrix::fromPattern(n, std::move(entries));
+}
+
+TEST(SparseTest, PatternIsSymmetric)
+{
+    SparseMatrix m = chain(8);
+    // Every (i, j) off-diagonal has its mirror (j, i).
+    for (std::uint32_t i = 0; i < m.n; ++i) {
+        for (std::uint32_t e = m.row_ptr[i]; e < m.row_ptr[i + 1]; ++e) {
+            const std::uint32_t j = m.col[e];
+            if (j == i)
+                continue;
+            bool mirrored = false;
+            for (std::uint32_t f = m.row_ptr[j]; f < m.row_ptr[j + 1];
+                 ++f)
+                mirrored |= m.col[f] == i;
+            ASSERT_TRUE(mirrored) << i << "," << j;
+        }
+    }
+}
+
+TEST(SparseTest, DiagonallyDominant)
+{
+    SparseMatrix m = chain(16);
+    for (std::uint32_t i = 0; i < m.n; ++i) {
+        double diag = 0, off = 0;
+        for (std::uint32_t e = m.row_ptr[i]; e < m.row_ptr[i + 1]; ++e) {
+            if (m.col[e] == i)
+                diag = m.val[e];
+            else
+                off += std::abs(m.val[e]);
+        }
+        ASSERT_GT(diag, off) << i; // strictly dominant -> SPD
+    }
+}
+
+TEST(SparseTest, MultiplyMatchesManualLaplacian)
+{
+    // Chain of 3: A = [[2,-1,0],[-1,3,-1],[0,-1,2]].
+    SparseMatrix m = chain(3);
+    std::vector<double> y;
+    m.multiply({1.0, 1.0, 1.0}, y);
+    EXPECT_DOUBLE_EQ(y[0], 1.0);
+    EXPECT_DOUBLE_EQ(y[1], 1.0);
+    EXPECT_DOUBLE_EQ(y[2], 1.0);
+    m.multiply({1.0, 0.0, 0.0}, y);
+    EXPECT_DOUBLE_EQ(y[0], 2.0);
+    EXPECT_DOUBLE_EQ(y[1], -1.0);
+    EXPECT_DOUBLE_EQ(y[2], 0.0);
+}
+
+TEST(SparseTest, EveryRowHasDiagonal)
+{
+    SparseMatrix m = chain(10);
+    for (std::uint32_t i = 0; i < m.n; ++i) {
+        bool has = false;
+        for (std::uint32_t e = m.row_ptr[i]; e < m.row_ptr[i + 1]; ++e)
+            has |= m.col[e] == i;
+        ASSERT_TRUE(has) << i;
+    }
+}
+
+TEST(SparseTest, BytesAccountsAllArrays)
+{
+    SparseMatrix m = chain(5);
+    EXPECT_EQ(m.bytes(), m.row_ptr.size() * 4 + m.col.size() * 4 +
+                             m.val.size() * 8);
+}
+
+} // namespace
+} // namespace rnr

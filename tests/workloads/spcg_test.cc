@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "workloads/sparse_gen.h"
+#include "workloads/spcg.h"
+
+namespace rnr {
+namespace {
+
+WorkloadOptions
+opts()
+{
+    WorkloadOptions o;
+    o.cores = 2;
+    return o;
+}
+
+std::vector<TraceBuffer>
+emit(SpcgWorkload &wl, unsigned iter, bool last)
+{
+    std::vector<TraceBuffer> bufs(wl.cores());
+    wl.emitIteration(iter, last, bufs);
+    return bufs;
+}
+
+TEST(SpcgTest, ResidualDecreasesMonotonically)
+{
+    SpcgWorkload wl(makeStencilMatrix(8, 8, 8), opts());
+    double prev = wl.residualNorm2();
+    for (unsigned it = 0; it < 10; ++it) {
+        emit(wl, it, it == 9);
+        EXPECT_LE(wl.residualNorm2(), prev * 1.0001) << it;
+        prev = wl.residualNorm2();
+    }
+}
+
+TEST(SpcgTest, SolvesToKnownSolution)
+{
+    // b was built as A * ones, so x converges to all-ones.
+    SpcgWorkload wl(makeStencilMatrix(6, 6, 6), opts());
+    for (unsigned it = 0; it < 40; ++it)
+        emit(wl, it, it == 39);
+    for (double xi : wl.solution())
+        ASSERT_NEAR(xi, 1.0, 1e-3);
+}
+
+TEST(SpcgTest, TraceCoversSpmvAndVectorPhases)
+{
+    SpcgWorkload wl(makeStencilMatrix(6, 6, 6), opts());
+    auto bufs = emit(wl, 0, false);
+    const SparseMatrix &A = wl.matrix();
+    std::uint64_t loads = 0, stores = 0;
+    for (const auto &b : bufs) {
+        loads += b.loads();
+        stores += b.stores();
+    }
+    // SpMV: n row_ptr + 3nnz (col, val, p); dots/axpys: 8n loads.
+    EXPECT_EQ(loads, A.n + 3 * A.nnz() + 8 * A.n);
+    // q store + x + r + p update stores.
+    EXPECT_EQ(stores, 4u * A.n);
+}
+
+TEST(SpcgTest, RnrTargetsThePVector)
+{
+    SpcgWorkload wl(makeStencilMatrix(6, 6, 6), opts());
+    auto bufs = emit(wl, 0, false);
+    const auto &recs = bufs[0].records();
+    EXPECT_EQ(recs[0].ctrl, RnrOp::Init);
+    EXPECT_EQ(recs[1].ctrl, RnrOp::AddrBaseSet);
+    const AddressSpace::Region *r = wl.space().find("cg_p");
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(recs[1].addr, r->base);
+    EXPECT_EQ(recs[1].aux, wl.matrix().n * sizeof(double));
+}
+
+TEST(SpcgTest, IrregularAccessSequenceRepeats)
+{
+    SpcgWorkload wl(makeBandedScatterMatrix(512, 16, 8, 0.3, 5), opts());
+    auto a = emit(wl, 1, false);
+    auto b = emit(wl, 2, false);
+    ASSERT_EQ(a[0].size(), b[0].size());
+    for (std::size_t i = 0; i < a[0].size(); ++i)
+        ASSERT_EQ(a[0].records()[i].addr, b[0].records()[i].addr) << i;
+}
+
+TEST(SpcgTest, WindowSizeOverridePropagates)
+{
+    WorkloadOptions o = opts();
+    o.window_size = 64;
+    SpcgWorkload wl(makeStencilMatrix(4, 4, 4), o);
+    auto bufs = emit(wl, 0, false);
+    bool saw = false;
+    for (const auto &r : bufs[0].records())
+        saw |= r.kind == RecordKind::Control &&
+               r.ctrl == RnrOp::WindowSizeSet && r.addr == 64;
+    EXPECT_TRUE(saw);
+}
+
+} // namespace
+} // namespace rnr
