@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prefetch_queue.dir/ablation_prefetch_queue.cc.o"
+  "CMakeFiles/ablation_prefetch_queue.dir/ablation_prefetch_queue.cc.o.d"
+  "ablation_prefetch_queue"
+  "ablation_prefetch_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prefetch_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_more_workloads.dir/ext_more_workloads.cc.o"
+  "CMakeFiles/ext_more_workloads.dir/ext_more_workloads.cc.o.d"
+  "ext_more_workloads"
+  "ext_more_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_more_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_coverage_accuracy.dir/fig01_coverage_accuracy.cc.o"
+  "CMakeFiles/fig01_coverage_accuracy.dir/fig01_coverage_accuracy.cc.o.d"
+  "fig01_coverage_accuracy"
+  "fig01_coverage_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_coverage_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

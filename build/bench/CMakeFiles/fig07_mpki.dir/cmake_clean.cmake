@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_mpki.dir/fig07_mpki.cc.o"
+  "CMakeFiles/fig07_mpki.dir/fig07_mpki.cc.o.d"
+  "fig07_mpki"
+  "fig07_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_coverage.dir/fig08_coverage.cc.o"
+  "CMakeFiles/fig08_coverage.dir/fig08_coverage.cc.o.d"
+  "fig08_coverage"
+  "fig08_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_storage.dir/fig13_storage.cc.o"
+  "CMakeFiles/fig13_storage.dir/fig13_storage.cc.o.d"
+  "fig13_storage"
+  "fig13_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

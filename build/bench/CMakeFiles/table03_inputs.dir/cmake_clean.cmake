@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_inputs.dir/table03_inputs.cc.o"
+  "CMakeFiles/table03_inputs.dir/table03_inputs.cc.o.d"
+  "table03_inputs"
+  "table03_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation.dir/motivation.cpp.o"
+  "CMakeFiles/motivation.dir/motivation.cpp.o.d"
+  "motivation"
+  "motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

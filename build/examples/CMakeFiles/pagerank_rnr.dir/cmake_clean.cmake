@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_rnr.dir/pagerank_rnr.cpp.o"
+  "CMakeFiles/pagerank_rnr.dir/pagerank_rnr.cpp.o.d"
+  "pagerank_rnr"
+  "pagerank_rnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_rnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

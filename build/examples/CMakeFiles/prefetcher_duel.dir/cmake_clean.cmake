@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetcher_duel.dir/prefetcher_duel.cpp.o"
+  "CMakeFiles/prefetcher_duel.dir/prefetcher_duel.cpp.o.d"
+  "prefetcher_duel"
+  "prefetcher_duel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetcher_duel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

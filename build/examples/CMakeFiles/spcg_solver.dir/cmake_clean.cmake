@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spcg_solver.dir/spcg_solver.cpp.o"
+  "CMakeFiles/spcg_solver.dir/spcg_solver.cpp.o.d"
+  "spcg_solver"
+  "spcg_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spcg_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

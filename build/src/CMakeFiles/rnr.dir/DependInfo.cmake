@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/replay_control.cc" "src/CMakeFiles/rnr.dir/core/replay_control.cc.o" "gcc" "src/CMakeFiles/rnr.dir/core/replay_control.cc.o.d"
+  "/root/repo/src/core/rnr_hw_model.cc" "src/CMakeFiles/rnr.dir/core/rnr_hw_model.cc.o" "gcc" "src/CMakeFiles/rnr.dir/core/rnr_hw_model.cc.o.d"
+  "/root/repo/src/core/rnr_prefetcher.cc" "src/CMakeFiles/rnr.dir/core/rnr_prefetcher.cc.o" "gcc" "src/CMakeFiles/rnr.dir/core/rnr_prefetcher.cc.o.d"
+  "/root/repo/src/core/rnr_runtime.cc" "src/CMakeFiles/rnr.dir/core/rnr_runtime.cc.o" "gcc" "src/CMakeFiles/rnr.dir/core/rnr_runtime.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/rnr.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/rnr.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/system.cc" "src/CMakeFiles/rnr.dir/cpu/system.cc.o" "gcc" "src/CMakeFiles/rnr.dir/cpu/system.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/rnr.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/rnr.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/metrics.cc" "src/CMakeFiles/rnr.dir/harness/metrics.cc.o" "gcc" "src/CMakeFiles/rnr.dir/harness/metrics.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/rnr.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/rnr.dir/harness/runner.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/rnr.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/rnr.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/rnr.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/rnr.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/rnr.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/rnr.dir/mem/memory_system.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/rnr.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/rnr.dir/mem/tlb.cc.o.d"
+  "/root/repo/src/prefetch/bingo.cc" "src/CMakeFiles/rnr.dir/prefetch/bingo.cc.o" "gcc" "src/CMakeFiles/rnr.dir/prefetch/bingo.cc.o.d"
+  "/root/repo/src/prefetch/domino.cc" "src/CMakeFiles/rnr.dir/prefetch/domino.cc.o" "gcc" "src/CMakeFiles/rnr.dir/prefetch/domino.cc.o.d"
+  "/root/repo/src/prefetch/droplet.cc" "src/CMakeFiles/rnr.dir/prefetch/droplet.cc.o" "gcc" "src/CMakeFiles/rnr.dir/prefetch/droplet.cc.o.d"
+  "/root/repo/src/prefetch/factory.cc" "src/CMakeFiles/rnr.dir/prefetch/factory.cc.o" "gcc" "src/CMakeFiles/rnr.dir/prefetch/factory.cc.o.d"
+  "/root/repo/src/prefetch/ghb.cc" "src/CMakeFiles/rnr.dir/prefetch/ghb.cc.o" "gcc" "src/CMakeFiles/rnr.dir/prefetch/ghb.cc.o.d"
+  "/root/repo/src/prefetch/imp.cc" "src/CMakeFiles/rnr.dir/prefetch/imp.cc.o" "gcc" "src/CMakeFiles/rnr.dir/prefetch/imp.cc.o.d"
+  "/root/repo/src/prefetch/misb.cc" "src/CMakeFiles/rnr.dir/prefetch/misb.cc.o" "gcc" "src/CMakeFiles/rnr.dir/prefetch/misb.cc.o.d"
+  "/root/repo/src/prefetch/next_line.cc" "src/CMakeFiles/rnr.dir/prefetch/next_line.cc.o" "gcc" "src/CMakeFiles/rnr.dir/prefetch/next_line.cc.o.d"
+  "/root/repo/src/prefetch/prefetcher.cc" "src/CMakeFiles/rnr.dir/prefetch/prefetcher.cc.o" "gcc" "src/CMakeFiles/rnr.dir/prefetch/prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/stems.cc" "src/CMakeFiles/rnr.dir/prefetch/stems.cc.o" "gcc" "src/CMakeFiles/rnr.dir/prefetch/stems.cc.o.d"
+  "/root/repo/src/prefetch/stream.cc" "src/CMakeFiles/rnr.dir/prefetch/stream.cc.o" "gcc" "src/CMakeFiles/rnr.dir/prefetch/stream.cc.o.d"
+  "/root/repo/src/prefetch/stride.cc" "src/CMakeFiles/rnr.dir/prefetch/stride.cc.o" "gcc" "src/CMakeFiles/rnr.dir/prefetch/stride.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/rnr.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/rnr.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/rnr.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/rnr.dir/sim/stats.cc.o.d"
+  "/root/repo/src/trace/trace_buffer.cc" "src/CMakeFiles/rnr.dir/trace/trace_buffer.cc.o" "gcc" "src/CMakeFiles/rnr.dir/trace/trace_buffer.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/rnr.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/rnr.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/trace/tracer.cc" "src/CMakeFiles/rnr.dir/trace/tracer.cc.o" "gcc" "src/CMakeFiles/rnr.dir/trace/tracer.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/CMakeFiles/rnr.dir/workloads/graph.cc.o" "gcc" "src/CMakeFiles/rnr.dir/workloads/graph.cc.o.d"
+  "/root/repo/src/workloads/graph_gen.cc" "src/CMakeFiles/rnr.dir/workloads/graph_gen.cc.o" "gcc" "src/CMakeFiles/rnr.dir/workloads/graph_gen.cc.o.d"
+  "/root/repo/src/workloads/hyperanf.cc" "src/CMakeFiles/rnr.dir/workloads/hyperanf.cc.o" "gcc" "src/CMakeFiles/rnr.dir/workloads/hyperanf.cc.o.d"
+  "/root/repo/src/workloads/jacobi.cc" "src/CMakeFiles/rnr.dir/workloads/jacobi.cc.o" "gcc" "src/CMakeFiles/rnr.dir/workloads/jacobi.cc.o.d"
+  "/root/repo/src/workloads/labelprop.cc" "src/CMakeFiles/rnr.dir/workloads/labelprop.cc.o" "gcc" "src/CMakeFiles/rnr.dir/workloads/labelprop.cc.o.d"
+  "/root/repo/src/workloads/pagerank.cc" "src/CMakeFiles/rnr.dir/workloads/pagerank.cc.o" "gcc" "src/CMakeFiles/rnr.dir/workloads/pagerank.cc.o.d"
+  "/root/repo/src/workloads/partition.cc" "src/CMakeFiles/rnr.dir/workloads/partition.cc.o" "gcc" "src/CMakeFiles/rnr.dir/workloads/partition.cc.o.d"
+  "/root/repo/src/workloads/sparse.cc" "src/CMakeFiles/rnr.dir/workloads/sparse.cc.o" "gcc" "src/CMakeFiles/rnr.dir/workloads/sparse.cc.o.d"
+  "/root/repo/src/workloads/sparse_gen.cc" "src/CMakeFiles/rnr.dir/workloads/sparse_gen.cc.o" "gcc" "src/CMakeFiles/rnr.dir/workloads/sparse_gen.cc.o.d"
+  "/root/repo/src/workloads/spcg.cc" "src/CMakeFiles/rnr.dir/workloads/spcg.cc.o" "gcc" "src/CMakeFiles/rnr.dir/workloads/spcg.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/rnr.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/rnr.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/replay_control_test.cc.o"
+  "CMakeFiles/core_test.dir/core/replay_control_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/rnr_hw_model_test.cc.o"
+  "CMakeFiles/core_test.dir/core/rnr_hw_model_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/rnr_prefetcher_test.cc.o"
+  "CMakeFiles/core_test.dir/core/rnr_prefetcher_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/rnr_runtime_test.cc.o"
+  "CMakeFiles/core_test.dir/core/rnr_runtime_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/rnr_state_test.cc.o"
+  "CMakeFiles/core_test.dir/core/rnr_state_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

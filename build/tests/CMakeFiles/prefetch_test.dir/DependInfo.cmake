@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/prefetch/bingo_test.cc" "tests/CMakeFiles/prefetch_test.dir/prefetch/bingo_test.cc.o" "gcc" "tests/CMakeFiles/prefetch_test.dir/prefetch/bingo_test.cc.o.d"
+  "/root/repo/tests/prefetch/domino_test.cc" "tests/CMakeFiles/prefetch_test.dir/prefetch/domino_test.cc.o" "gcc" "tests/CMakeFiles/prefetch_test.dir/prefetch/domino_test.cc.o.d"
+  "/root/repo/tests/prefetch/droplet_test.cc" "tests/CMakeFiles/prefetch_test.dir/prefetch/droplet_test.cc.o" "gcc" "tests/CMakeFiles/prefetch_test.dir/prefetch/droplet_test.cc.o.d"
+  "/root/repo/tests/prefetch/factory_test.cc" "tests/CMakeFiles/prefetch_test.dir/prefetch/factory_test.cc.o" "gcc" "tests/CMakeFiles/prefetch_test.dir/prefetch/factory_test.cc.o.d"
+  "/root/repo/tests/prefetch/ghb_test.cc" "tests/CMakeFiles/prefetch_test.dir/prefetch/ghb_test.cc.o" "gcc" "tests/CMakeFiles/prefetch_test.dir/prefetch/ghb_test.cc.o.d"
+  "/root/repo/tests/prefetch/imp_test.cc" "tests/CMakeFiles/prefetch_test.dir/prefetch/imp_test.cc.o" "gcc" "tests/CMakeFiles/prefetch_test.dir/prefetch/imp_test.cc.o.d"
+  "/root/repo/tests/prefetch/misb_test.cc" "tests/CMakeFiles/prefetch_test.dir/prefetch/misb_test.cc.o" "gcc" "tests/CMakeFiles/prefetch_test.dir/prefetch/misb_test.cc.o.d"
+  "/root/repo/tests/prefetch/next_line_test.cc" "tests/CMakeFiles/prefetch_test.dir/prefetch/next_line_test.cc.o" "gcc" "tests/CMakeFiles/prefetch_test.dir/prefetch/next_line_test.cc.o.d"
+  "/root/repo/tests/prefetch/stems_test.cc" "tests/CMakeFiles/prefetch_test.dir/prefetch/stems_test.cc.o" "gcc" "tests/CMakeFiles/prefetch_test.dir/prefetch/stems_test.cc.o.d"
+  "/root/repo/tests/prefetch/stream_test.cc" "tests/CMakeFiles/prefetch_test.dir/prefetch/stream_test.cc.o" "gcc" "tests/CMakeFiles/prefetch_test.dir/prefetch/stream_test.cc.o.d"
+  "/root/repo/tests/prefetch/stride_test.cc" "tests/CMakeFiles/prefetch_test.dir/prefetch/stride_test.cc.o" "gcc" "tests/CMakeFiles/prefetch_test.dir/prefetch/stride_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rnr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

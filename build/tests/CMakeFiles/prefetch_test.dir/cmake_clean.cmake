@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_test.dir/prefetch/bingo_test.cc.o"
+  "CMakeFiles/prefetch_test.dir/prefetch/bingo_test.cc.o.d"
+  "CMakeFiles/prefetch_test.dir/prefetch/domino_test.cc.o"
+  "CMakeFiles/prefetch_test.dir/prefetch/domino_test.cc.o.d"
+  "CMakeFiles/prefetch_test.dir/prefetch/droplet_test.cc.o"
+  "CMakeFiles/prefetch_test.dir/prefetch/droplet_test.cc.o.d"
+  "CMakeFiles/prefetch_test.dir/prefetch/factory_test.cc.o"
+  "CMakeFiles/prefetch_test.dir/prefetch/factory_test.cc.o.d"
+  "CMakeFiles/prefetch_test.dir/prefetch/ghb_test.cc.o"
+  "CMakeFiles/prefetch_test.dir/prefetch/ghb_test.cc.o.d"
+  "CMakeFiles/prefetch_test.dir/prefetch/imp_test.cc.o"
+  "CMakeFiles/prefetch_test.dir/prefetch/imp_test.cc.o.d"
+  "CMakeFiles/prefetch_test.dir/prefetch/misb_test.cc.o"
+  "CMakeFiles/prefetch_test.dir/prefetch/misb_test.cc.o.d"
+  "CMakeFiles/prefetch_test.dir/prefetch/next_line_test.cc.o"
+  "CMakeFiles/prefetch_test.dir/prefetch/next_line_test.cc.o.d"
+  "CMakeFiles/prefetch_test.dir/prefetch/stems_test.cc.o"
+  "CMakeFiles/prefetch_test.dir/prefetch/stems_test.cc.o.d"
+  "CMakeFiles/prefetch_test.dir/prefetch/stream_test.cc.o"
+  "CMakeFiles/prefetch_test.dir/prefetch/stream_test.cc.o.d"
+  "CMakeFiles/prefetch_test.dir/prefetch/stride_test.cc.o"
+  "CMakeFiles/prefetch_test.dir/prefetch/stride_test.cc.o.d"
+  "prefetch_test"
+  "prefetch_test.pdb"
+  "prefetch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads/graph_gen_test.cc" "tests/CMakeFiles/workloads_test.dir/workloads/graph_gen_test.cc.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads/graph_gen_test.cc.o.d"
+  "/root/repo/tests/workloads/graph_test.cc" "tests/CMakeFiles/workloads_test.dir/workloads/graph_test.cc.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads/graph_test.cc.o.d"
+  "/root/repo/tests/workloads/hyperanf_test.cc" "tests/CMakeFiles/workloads_test.dir/workloads/hyperanf_test.cc.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads/hyperanf_test.cc.o.d"
+  "/root/repo/tests/workloads/jacobi_test.cc" "tests/CMakeFiles/workloads_test.dir/workloads/jacobi_test.cc.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads/jacobi_test.cc.o.d"
+  "/root/repo/tests/workloads/labelprop_test.cc" "tests/CMakeFiles/workloads_test.dir/workloads/labelprop_test.cc.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads/labelprop_test.cc.o.d"
+  "/root/repo/tests/workloads/pagerank_test.cc" "tests/CMakeFiles/workloads_test.dir/workloads/pagerank_test.cc.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads/pagerank_test.cc.o.d"
+  "/root/repo/tests/workloads/partition_test.cc" "tests/CMakeFiles/workloads_test.dir/workloads/partition_test.cc.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads/partition_test.cc.o.d"
+  "/root/repo/tests/workloads/sparse_gen_test.cc" "tests/CMakeFiles/workloads_test.dir/workloads/sparse_gen_test.cc.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads/sparse_gen_test.cc.o.d"
+  "/root/repo/tests/workloads/sparse_test.cc" "tests/CMakeFiles/workloads_test.dir/workloads/sparse_test.cc.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads/sparse_test.cc.o.d"
+  "/root/repo/tests/workloads/spcg_test.cc" "tests/CMakeFiles/workloads_test.dir/workloads/spcg_test.cc.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads/spcg_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rnr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

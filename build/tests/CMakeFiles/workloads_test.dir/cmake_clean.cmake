@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_test.dir/workloads/graph_gen_test.cc.o"
+  "CMakeFiles/workloads_test.dir/workloads/graph_gen_test.cc.o.d"
+  "CMakeFiles/workloads_test.dir/workloads/graph_test.cc.o"
+  "CMakeFiles/workloads_test.dir/workloads/graph_test.cc.o.d"
+  "CMakeFiles/workloads_test.dir/workloads/hyperanf_test.cc.o"
+  "CMakeFiles/workloads_test.dir/workloads/hyperanf_test.cc.o.d"
+  "CMakeFiles/workloads_test.dir/workloads/jacobi_test.cc.o"
+  "CMakeFiles/workloads_test.dir/workloads/jacobi_test.cc.o.d"
+  "CMakeFiles/workloads_test.dir/workloads/labelprop_test.cc.o"
+  "CMakeFiles/workloads_test.dir/workloads/labelprop_test.cc.o.d"
+  "CMakeFiles/workloads_test.dir/workloads/pagerank_test.cc.o"
+  "CMakeFiles/workloads_test.dir/workloads/pagerank_test.cc.o.d"
+  "CMakeFiles/workloads_test.dir/workloads/partition_test.cc.o"
+  "CMakeFiles/workloads_test.dir/workloads/partition_test.cc.o.d"
+  "CMakeFiles/workloads_test.dir/workloads/sparse_gen_test.cc.o"
+  "CMakeFiles/workloads_test.dir/workloads/sparse_gen_test.cc.o.d"
+  "CMakeFiles/workloads_test.dir/workloads/sparse_test.cc.o"
+  "CMakeFiles/workloads_test.dir/workloads/sparse_test.cc.o.d"
+  "CMakeFiles/workloads_test.dir/workloads/spcg_test.cc.o"
+  "CMakeFiles/workloads_test.dir/workloads/spcg_test.cc.o.d"
+  "workloads_test"
+  "workloads_test.pdb"
+  "workloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
