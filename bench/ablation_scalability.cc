@@ -16,9 +16,23 @@ using namespace rnr;
 using namespace rnr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts =
+        parseBenchArgs(argc, argv, "Ablation V-E");
     printHeader("Ablation (Section V-E)", "Core-count scalability");
+
+    std::vector<ExperimentConfig> cells;
+    for (unsigned cores : {1u, 2u, 4u, 8u}) {
+        ExperimentConfig cfg;
+        cfg.app = "pagerank";
+        cfg.input = "amazon";
+        cfg.cores = cores;
+        cells.push_back(cfg); // the no-prefetcher baseline
+        cfg.prefetcher = PrefetcherKind::Rnr;
+        cells.push_back(cfg);
+    }
+    precompute(cells, opts);
 
     const RnrHwCost hw = computeRnrHwCost();
     std::printf("per-core hardware state: %llu B (grows linearly with "

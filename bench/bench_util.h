@@ -2,20 +2,31 @@
  * @file
  * Shared plumbing for the per-figure bench binaries: the evaluation
  * matrix (Section VI's workloads x inputs), the prefetcher line-up of
- * the figures, and table-printing helpers.
+ * the figures, sweep/CLI plumbing and table-printing helpers.
  *
- * Results are cached in rnr_results.cache (see harness/runner.h), so
- * the first bench to touch a cell simulates it and the rest reuse it.
+ * Each bench enumerates its full matrix up front and hands it to the
+ * parallel SweepRunner (harness/sweep.h), which fills the shared result
+ * cache (rnr_results.cache) on every core; the print loops then read
+ * the warm cache.  Shared flags, parsed by parseBenchArgs():
+ *
+ *   --jobs <n>     thread-pool width        (or RNR_JOBS=<n>)
+ *   --json <path>  structured result export (or RNR_JSON_OUT=<path>)
+ *   --quiet        silence progress         (or RNR_PROGRESS=0)
+ *
+ * See docs/HARNESS.md for the full pipeline walkthrough.
  */
 #ifndef RNR_BENCH_BENCH_UTIL_H
 #define RNR_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "harness/metrics.h"
 #include "harness/runner.h"
+#include "harness/sweep.h"
 #include "sim/config.h"
 
 namespace rnr::bench {
@@ -72,6 +83,94 @@ makeConfig(const WorkloadRef &w, PrefetcherKind kind)
     cfg.input = w.input;
     cfg.prefetcher = kind;
     return cfg;
+}
+
+/**
+ * Parses the flags shared by every bench binary (--jobs, --json,
+ * --quiet; see the file header) into SweepOptions labelled @p label.
+ * Unknown flags print usage and exit so typos don't silently run the
+ * full matrix.
+ */
+inline SweepOptions
+parseBenchArgs(int argc, char **argv, const std::string &label)
+{
+    SweepOptions opts;
+    opts.label = label;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quiet") {
+            opts.progress = 0;
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            opts.jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            opts.jobs = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 7, nullptr, 10));
+        } else if (arg == "--json" && i + 1 < argc) {
+            opts.json_out = argv[++i];
+        } else if (arg.rfind("--json=", 0) == 0) {
+            opts.json_out = arg.substr(7);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--jobs <n>] [--json <path>] "
+                         "[--quiet]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+/**
+ * Runs @p cells on the thread pool, warming the in-process result
+ * cache so the figure's print loops below are pure lookups.  Also the
+ * point where --json / RNR_JSON_OUT exports the batch.
+ */
+inline void
+precompute(const std::vector<ExperimentConfig> &cells,
+           const SweepOptions &opts)
+{
+    runSweep(cells, opts);
+}
+
+/** The standard figure matrix: baseline + line-up per workload. */
+inline std::vector<ExperimentConfig>
+figureMatrix(bool with_baseline = true, bool with_ideal = false)
+{
+    std::vector<ExperimentConfig> cells;
+    for (const WorkloadRef &w : allWorkloads()) {
+        if (with_baseline)
+            cells.push_back(makeConfig(w, PrefetcherKind::None));
+        for (PrefetcherKind k : figurePrefetchers()) {
+            if (applicable(k, w))
+                cells.push_back(makeConfig(w, k));
+        }
+        if (with_ideal) {
+            ExperimentConfig ideal = makeConfig(w, PrefetcherKind::None);
+            ideal.ideal_llc = true;
+            cells.push_back(ideal);
+        }
+    }
+    return cells;
+}
+
+/** RnR under each replay-control mode (+ optional baselines). */
+inline std::vector<ExperimentConfig>
+controlMatrix(bool with_baseline)
+{
+    std::vector<ExperimentConfig> cells;
+    for (const WorkloadRef &w : allWorkloads()) {
+        if (with_baseline)
+            cells.push_back(makeConfig(w, PrefetcherKind::None));
+        for (ReplayControlMode mode :
+             {ReplayControlMode::None, ReplayControlMode::Window,
+              ReplayControlMode::WindowPace}) {
+            ExperimentConfig cfg = makeConfig(w, PrefetcherKind::Rnr);
+            cfg.control = mode;
+            cells.push_back(cfg);
+        }
+    }
+    return cells;
 }
 
 /** Prints the standard bench banner with the machine description. */

@@ -17,8 +17,9 @@ using namespace rnr;
 using namespace rnr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = parseBenchArgs(argc, argv, "Extension");
     printHeader("Extension", "RnR on label propagation and Jacobi");
 
     const std::vector<WorkloadRef> workloads = {
@@ -31,6 +32,14 @@ main()
         PrefetcherKind::Domino, PrefetcherKind::Imp,
         PrefetcherKind::Rnr,    PrefetcherKind::RnrCombined,
     };
+
+    std::vector<ExperimentConfig> cells;
+    for (const WorkloadRef &w : workloads) {
+        cells.push_back(makeConfig(w, PrefetcherKind::None));
+        for (PrefetcherKind k : kinds)
+            cells.push_back(makeConfig(w, k));
+    }
+    precompute(cells, opts);
 
     std::vector<std::string> heads;
     for (PrefetcherKind k : kinds)

@@ -9,14 +9,13 @@ using namespace rnr;
 using namespace rnr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = parseBenchArgs(argc, argv, "Fig 1");
     printHeader("Fig 1",
                 "Coverage vs accuracy, PageRank on the amazon graph");
 
     const WorkloadRef w{"pagerank", "amazon"};
-    const ExperimentResult base =
-        runExperiment(makeConfig(w, PrefetcherKind::None));
 
     // The paper's six points: next-line, Bingo (spatial), MISB
     // (temporal), SteMS (spatio-temporal), DROPLET (domain) and RnR.
@@ -25,6 +24,15 @@ main()
         PrefetcherKind::Misb,     PrefetcherKind::Stems,
         PrefetcherKind::Droplet,  PrefetcherKind::Rnr,
     };
+
+    std::vector<ExperimentConfig> cells = {
+        makeConfig(w, PrefetcherKind::None)};
+    for (PrefetcherKind k : kinds)
+        cells.push_back(makeConfig(w, k));
+    precompute(cells, opts);
+
+    const ExperimentResult base =
+        runExperiment(makeConfig(w, PrefetcherKind::None));
 
     std::printf("%-12s %10s %10s\n", "prefetcher", "coverage",
                 "accuracy");

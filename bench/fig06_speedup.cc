@@ -11,9 +11,15 @@ using namespace rnr;
 using namespace rnr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = parseBenchArgs(argc, argv, "Fig 6");
     printHeader("Fig 6", "Speedup over no-prefetcher baseline");
+
+    // Simulate the whole matrix (baselines, line-up, ideal LLC) on all
+    // cores; the loops below then read the warm cache.
+    precompute(figureMatrix(/*with_baseline=*/true, /*with_ideal=*/true),
+               opts);
 
     const auto kinds = figurePrefetchers();
     std::vector<std::string> heads;

@@ -9,9 +9,12 @@ using namespace rnr;
 using namespace rnr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = parseBenchArgs(argc, argv, "Fig 7");
     printHeader("Fig 7", "L2 MPKI (demand misses / kilo-instruction)");
+
+    precompute(figureMatrix(), opts);
 
     const auto kinds = figurePrefetchers();
     std::vector<std::string> heads = {"none"};

@@ -9,9 +9,12 @@ using namespace rnr;
 using namespace rnr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = parseBenchArgs(argc, argv, "Fig 8");
     printHeader("Fig 8", "Miss coverage (fraction of baseline misses)");
+
+    precompute(figureMatrix(), opts);
 
     const auto kinds = figurePrefetchers();
     std::vector<std::string> heads;

@@ -9,9 +9,12 @@ using namespace rnr;
 using namespace rnr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = parseBenchArgs(argc, argv, "Fig 9");
     printHeader("Fig 9", "Prefetcher accuracy (useful / issued)");
+
+    precompute(figureMatrix(/*with_baseline=*/false), opts);
 
     const auto kinds = figurePrefetchers();
     std::vector<std::string> heads;

@@ -15,10 +15,13 @@ using namespace rnr;
 using namespace rnr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = parseBenchArgs(argc, argv, "Fig 10");
     printHeader("Fig 10 / §VII-A6",
                 "Replay timing control & record overhead");
+
+    precompute(controlMatrix(/*with_baseline=*/true), opts);
 
     printColumnHeads({"none", "window", "win+pace", "recOvhd%"});
     std::vector<double> rec_overheads;

@@ -10,9 +10,12 @@ using namespace rnr;
 using namespace rnr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = parseBenchArgs(argc, argv, "Fig 11");
     printHeader("Fig 11", "Prefetch timeliness breakdown (percent)");
+
+    precompute(controlMatrix(/*with_baseline=*/false), opts);
 
     std::printf("%-20s %-9s %8s %8s %8s %8s\n", "workload", "control",
                 "ontime", "early", "late", "out-win");

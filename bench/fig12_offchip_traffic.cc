@@ -10,9 +10,12 @@ using namespace rnr;
 using namespace rnr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = parseBenchArgs(argc, argv, "Fig 12");
     printHeader("Fig 12", "Additional off-chip traffic (percent)");
+
+    precompute(figureMatrix(), opts);
 
     const auto kinds = figurePrefetchers();
     std::vector<std::string> heads;

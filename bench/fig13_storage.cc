@@ -11,9 +11,15 @@ using namespace rnr;
 using namespace rnr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = parseBenchArgs(argc, argv, "Fig 13");
     printHeader("Fig 13 / §VII-B", "Storage and hardware overhead");
+
+    std::vector<ExperimentConfig> cells;
+    for (const WorkloadRef &w : allWorkloads())
+        cells.push_back(makeConfig(w, PrefetcherKind::Rnr));
+    precompute(cells, opts);
 
     std::printf("%-20s %12s %12s %10s\n", "workload", "seqTable(B)",
                 "divTable(B)", "overhead");

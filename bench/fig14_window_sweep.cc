@@ -10,8 +10,9 @@ using namespace rnr;
 using namespace rnr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = parseBenchArgs(argc, argv, "Fig 14");
     printHeader("Fig 14", "Window-size sweep (speedup & storage)");
 
     // Sweep on the graph workloads (the paper's averages are dominated
@@ -19,6 +20,19 @@ main()
     // only window-dependent structure.
     const std::vector<std::uint32_t> windows = {16,  32,  64,  128,
                                                 256, 512, 1024, 2048};
+
+    std::vector<ExperimentConfig> cells;
+    for (const WorkloadRef &w : allWorkloads()) {
+        if (w.app == "spcg")
+            continue;
+        cells.push_back(makeConfig(w, PrefetcherKind::None));
+        for (std::uint32_t ws : windows) {
+            ExperimentConfig cfg = makeConfig(w, PrefetcherKind::Rnr);
+            cfg.window_size = ws;
+            cells.push_back(cfg);
+        }
+    }
+    precompute(cells, opts);
     std::printf("%-10s %12s %16s\n", "window", "avg speedup",
                 "storage overhead");
     for (std::uint32_t ws : windows) {

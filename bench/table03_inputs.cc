@@ -15,8 +15,11 @@ using namespace rnr;
 using namespace rnr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Table III characterises the inputs themselves — no simulation
+    // matrix — but it accepts the shared flags for CLI uniformity.
+    (void)parseBenchArgs(argc, argv, "Table III");
     printHeader("Table III", "Evaluated inputs (scaled stand-ins)");
 
     std::printf("Graphs (4-way partitioned as in Section VI):\n");

@@ -10,6 +10,7 @@
 
 #include "harness/metrics.h"
 #include "harness/runner.h"
+#include "harness/sweep.h"
 
 int
 main(int argc, char **argv)
@@ -25,6 +26,25 @@ main(int argc, char **argv)
                 "iterations, speedups amortised over %u)\n\n",
                 cfg.app.c_str(), cfg.input.c_str(),
                 kAmortizedIterations);
+
+    // Enumerate every contender up front and simulate them in parallel;
+    // the print loop below reads the warm cache.
+    std::vector<ExperimentConfig> cells;
+    for (PrefetcherKind kind : allPrefetcherKinds()) {
+        if (kind == PrefetcherKind::Droplet && cfg.app == "spcg")
+            continue;
+        ExperimentConfig c = cfg;
+        c.prefetcher = kind;
+        if (kind == PrefetcherKind::None) {
+            c.control = ReplayControlMode::WindowPace;
+            c.window_size = 0;
+            c.ideal_llc = false; // mirror runBaseline's normalisation
+        }
+        cells.push_back(c);
+    }
+    SweepOptions sweep_opts;
+    sweep_opts.label = "duel";
+    runSweep(cells, sweep_opts);
 
     const ExperimentResult base = runBaseline(cfg);
     std::printf("%-13s %8s %9s %9s %8s %9s\n", "prefetcher", "speedup",

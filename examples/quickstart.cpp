@@ -8,6 +8,7 @@
 
 #include "harness/metrics.h"
 #include "harness/runner.h"
+#include "harness/sweep.h"
 
 int
 main()
@@ -22,11 +23,16 @@ main()
     std::printf("Simulating %s/%s ...\n", cfg.app.c_str(),
                 cfg.input.c_str());
 
-    cfg.prefetcher = PrefetcherKind::None;
-    const ExperimentResult baseline = runExperiment(cfg);
-
-    cfg.prefetcher = PrefetcherKind::Rnr;
-    const ExperimentResult with_rnr = runExperiment(cfg);
+    // Both cells are independent, so run them as one parallel sweep
+    // (RNR_JOBS controls the pool; results land in the shared cache).
+    ExperimentConfig rnr_cfg = cfg;
+    rnr_cfg.prefetcher = PrefetcherKind::Rnr;
+    SweepOptions sweep_opts;
+    sweep_opts.label = "quickstart";
+    const std::vector<ExperimentResult> results =
+        runSweep({cfg, rnr_cfg}, sweep_opts);
+    const ExperimentResult &baseline = results[0];
+    const ExperimentResult &with_rnr = results[1];
 
     std::printf("baseline cycles/iter (steady): %llu\n",
                 static_cast<unsigned long long>(baseline.steady().cycles));

@@ -10,6 +10,11 @@
  *               (N-1) steady iterations                        (Fig 6)
  *   Traffic   = extra off-chip bytes vs the no-prefetch run   (Fig 12)
  *   Storage   = peak metadata bytes / input bytes             (Fig 13)
+ *
+ * Every function here is a pure function of ExperimentResult fields, so
+ * figures can equally be regenerated offline from a sweep's JSON export
+ * (harness/sweep.h, schema rnr-sweep-v1) — see docs/HARNESS.md for the
+ * field-by-field mapping.
  */
 #ifndef RNR_HARNESS_METRICS_H
 #define RNR_HARNESS_METRICS_H

@@ -1,0 +1,188 @@
+#include "harness/result_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#define rnr_getpid _getpid
+#else
+#include <unistd.h>
+#define rnr_getpid getpid
+#endif
+
+namespace rnr {
+
+ResultCache &
+ResultCache::instance()
+{
+    static ResultCache cache;
+    return cache;
+}
+
+std::string
+ResultCache::serialize(const ExperimentResult &r)
+{
+    std::ostringstream os;
+    os << r.input_bytes << " " << r.target_bytes << " "
+       << r.seq_table_bytes << " " << r.div_table_bytes << " "
+       << r.iterations.size();
+    for (const IterStats &it : r.iterations) {
+        os << " " << it.cycles << " " << it.instructions << " "
+           << it.l2_accesses << " " << it.l2_demand_misses << " "
+           << it.pf_issued << " " << it.pf_useful << " "
+           << it.pf_late_merged << " " << it.dram_bytes_total << " "
+           << it.dram_bytes_demand << " " << it.dram_bytes_prefetch << " "
+           << it.dram_bytes_metadata << " " << it.dram_bytes_writeback
+           << " " << it.rnr_ontime << " " << it.rnr_early << " "
+           << it.rnr_late << " " << it.rnr_out_of_window << " "
+           << it.rnr_recorded;
+    }
+    return os.str();
+}
+
+bool
+ResultCache::deserialize(const std::string &value, ExperimentResult &r)
+{
+    std::istringstream is(value);
+    std::size_t n = 0;
+    if (!(is >> r.input_bytes >> r.target_bytes >> r.seq_table_bytes >>
+          r.div_table_bytes >> n))
+        return false;
+    r.iterations.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        IterStats it;
+        if (!(is >> it.cycles >> it.instructions >> it.l2_accesses >>
+              it.l2_demand_misses >> it.pf_issued >> it.pf_useful >>
+              it.pf_late_merged >> it.dram_bytes_total >>
+              it.dram_bytes_demand >> it.dram_bytes_prefetch >>
+              it.dram_bytes_metadata >> it.dram_bytes_writeback >>
+              it.rnr_ontime >> it.rnr_early >> it.rnr_late >>
+              it.rnr_out_of_window >> it.rnr_recorded))
+            return false;
+        r.iterations.push_back(it);
+    }
+    return !r.iterations.empty();
+}
+
+std::string
+ResultCache::filePath()
+{
+    if (const char *p = std::getenv("RNR_CACHE_FILE"))
+        return p;
+    return "rnr_results.cache";
+}
+
+bool
+ResultCache::persistenceEnabled()
+{
+    const char *p = std::getenv("RNR_CACHE");
+    return !(p && std::string(p) == "0");
+}
+
+void
+ResultCache::ensureLoadedLocked()
+{
+    const std::string path = persistenceEnabled() ? filePath() : "";
+    if (loaded_ && path == loaded_path_)
+        return;
+    lines_.clear();
+    corrupt_lines_ = 0;
+    loaded_path_ = path;
+    loaded_ = true;
+    if (path.empty())
+        return;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const auto bar = line.find('|');
+        if (bar == std::string::npos) {
+            ++corrupt_lines_;
+            continue;
+        }
+        // Validate now so a truncated write never poisons a lookup.
+        ExperimentResult probe;
+        if (!deserialize(line.substr(bar + 1), probe)) {
+            ++corrupt_lines_;
+            continue;
+        }
+        lines_[line.substr(0, bar)] = line.substr(bar + 1);
+    }
+}
+
+void
+ResultCache::rewriteFileLocked()
+{
+    if (loaded_path_.empty())
+        return;
+    const std::string tmp =
+        loaded_path_ + ".tmp." + std::to_string(rnr_getpid());
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return; // unwritable location: keep going without persistence
+        for (const auto &[key, value] : lines_)
+            out << key << "|" << value << "\n";
+    }
+    if (std::rename(tmp.c_str(), loaded_path_.c_str()) != 0)
+        std::remove(tmp.c_str());
+}
+
+bool
+ResultCache::lookup(const ExperimentConfig &cfg, ExperimentResult &out)
+{
+    const std::string key = cfg.key();
+    std::lock_guard<std::mutex> lock(mu_);
+    auto mit = memo_.find(key);
+    if (mit != memo_.end()) {
+        out = mit->second;
+        return true;
+    }
+    ensureLoadedLocked();
+    auto fit = lines_.find(key);
+    if (fit == lines_.end())
+        return false;
+    ExperimentResult r;
+    r.config = cfg;
+    if (!deserialize(fit->second, r))
+        return false; // pre-validated at load, but stay defensive
+    memo_[key] = r;
+    out = r;
+    return true;
+}
+
+void
+ResultCache::store(const std::string &key, const ExperimentResult &r)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    memo_[key] = r;
+    ensureLoadedLocked();
+    if (loaded_path_.empty())
+        return;
+    lines_[key] = serialize(r);
+    rewriteFileLocked();
+}
+
+std::size_t
+ResultCache::corruptLinesSkipped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return corrupt_lines_;
+}
+
+void
+ResultCache::clearForTest()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    memo_.clear();
+    lines_.clear();
+    loaded_path_.clear();
+    loaded_ = false;
+    corrupt_lines_ = 0;
+}
+
+} // namespace rnr

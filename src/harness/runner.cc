@@ -1,13 +1,13 @@
 #include "harness/runner.h"
 
-#include <cstdlib>
-#include <fstream>
-#include <map>
+#include <atomic>
+#include <condition_variable>
 #include <mutex>
-#include <sstream>
+#include <set>
 #include <stdexcept>
 
 #include "cpu/system.h"
+#include "harness/result_cache.h"
 #include "prefetch/imp.h"
 #include "workloads/graph_gen.h"
 #include "workloads/hyperanf.h"
@@ -88,95 +88,12 @@ delta(const IterStats &after, const IterStats &before)
     return d;
 }
 
-// ---- Result (de)serialisation for the file cache ----
+// ---- Single-flight bookkeeping for concurrent runExperiment calls ----
 
-std::string
-serialize(const ExperimentResult &r)
-{
-    std::ostringstream os;
-    os << r.input_bytes << " " << r.target_bytes << " "
-       << r.seq_table_bytes << " " << r.div_table_bytes << " "
-       << r.iterations.size();
-    for (const IterStats &it : r.iterations) {
-        os << " " << it.cycles << " " << it.instructions << " "
-           << it.l2_accesses << " " << it.l2_demand_misses << " "
-           << it.pf_issued << " " << it.pf_useful << " "
-           << it.pf_late_merged << " " << it.dram_bytes_total << " "
-           << it.dram_bytes_demand << " " << it.dram_bytes_prefetch << " "
-           << it.dram_bytes_metadata << " " << it.dram_bytes_writeback
-           << " " << it.rnr_ontime << " " << it.rnr_early << " "
-           << it.rnr_late << " " << it.rnr_out_of_window << " "
-           << it.rnr_recorded;
-    }
-    return os.str();
-}
-
-bool
-deserialize(const std::string &line, ExperimentResult &r)
-{
-    std::istringstream is(line);
-    std::size_t n = 0;
-    if (!(is >> r.input_bytes >> r.target_bytes >> r.seq_table_bytes >>
-          r.div_table_bytes >> n))
-        return false;
-    r.iterations.clear();
-    for (std::size_t i = 0; i < n; ++i) {
-        IterStats it;
-        if (!(is >> it.cycles >> it.instructions >> it.l2_accesses >>
-              it.l2_demand_misses >> it.pf_issued >> it.pf_useful >>
-              it.pf_late_merged >> it.dram_bytes_total >>
-              it.dram_bytes_demand >> it.dram_bytes_prefetch >>
-              it.dram_bytes_metadata >> it.dram_bytes_writeback >>
-              it.rnr_ontime >> it.rnr_early >> it.rnr_late >>
-              it.rnr_out_of_window >> it.rnr_recorded))
-            return false;
-        r.iterations.push_back(it);
-    }
-    return !r.iterations.empty();
-}
-
-std::string
-cacheFilePath()
-{
-    if (const char *p = std::getenv("RNR_CACHE_FILE"))
-        return p;
-    return "rnr_results.cache";
-}
-
-bool
-cacheEnabled()
-{
-    const char *p = std::getenv("RNR_CACHE");
-    return !(p && std::string(p) == "0");
-}
-
-std::map<std::string, std::string> &
-fileCache()
-{
-    static std::map<std::string, std::string> cache = [] {
-        std::map<std::string, std::string> m;
-        if (cacheEnabled()) {
-            std::ifstream in(cacheFilePath());
-            std::string line;
-            while (std::getline(in, line)) {
-                const auto bar = line.find('|');
-                if (bar != std::string::npos)
-                    m[line.substr(0, bar)] = line.substr(bar + 1);
-            }
-        }
-        return m;
-    }();
-    return cache;
-}
-
-void
-appendToFileCache(const std::string &key, const std::string &value)
-{
-    if (!cacheEnabled())
-        return;
-    std::ofstream out(cacheFilePath(), std::ios::app);
-    out << key << "|" << value << "\n";
-}
+std::atomic<std::uint64_t> g_simulated{0};
+std::mutex g_inflight_mu;
+std::condition_variable g_inflight_cv;
+std::set<std::string> g_inflight;
 
 } // namespace
 
@@ -209,6 +126,7 @@ makeWorkload(const ExperimentConfig &cfg)
 ExperimentResult
 runExperimentUncached(const ExperimentConfig &cfg)
 {
+    g_simulated.fetch_add(1);
     MachineConfig mcfg = MachineConfig::scaledDefault();
     mcfg.cores = cfg.cores;
     if (cfg.ideal_llc)
@@ -268,33 +186,56 @@ runExperimentUncached(const ExperimentConfig &cfg)
 }
 
 ExperimentResult
-runExperiment(const ExperimentConfig &cfg)
+runExperiment(const ExperimentConfig &cfg, bool *was_cached)
 {
-    static std::map<std::string, ExperimentResult> memo;
-    static std::mutex mu;
+    ResultCache &cache = ResultCache::instance();
     const std::string key = cfg.key();
+
+    // Single-flight: the first caller of a key simulates; concurrent
+    // callers of the same key sleep until the result lands in the cache
+    // (or the simulating thread fails, in which case one waiter takes
+    // over and retries).
     {
-        std::lock_guard<std::mutex> lock(mu);
-        auto it = memo.find(key);
-        if (it != memo.end())
-            return it->second;
-        auto fit = fileCache().find(key);
-        if (fit != fileCache().end()) {
-            ExperimentResult r;
-            r.config = cfg;
-            if (deserialize(fit->second, r)) {
-                memo[key] = r;
-                return r;
+        std::unique_lock<std::mutex> lock(g_inflight_mu);
+        for (;;) {
+            ExperimentResult hit;
+            if (cache.lookup(cfg, hit)) {
+                if (was_cached)
+                    *was_cached = true;
+                return hit;
             }
+            if (g_inflight.insert(key).second)
+                break; // we own the simulation of this key
+            g_inflight_cv.wait(lock);
         }
     }
-    ExperimentResult r = runExperimentUncached(cfg);
-    {
-        std::lock_guard<std::mutex> lock(mu);
-        memo[key] = r;
-        appendToFileCache(key, serialize(r));
+
+    ExperimentResult r;
+    try {
+        r = runExperimentUncached(cfg);
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(g_inflight_mu);
+            g_inflight.erase(key);
+        }
+        g_inflight_cv.notify_all();
+        throw;
     }
+    cache.store(key, r);
+    {
+        std::lock_guard<std::mutex> lock(g_inflight_mu);
+        g_inflight.erase(key);
+    }
+    g_inflight_cv.notify_all();
+    if (was_cached)
+        *was_cached = false;
     return r;
+}
+
+std::uint64_t
+experimentsSimulated()
+{
+    return g_simulated.load();
 }
 
 ExperimentResult

@@ -4,13 +4,18 @@
  * prefetchers for an ExperimentConfig, simulates the requested number of
  * algorithm iterations and collects the per-iteration counters.
  *
- * Results are cached (in-process and, optionally, in a small text file)
- * keyed by ExperimentConfig::key(), so the per-figure bench binaries can
- * share one simulation of each matrix cell instead of re-simulating.
+ * Results are cached through harness/result_cache.h (in-process memo +
+ * optional text file) keyed by ExperimentConfig::key(), so the per-figure
+ * bench binaries share one simulation of each matrix cell instead of
+ * re-simulating.  runExperiment() is thread-safe and single-flight:
+ * concurrent calls with the same key block on one simulation instead of
+ * racing — this is what lets SweepRunner (harness/sweep.h) saturate every
+ * core on a cold cache.
  */
 #ifndef RNR_HARNESS_RUNNER_H
 #define RNR_HARNESS_RUNNER_H
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -22,18 +27,31 @@ namespace rnr {
 /** Instantiates the workload named by @p cfg (app + input). */
 std::unique_ptr<Workload> makeWorkload(const ExperimentConfig &cfg);
 
-/** Simulates @p cfg (no caching). */
+/** Simulates @p cfg (no caching, no locking). */
 ExperimentResult runExperimentUncached(const ExperimentConfig &cfg);
 
 /**
  * Simulates @p cfg, consulting the in-process cache and the file cache
  * (path from $RNR_CACHE_FILE, default "rnr_results.cache" in the working
  * directory; set RNR_CACHE=0 to disable persistence).
+ *
+ * Thread-safe.  If @p was_cached is non-null it is set to true when the
+ * result came from either cache layer (or from another thread's
+ * concurrent in-flight simulation of the same key) and false when this
+ * call ran the simulation itself.
  */
-ExperimentResult runExperiment(const ExperimentConfig &cfg);
+ExperimentResult runExperiment(const ExperimentConfig &cfg,
+                               bool *was_cached = nullptr);
 
 /** Convenience: the no-prefetcher baseline matching @p cfg. */
 ExperimentResult runBaseline(const ExperimentConfig &cfg);
+
+/**
+ * Number of simulations this process actually ran (cache misses in
+ * runExperiment plus direct runExperimentUncached calls).  Monotonic;
+ * used by the concurrency tests to assert single-flight behaviour.
+ */
+std::uint64_t experimentsSimulated();
 
 } // namespace rnr
 

@@ -1,0 +1,320 @@
+#include "harness/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#ifdef _WIN32
+#include <io.h>
+#include <process.h>
+#define rnr_isatty _isatty
+#define rnr_fileno _fileno
+#define rnr_getpid _getpid
+#else
+#include <unistd.h>
+#define rnr_isatty isatty
+#define rnr_fileno fileno
+#define rnr_getpid getpid
+#endif
+
+#include "harness/runner.h"
+
+namespace rnr {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+const char *
+controlName(ReplayControlMode mode)
+{
+    switch (mode) {
+    case ReplayControlMode::None:
+        return "none";
+    case ReplayControlMode::Window:
+        return "window";
+    case ReplayControlMode::WindowPace:
+        return "window+pace";
+    }
+    return "?";
+}
+
+/** Serialises one result as a JSON object (no external JSON dep). */
+void
+appendResultJson(std::ostringstream &os, const ExperimentResult &r,
+                 const char *indent)
+{
+    const ExperimentConfig &c = r.config;
+    os << indent << "{\n";
+    os << indent << "  \"key\": \"" << c.key() << "\",\n";
+    os << indent << "  \"config\": {\"app\": \"" << c.app
+       << "\", \"input\": \"" << c.input << "\", \"prefetcher\": \""
+       << toString(c.prefetcher) << "\", \"control\": \""
+       << controlName(c.control) << "\", \"window_size\": "
+       << c.window_size << ", \"iterations\": " << c.iterations
+       << ", \"cores\": " << c.cores << ", \"ideal_llc\": "
+       << (c.ideal_llc ? "true" : "false") << "},\n";
+    os << indent << "  \"input_bytes\": " << r.input_bytes
+       << ", \"target_bytes\": " << r.target_bytes
+       << ", \"seq_table_bytes\": " << r.seq_table_bytes
+       << ", \"div_table_bytes\": " << r.div_table_bytes << ",\n";
+    os << indent << "  \"iterations\": [\n";
+    for (std::size_t i = 0; i < r.iterations.size(); ++i) {
+        const IterStats &it = r.iterations[i];
+        os << indent << "    {\"cycles\": " << it.cycles
+           << ", \"instructions\": " << it.instructions
+           << ", \"l2_accesses\": " << it.l2_accesses
+           << ", \"l2_demand_misses\": " << it.l2_demand_misses
+           << ", \"pf_issued\": " << it.pf_issued
+           << ", \"pf_useful\": " << it.pf_useful
+           << ", \"pf_late_merged\": " << it.pf_late_merged
+           << ", \"dram_bytes_total\": " << it.dram_bytes_total
+           << ", \"dram_bytes_demand\": " << it.dram_bytes_demand
+           << ", \"dram_bytes_prefetch\": " << it.dram_bytes_prefetch
+           << ", \"dram_bytes_metadata\": " << it.dram_bytes_metadata
+           << ", \"dram_bytes_writeback\": " << it.dram_bytes_writeback
+           << ", \"rnr_ontime\": " << it.rnr_ontime
+           << ", \"rnr_early\": " << it.rnr_early
+           << ", \"rnr_late\": " << it.rnr_late
+           << ", \"rnr_out_of_window\": " << it.rnr_out_of_window
+           << ", \"rnr_recorded\": " << it.rnr_recorded << "}"
+           << (i + 1 < r.iterations.size() ? "," : "") << "\n";
+    }
+    os << indent << "  ]\n";
+    os << indent << "}";
+}
+
+/** Throttled stderr reporter; all methods are called under one mutex. */
+class ProgressReporter
+{
+  public:
+    ProgressReporter(bool enabled, std::string label, std::size_t total)
+        : enabled_(enabled), tty_(rnr_isatty(rnr_fileno(stderr)) != 0),
+          label_(std::move(label)), total_(total), start_(Clock::now())
+    {
+    }
+
+    void
+    cellDone(std::size_t done, std::size_t simulated, std::size_t hits)
+    {
+        if (!enabled_ || total_ == 0)
+            return;
+        // On a terminal rewrite one line per cell; in a log (CI) emit
+        // roughly ten lines per sweep so the output stays readable.
+        const std::size_t stride = tty_ ? 1 : std::max<std::size_t>(
+                                                  1, total_ / 10);
+        if (done % stride != 0 && done != total_)
+            return;
+        const double elapsed = secondsSince(start_);
+        const double eta =
+            done ? elapsed / static_cast<double>(done) *
+                       static_cast<double>(total_ - done)
+                 : 0.0;
+        std::fprintf(stderr,
+                     "%s[%s] %zu/%zu cells | %zu simulated, %zu cached "
+                     "| %.1fs elapsed, ETA %.0fs%s",
+                     tty_ ? "\r" : "", label_.c_str(), done, total_,
+                     simulated, hits, elapsed, eta,
+                     tty_ ? "   " : "\n");
+        std::fflush(stderr);
+    }
+
+    void
+    finish(const SweepStats &stats)
+    {
+        if (!enabled_ || total_ == 0)
+            return;
+        std::fprintf(stderr,
+                     "%s[%s] done: %zu cells (%zu simulated, %zu "
+                     "cached, %zu duplicates folded) in %.1fs\n",
+                     tty_ ? "\r" : "", label_.c_str(), stats.cells,
+                     stats.simulated, stats.cache_hits,
+                     stats.duplicates, stats.elapsed_sec);
+    }
+
+  private:
+    bool enabled_;
+    bool tty_;
+    std::string label_;
+    std::size_t total_;
+    Clock::time_point start_;
+};
+
+bool
+progressEnabled(const SweepOptions &opts)
+{
+    if (opts.progress >= 0)
+        return opts.progress != 0;
+    const char *p = std::getenv("RNR_PROGRESS");
+    return !(p && std::string(p) == "0");
+}
+
+std::string
+jsonOutPath(const SweepOptions &opts)
+{
+    if (!opts.json_out.empty())
+        return opts.json_out;
+    if (const char *p = std::getenv("RNR_JSON_OUT"))
+        return p;
+    return "";
+}
+
+} // namespace
+
+unsigned
+SweepRunner::resolveJobs(const SweepOptions &opts)
+{
+    if (opts.jobs > 0)
+        return opts.jobs;
+    if (const char *p = std::getenv("RNR_JOBS")) {
+        const long n = std::strtol(p, nullptr, 10);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts_(std::move(opts)) {}
+
+void
+SweepRunner::add(const ExperimentConfig &cfg)
+{
+    const std::string key = cfg.key();
+    for (const std::string &k : keys_) {
+        if (k == key) {
+            ++stats_.duplicates;
+            return;
+        }
+    }
+    keys_.push_back(key);
+    cells_.push_back(cfg);
+}
+
+void
+SweepRunner::add(const std::vector<ExperimentConfig> &cfgs)
+{
+    for (const ExperimentConfig &cfg : cfgs)
+        add(cfg);
+}
+
+std::vector<ExperimentResult>
+SweepRunner::run()
+{
+    const auto start = Clock::now();
+    const std::size_t total = cells_.size();
+    stats_.cells = total;
+
+    std::vector<ExperimentResult> results(total);
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> simulated{0};
+    std::atomic<std::size_t> hits{0};
+    std::mutex report_mu;
+    ProgressReporter reporter(progressEnabled(opts_), opts_.label, total);
+    std::exception_ptr first_error;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= total)
+                return;
+            bool was_cached = false;
+            try {
+                results[i] = runExperiment(cells_[i], &was_cached);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(report_mu);
+                if (!first_error)
+                    first_error = std::current_exception();
+                return;
+            }
+            (was_cached ? hits : simulated).fetch_add(1);
+            const std::size_t d = done.fetch_add(1) + 1;
+            std::lock_guard<std::mutex> lock(report_mu);
+            reporter.cellDone(d, simulated.load(), hits.load());
+        }
+    };
+
+    const unsigned jobs = std::max(1u, std::min<unsigned>(
+                                           resolveJobs(opts_),
+                                           static_cast<unsigned>(
+                                               std::max<std::size_t>(
+                                                   total, 1))));
+    if (jobs == 1 || total <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    stats_.cache_hits = hits.load();
+    stats_.simulated = simulated.load();
+    stats_.elapsed_sec = secondsSince(start);
+    if (first_error)
+        std::rethrow_exception(first_error);
+    reporter.finish(stats_);
+
+    const std::string json = jsonOutPath(opts_);
+    if (!json.empty() && !writeResultsJson(json, results, opts_.label))
+        std::fprintf(stderr, "[%s] warning: could not write JSON to %s\n",
+                     opts_.label.c_str(), json.c_str());
+    return results;
+}
+
+std::vector<ExperimentResult>
+runSweep(const std::vector<ExperimentConfig> &cfgs, SweepOptions opts)
+{
+    SweepRunner runner(std::move(opts));
+    runner.add(cfgs);
+    return runner.run();
+}
+
+bool
+writeResultsJson(const std::string &path,
+                 const std::vector<ExperimentResult> &results,
+                 const std::string &label)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"rnr-sweep-v1\",\n  \"label\": \"" << label
+       << "\",\n  \"cells\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        appendResultJson(os, results[i], "    ");
+        os << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+
+    const std::string tmp =
+        path + ".tmp." + std::to_string(rnr_getpid());
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return false;
+        out << os.str();
+        if (!out)
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace rnr

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Parallel experiment sweep runner.
+ *
+ * Every cell of the paper's evaluation matrix (workload x input x
+ * prefetcher x RnR options) is an independent simulation, so a batch of
+ * ExperimentConfig cells is embarrassingly parallel.  SweepRunner takes
+ * such a batch, deduplicates it by ExperimentConfig::key(), and executes
+ * the unique cells on a fixed-size thread pool, filling the shared
+ * result cache (harness/result_cache.h) as it goes.  Concurrent requests
+ * for the same key — within a sweep or from concurrent runExperiment()
+ * callers — are single-flight: one simulation runs, everyone else waits
+ * for its result.
+ *
+ * Observability:
+ *  - a progress reporter on stderr (cells done/total, cache hits vs.
+ *    freshly simulated, elapsed time and ETA), silenced with
+ *    RNR_PROGRESS=0;
+ *  - an optional structured JSON export of the full result batch
+ *    (SweepOptions::json_out or RNR_JSON_OUT=<path>), so figures can be
+ *    regenerated from Python/gnuplot without rerunning the simulator.
+ *
+ * Environment (all overridable through SweepOptions):
+ *   RNR_JOBS=<n>       worker threads (default hardware_concurrency())
+ *   RNR_PROGRESS=0     silence the stderr progress reporter
+ *   RNR_JSON_OUT=<p>   write the JSON export of every sweep to <p>
+ *
+ * See docs/HARNESS.md for the JSON schema and a usage walkthrough.
+ */
+#ifndef RNR_HARNESS_SWEEP_H
+#define RNR_HARNESS_SWEEP_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace rnr {
+
+/** Knobs for one sweep; every default defers to the environment. */
+struct SweepOptions {
+    /** Worker threads; 0 = $RNR_JOBS, else hardware_concurrency(). */
+    unsigned jobs = 0;
+    /** Progress on stderr; -1 = $RNR_PROGRESS (default on). */
+    int progress = -1;
+    /** JSON export path; empty = $RNR_JSON_OUT (empty = no export). */
+    std::string json_out;
+    /** Label shown by the progress reporter ("Fig 6", ...). */
+    std::string label = "sweep";
+};
+
+/** What a finished sweep did (for tests and the progress summary). */
+struct SweepStats {
+    std::size_t cells = 0;      ///< unique cells executed
+    std::size_t duplicates = 0; ///< configs folded away by key()
+    std::size_t cache_hits = 0; ///< served from memo or file cache
+    std::size_t simulated = 0;  ///< actually simulated this run
+    double elapsed_sec = 0;
+};
+
+/** Executes a deduplicated batch of experiments on a thread pool. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions opts = {});
+
+    /** Queues @p cfg; duplicates (by key()) are folded into one cell. */
+    void add(const ExperimentConfig &cfg);
+    void add(const std::vector<ExperimentConfig> &cfgs);
+
+    /**
+     * Runs every queued cell to completion and returns their results
+     * in the order the cells were first add()ed.  Rethrows the first
+     * worker exception after all threads have joined.  May be called
+     * once per runner.
+     */
+    std::vector<ExperimentResult> run();
+
+    /** Valid after run(). */
+    const SweepStats &stats() const { return stats_; }
+
+    /** Thread-pool width implied by @p opts and the environment. */
+    static unsigned resolveJobs(const SweepOptions &opts);
+
+  private:
+    SweepOptions opts_;
+    std::vector<ExperimentConfig> cells_; ///< unique, insertion order
+    std::vector<std::string> keys_;
+    SweepStats stats_;
+};
+
+/** One-shot convenience: queue @p cfgs, run, return the results. */
+std::vector<ExperimentResult>
+runSweep(const std::vector<ExperimentConfig> &cfgs, SweepOptions opts = {});
+
+/**
+ * Writes @p results as structured JSON to @p path (atomically, via a
+ * temporary + rename).  Used by SweepRunner for RNR_JSON_OUT / --json;
+ * callable directly for ad-hoc exports.  Returns false on I/O failure.
+ */
+bool writeResultsJson(const std::string &path,
+                      const std::vector<ExperimentResult> &results,
+                      const std::string &label = "sweep");
+
+} // namespace rnr
+
+#endif // RNR_HARNESS_SWEEP_H

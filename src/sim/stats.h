@@ -6,6 +6,16 @@
  * walks the registry to compute the paper's derived metrics (MPKI, miss
  * coverage, accuracy, off-chip traffic) without each component having to
  * know which figure it feeds.
+ *
+ * Thread-safety contract: a StatGroup is NOT internally synchronised.
+ * Every group is owned by exactly one System (cache, DRAM, prefetcher),
+ * and the parallel sweep runner (harness/sweep.h) parallelises at
+ * whole-simulation granularity — one System, and therefore every
+ * StatGroup it owns, is only ever touched by the one worker thread that
+ * runs that simulation.  Counters deliberately stay plain uint64_t so
+ * the simulator's hot path pays no atomic-RMW cost; anything shared
+ * *across* simulations (the result cache, the sweep progress counters)
+ * lives in harness/ and carries its own locks/atomics.
  */
 #ifndef RNR_SIM_STATS_H
 #define RNR_SIM_STATS_H

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Concurrency, determinism and persistence tests for the parallel sweep
+ * subsystem (harness/sweep.h + harness/result_cache.h):
+ *
+ *  - single-flight: N threads asking for one key run one simulation;
+ *  - N distinct keys all complete and persist as N well-formed lines;
+ *  - corrupt cache lines are skipped, never fatal;
+ *  - RNR_JOBS=1 and RNR_JOBS=8 sweeps are bit-identical per cell;
+ *  - the JSON export writes the whole batch.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/result_cache.h"
+#include "harness/runner.h"
+#include "harness/sweep.h"
+
+namespace rnr {
+namespace {
+
+/** A cheap cell: one iteration on one core. */
+ExperimentConfig
+tinyConfig(PrefetcherKind kind = PrefetcherKind::None,
+           std::uint32_t window = 0)
+{
+    ExperimentConfig cfg;
+    cfg.app = "pagerank";
+    cfg.input = "amazon";
+    cfg.iterations = 1;
+    cfg.cores = 1;
+    cfg.prefetcher = kind;
+    cfg.window_size = window;
+    return cfg;
+}
+
+struct SweepFixture : ::testing::Test {
+    std::string cache_path_;
+
+    void
+    SetUp() override
+    {
+        // Unique per-test cache file; nothing leaks between tests.
+        cache_path_ = ::testing::TempDir() + "sweep_test_" +
+                      ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name() +
+                      ".cache";
+        std::remove(cache_path_.c_str());
+        setenv("RNR_CACHE", "1", 1);
+        setenv("RNR_CACHE_FILE", cache_path_.c_str(), 1);
+        setenv("RNR_PROGRESS", "0", 1);
+        unsetenv("RNR_JSON_OUT");
+        unsetenv("RNR_JOBS");
+        ResultCache::instance().clearForTest();
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(cache_path_.c_str());
+        setenv("RNR_CACHE", "0", 1);
+        ResultCache::instance().clearForTest();
+    }
+
+    std::vector<std::string>
+    cacheFileLines() const
+    {
+        std::vector<std::string> lines;
+        std::ifstream in(cache_path_);
+        std::string line;
+        while (std::getline(in, line)) {
+            if (!line.empty())
+                lines.push_back(line);
+        }
+        return lines;
+    }
+};
+
+TEST_F(SweepFixture, SameKeyFromManyThreadsSimulatesExactlyOnce)
+{
+    setenv("RNR_CACHE", "0", 1);
+    ResultCache::instance().clearForTest();
+
+    const ExperimentConfig cfg = tinyConfig();
+    const std::uint64_t before = experimentsSimulated();
+
+    constexpr unsigned kThreads = 8;
+    std::vector<std::string> serialized(kThreads);
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            serialized[t] =
+                ResultCache::serialize(runExperiment(cfg));
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(experimentsSimulated(), before + 1);
+    for (unsigned t = 1; t < kThreads; ++t)
+        EXPECT_EQ(serialized[t], serialized[0]) << "thread " << t;
+}
+
+TEST_F(SweepFixture, DistinctKeysAllCompleteAndPersistWellFormed)
+{
+    std::vector<ExperimentConfig> cells;
+    for (std::uint32_t w : {16u, 32u, 64u, 128u})
+        cells.push_back(tinyConfig(PrefetcherKind::Rnr, w));
+
+    SweepOptions opts;
+    opts.jobs = 4;
+    opts.progress = 0;
+    SweepRunner runner(opts);
+    runner.add(cells);
+    const std::vector<ExperimentResult> results = runner.run();
+
+    ASSERT_EQ(results.size(), cells.size());
+    EXPECT_EQ(runner.stats().simulated, cells.size());
+    EXPECT_EQ(runner.stats().cache_hits, 0u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].config.key(), cells[i].key());
+        EXPECT_FALSE(results[i].iterations.empty());
+    }
+
+    const std::vector<std::string> lines = cacheFileLines();
+    ASSERT_EQ(lines.size(), cells.size());
+    for (const std::string &line : lines) {
+        const auto bar = line.find('|');
+        ASSERT_NE(bar, std::string::npos) << line;
+        ExperimentResult parsed;
+        EXPECT_TRUE(ResultCache::deserialize(line.substr(bar + 1),
+                                             parsed))
+            << line;
+    }
+
+    // A second sweep over the same cells is pure cache hits.
+    SweepRunner warm(opts);
+    warm.add(cells);
+    warm.run();
+    EXPECT_EQ(warm.stats().simulated, 0u);
+    EXPECT_EQ(warm.stats().cache_hits, cells.size());
+}
+
+TEST_F(SweepFixture, CorruptCacheLinesAreSkippedNotFatal)
+{
+    const ExperimentConfig cfg = tinyConfig();
+    const ExperimentResult first = runExperiment(cfg);
+
+    // Vandalise the file: junk, a barless line and a truncated payload.
+    {
+        std::ofstream out(cache_path_, std::ios::app);
+        out << "not a cache line at all\n";
+        out << cfg.key() << "X garbage with no separator\n";
+        out << "some:other:key|1 2 3\n"; // truncated payload
+    }
+    ResultCache::instance().clearForTest();
+
+    const std::uint64_t before = experimentsSimulated();
+    const ExperimentResult again = runExperiment(cfg);
+    EXPECT_EQ(experimentsSimulated(), before)
+        << "the surviving good line should have been used";
+    EXPECT_EQ(ResultCache::serialize(again),
+              ResultCache::serialize(first));
+    EXPECT_GE(ResultCache::instance().corruptLinesSkipped(), 3u);
+}
+
+TEST_F(SweepFixture, JobCountDoesNotChangeResults)
+{
+    setenv("RNR_CACHE", "0", 1);
+
+    std::vector<ExperimentConfig> cells;
+    for (PrefetcherKind k :
+         {PrefetcherKind::None, PrefetcherKind::Stride,
+          PrefetcherKind::Rnr}) {
+        ExperimentConfig cfg = tinyConfig(k);
+        cfg.iterations = 2;
+        cfg.cores = 2;
+        cells.push_back(cfg);
+    }
+
+    auto sweepWith = [&](unsigned jobs) {
+        ResultCache::instance().clearForTest();
+        SweepOptions opts;
+        opts.jobs = jobs;
+        opts.progress = 0;
+        std::vector<std::string> out;
+        for (const ExperimentResult &r : runSweep(cells, opts))
+            out.push_back(ResultCache::serialize(r));
+        return out;
+    };
+
+    const std::vector<std::string> serial = sweepWith(1);
+    const std::vector<std::string> parallel = sweepWith(8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i])
+            << "cell " << cells[i].key()
+            << " diverged between RNR_JOBS=1 and RNR_JOBS=8";
+}
+
+TEST_F(SweepFixture, DuplicateConfigsFoldIntoOneCell)
+{
+    SweepOptions opts;
+    opts.progress = 0;
+    SweepRunner runner(opts);
+    runner.add(tinyConfig());
+    runner.add(tinyConfig());
+    runner.add(tinyConfig());
+    const auto results = runner.run();
+    EXPECT_EQ(results.size(), 1u);
+    EXPECT_EQ(runner.stats().duplicates, 2u);
+    EXPECT_EQ(runner.stats().cells, 1u);
+}
+
+TEST_F(SweepFixture, JsonExportWritesTheWholeBatch)
+{
+    const std::string json_path =
+        ::testing::TempDir() + "sweep_test_export.json";
+    std::remove(json_path.c_str());
+
+    SweepOptions opts;
+    opts.progress = 0;
+    opts.json_out = json_path;
+    opts.label = "unit";
+    const std::vector<ExperimentConfig> cells = {
+        tinyConfig(PrefetcherKind::None),
+        tinyConfig(PrefetcherKind::Stride)};
+    runSweep(cells, opts);
+
+    std::ifstream in(json_path);
+    ASSERT_TRUE(in.good()) << json_path;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string body = buf.str();
+    EXPECT_NE(body.find("\"schema\": \"rnr-sweep-v1\""),
+              std::string::npos);
+    EXPECT_NE(body.find("\"label\": \"unit\""), std::string::npos);
+    for (const ExperimentConfig &cfg : cells)
+        EXPECT_NE(body.find(cfg.key()), std::string::npos)
+            << cfg.key();
+    EXPECT_NE(body.find("\"cycles\""), std::string::npos);
+    std::remove(json_path.c_str());
+}
+
+} // namespace
+} // namespace rnr
