@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Hot-path microbenchmark: simulated mem-ops/s through
+ * MemorySystem::demandAccess.
+ *
+ * Replays a recorded PageRank/urand trace slice (the paper's
+ * worst-locality input) straight into the memory system, bypassing the
+ * core model, so the measured rate isolates the cache/MSHR/DRAM/stats
+ * bookkeeping that every simulated access pays.  This is the repo's
+ * committed perf trajectory point: CI runs it in Release mode and
+ * uploads BENCH_hotpath.json, and the before/after numbers of each
+ * accepted optimisation live in the checked-in copy of that file.
+ *
+ * Variants:
+ *  - none:   no prefetcher — the floor every other config builds on.
+ *  - stream: stream prefetcher attached — adds the Prefetcher::onAccess
+ *            and issuePrefetch counter paths to the measurement.
+ */
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mem/memory_system.h"
+#include "prefetch/factory.h"
+#include "sim/config.h"
+#include "workloads/graph_gen.h"
+#include "workloads/pagerank.h"
+
+namespace rnr {
+namespace {
+
+/** Records one PageRank/urand iteration once; shared by all variants. */
+const std::vector<TraceRecord> &
+hotTrace()
+{
+    static const std::vector<TraceRecord> trace = [] {
+        WorkloadOptions opts;
+        opts.cores = 1;
+        opts.use_rnr = false; // pure demand trace: no control records
+        PageRankWorkload wl(makeGraphInput("urand").graph, opts);
+        std::vector<TraceBuffer> bufs(1);
+        wl.emitIteration(0, /*is_last=*/true, bufs);
+        const std::vector<TraceRecord> &recs = bufs[0].records();
+        const std::size_t n =
+            std::min<std::size_t>(recs.size(), std::size_t{1} << 21);
+        return std::vector<TraceRecord>(recs.begin(), recs.begin() + n);
+    }();
+    return trace;
+}
+
+void
+BM_DemandAccess(benchmark::State &state, PrefetcherKind kind)
+{
+    const std::vector<TraceRecord> &trace = hotTrace();
+    MachineConfig mcfg = MachineConfig::scaledDefault();
+    mcfg.cores = 1;
+    MemorySystem ms(mcfg);
+    std::unique_ptr<Prefetcher> pf = createPrefetcher(kind);
+    ms.setPrefetcher(0, pf.get());
+
+    // Issue ticks advance like a 4-wide core would: one cycle per memory
+    // op plus the record's instruction gap share.  Time never rewinds
+    // across benchmark iterations, matching the simulator's contract.
+    Tick now = 0;
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        for (const TraceRecord &rec : trace) {
+            now += 1 + rec.gap / 4;
+            const DemandResult res = ms.demandAccess(
+                0, rec.addr, rec.kind == RecordKind::Store, rec.pc, now);
+            benchmark::DoNotOptimize(res.done);
+        }
+        ops += trace.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+
+BENCHMARK_CAPTURE(BM_DemandAccess, none, PrefetcherKind::None)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DemandAccess, stream, PrefetcherKind::Stream)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace rnr
+
+BENCHMARK_MAIN();

@@ -7,8 +7,25 @@
 
 namespace rnr {
 
+RnrPrefetcher::Counters::Counters(StatGroup &g)
+    : init_calls(g.declare("init_calls")),
+      record_passes(g.declare("record_passes")),
+      replay_passes(g.declare("replay_passes")),
+      pauses(g.declare("pauses")),
+      resumes(g.declare("resumes")),
+      recorded_misses(g.declare("recorded_misses")),
+      offset_overflow_skipped(g.declare("offset_overflow_skipped")),
+      unresolvable_entries(g.declare("unresolvable_entries")),
+      metadata_tlb_lookups(g.declare("metadata_tlb_lookups")),
+      pf_ontime(g.declare("pf_ontime")),
+      pf_early(g.declare("pf_early")),
+      pf_late(g.declare("pf_late")),
+      pf_out_of_window(g.declare("pf_out_of_window"))
+{
+}
+
 RnrPrefetcher::RnrPrefetcher(Options opts)
-    : opts_(opts),
+    : opts_(opts), ctr_(stats_),
       controller_(opts.control, opts.window_size ? opts.window_size : 256,
                   opts.uncontrolled_degree)
 {
@@ -68,7 +85,7 @@ RnrPrefetcher::onControl(const TraceRecord &rec, Tick now)
         }
         seq_store_.clear();
         div_store_.clear();
-        stats_.add("init_calls");
+        ++ctr_.init_calls;
         break;
 
       case RnrOp::AddrBaseSet: {
@@ -114,7 +131,7 @@ RnrPrefetcher::onControl(const TraceRecord &rec, Tick now)
             // Save architectural + internal state to memory.
             ms_->metadataWrite(arch_.seq_table_base, contextSwitchBytes(),
                                now);
-            stats_.add("pauses");
+            ++ctr_.pauses;
         }
         break;
 
@@ -123,7 +140,7 @@ RnrPrefetcher::onControl(const TraceRecord &rec, Tick now)
             ms_->metadataRead(arch_.seq_table_base, contextSwitchBytes(),
                               now);
             arch_.state = arch_.paused_from;
-            stats_.add("resumes");
+            ++ctr_.resumes;
         }
         break;
 
@@ -152,7 +169,7 @@ RnrPrefetcher::startRecording()
     div_store_.clear();
     seq_flushed_ = 0;
     div_flushed_ = 0;
-    stats_.add("record_passes");
+    ++ctr_.record_passes;
 }
 
 void
@@ -201,7 +218,7 @@ RnrPrefetcher::startReplay(Tick now)
     pf_status_.clear();
     controller_.setWindowSize(arch_.window_size);
     controller_.beginReplay(&div_store_, seq_store_.size());
-    stats_.add("replay_passes");
+    ++ctr_.replay_passes;
 
     // Prime the double buffers: two sequence buffers + one division
     // buffer of metadata are fetched before prefetching begins.
@@ -248,7 +265,7 @@ RnrPrefetcher::issueEntries(std::uint64_t n, Tick now)
         if (vaddr == 0) {
             ++issue_cursor_;
             --n;
-            stats_.add("unresolvable_entries");
+            ++ctr_.unresolvable_entries;
             continue;
         }
         PrefetchIssue res = issuePrefetch(vaddr, now);
@@ -278,7 +295,7 @@ RnrPrefetcher::sweepOutOfWindow()
     last_window_ = cur;
     std::erase_if(pf_status_, [&](const auto &kv) {
         if (kv.second.window + 1 < cur) {
-            stats_.add("pf_out_of_window");
+            ++ctr_.pf_out_of_window;
             return true;
         }
         return false;
@@ -318,12 +335,12 @@ RnrPrefetcher::handleRecordAccess(const L2AccessInfo &info)
         // The structure outgrew the entry format (2 MB at 2 B entries);
         // a full-scale implementation widens entries using the boundary
         // size registers.  Skip rather than corrupt the sequence.
-        stats_.add("offset_overflow_skipped");
+        ++ctr_.offset_overflow_skipped;
         return;
     }
     seq_store_.push_back(SeqEntry::make(slot, offset));
     internal_.seq_table_len = static_cast<std::uint32_t>(seq_store_.size());
-    stats_.add("recorded_misses");
+    ++ctr_.recorded_misses;
 
     // Window boundary: append the running read count to the division
     // table (one word per window).
@@ -350,7 +367,7 @@ RnrPrefetcher::handleRecordAccess(const L2AccessInfo &info)
         const Addr page = wb >> 22;
         if (page != internal_.cur_seq_page) {
             internal_.cur_seq_page = page;
-            stats_.add("metadata_tlb_lookups");
+            ++ctr_.metadata_tlb_lookups;
         }
         ms_->metadataWrite(wb, kMetaBufferBytes, info.now);
         seq_flushed_ = seq_store_.size();
@@ -368,11 +385,11 @@ RnrPrefetcher::handleReplayAccess(const L2AccessInfo &info)
     auto it = pf_status_.find(info.block);
     if (it != pf_status_.end()) {
         if (it->second.status == PfStatus::Evicted)
-            stats_.add("pf_early");
+            ++ctr_.pf_early;
         else if (it->second.fill_time > info.now)
-            stats_.add("pf_late");
+            ++ctr_.pf_late;
         else
-            stats_.add("pf_ontime");
+            ++ctr_.pf_ontime;
         pf_status_.erase(it);
     }
 

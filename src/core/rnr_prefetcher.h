@@ -40,6 +40,30 @@ class RnrPrefetcher : public Prefetcher
         unsigned uncontrolled_degree = 4;
     };
 
+    /**
+     * Pre-declared handles for every per-event RnR counter, created
+     * once at construction (the paper's Fig 11 timeliness taxonomy plus
+     * record/replay bookkeeping).  The harness snapshot reads these
+     * directly instead of re-hashing counter names per iteration.
+     */
+    struct Counters {
+        explicit Counters(StatGroup &g);
+
+        Counter &init_calls;
+        Counter &record_passes;
+        Counter &replay_passes;
+        Counter &pauses;
+        Counter &resumes;
+        Counter &recorded_misses;
+        Counter &offset_overflow_skipped;
+        Counter &unresolvable_entries;
+        Counter &metadata_tlb_lookups;
+        Counter &pf_ontime;
+        Counter &pf_early;
+        Counter &pf_late;
+        Counter &pf_out_of_window;
+    };
+
     RnrPrefetcher() : RnrPrefetcher(Options{}) {}
     explicit RnrPrefetcher(Options opts);
 
@@ -50,6 +74,7 @@ class RnrPrefetcher : public Prefetcher
     std::string name() const override { return "rnr"; }
 
     // ---- Introspection (tests, benches, Fig 11/13) ----
+    const Counters &ctr() const { return ctr_; }
     const RnrArchState &arch() const { return arch_; }
     const RnrInternalState &internals() const { return internal_; }
     std::uint64_t seqTableBytes() const;
@@ -88,6 +113,7 @@ class RnrPrefetcher : public Prefetcher
     void sweepOutOfWindow();
 
     Options opts_;
+    Counters ctr_; ///< Handles into the base-class stats_.
     RnrArchState arch_;
     RnrInternalState internal_;
     ReplayController controller_;

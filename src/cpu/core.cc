@@ -7,7 +7,14 @@ namespace rnr {
 
 CoreModel::CoreModel(unsigned id, const CoreConfig &cfg, MemorySystem *ms)
     : id_(id), cfg_(cfg), ms_(ms),
-      stats_("core" + std::to_string(id))
+      stats_("core" + std::to_string(id)),
+      c_loads_(stats_.declare("loads")),
+      c_stores_(stats_.declare("stores")),
+      c_load_cycles_(stats_.declare("load_cycles")),
+      c_l2_demand_misses_(stats_.declare("l2_demand_misses")),
+      c_control_records_(stats_.declare("control_records")),
+      c_rob_stall_cycles_(stats_.declare("rob_stall_cycles")),
+      c_lsq_stall_cycles_(stats_.declare("lsq_stall_cycles"))
 {
 }
 
@@ -66,7 +73,7 @@ CoreModel::reserveRobSlots(std::uint32_t slots)
         retire_clock_ = std::max(retire_clock_, head.completion) +
                         head.slots / cfg_.retire_width;
         if (retire_clock_ > issue_clock_) {
-            stats_.add("rob_stall_cycles", retire_clock_ - issue_clock_);
+            c_rob_stall_cycles_ += retire_clock_ - issue_clock_;
             issue_clock_ = retire_clock_;
             issued_this_cycle_ = 0;
         }
@@ -81,7 +88,7 @@ CoreModel::reserveLsqSlot()
     if (lsq_.size() >= cfg_.lsq_size) {
         const Tick wait = lsq_.front();
         if (wait > issue_clock_) {
-            stats_.add("lsq_stall_cycles", wait - issue_clock_);
+            c_lsq_stall_cycles_ += wait - issue_clock_;
             issue_clock_ = wait;
             issued_this_cycle_ = 0;
         }
@@ -110,7 +117,7 @@ CoreModel::step()
         advanceIssue(2);
         instrs_ += 2;
         ms_->control(id_, rec, issue_clock_);
-        stats_.add("control_records");
+        ++c_control_records_;
         return;
     }
 
@@ -123,11 +130,11 @@ CoreModel::step()
     const DemandResult res =
         ms_->demandAccess(id_, rec.addr, is_store, rec.pc, issue_clock_);
 
-    stats_.add(is_store ? "stores" : "loads");
+    ++(is_store ? c_stores_ : c_loads_);
     if (!is_store)
-        stats_.add("load_cycles", res.done - issue_clock_);
+        c_load_cycles_ += res.done - issue_clock_;
     if (res.l2_miss)
-        stats_.add("l2_demand_misses");
+        ++c_l2_demand_misses_;
 
     // Stores complete from the core's perspective once issued (the write
     // buffer hides their latency); loads hold their ROB/LSQ entries until

@@ -87,6 +87,14 @@ class CoreModel
     std::uint64_t instrs_ = 0;
     Tick last_completion_ = 0;
     StatGroup stats_;
+    // Per-record handles, declared once (sim/counter.h).
+    Counter &c_loads_;
+    Counter &c_stores_;
+    Counter &c_load_cycles_;
+    Counter &c_l2_demand_misses_;
+    Counter &c_control_records_;
+    Counter &c_rob_stall_cycles_;
+    Counter &c_lsq_stall_cycles_;
 };
 
 } // namespace rnr

@@ -35,25 +35,49 @@ struct ExperimentConfig {
     std::string key() const;
 };
 
+/**
+ * X-macro over every per-iteration counter field, in the order they are
+ * declared, serialized (result cache), and exported (sweep JSON).  This
+ * is the single source of truth shared by IterStats, SystemCounters
+ * (harness/system_counters.h), the cache codec and the JSON writer —
+ * adding a field here propagates everywhere.
+ *
+ * The order is ABI for the on-disk result cache: appending at the end is
+ * the only compatible change (and still invalidates old cache files,
+ * which self-describe via their header line).
+ *
+ * Field semantics:
+ *   cycles / instructions     filled from IterationResult, not counters
+ *   l2_demand_misses          true misses (MSHR merges excluded)
+ *   pf_useful                 demand hits on prefetched lines
+ *   pf_late_merged            demands merged into in-flight prefetches
+ *   rnr_*                     Fig 11 timeliness taxonomy
+ *   rnr_recorded              misses recorded this iteration
+ */
+#define RNR_ITER_STAT_FIELDS(X)                                             \
+    X(Tick, cycles)                                                         \
+    X(std::uint64_t, instructions)                                          \
+    X(std::uint64_t, l2_accesses)                                           \
+    X(std::uint64_t, l2_demand_misses)                                      \
+    X(std::uint64_t, pf_issued)                                             \
+    X(std::uint64_t, pf_useful)                                             \
+    X(std::uint64_t, pf_late_merged)                                        \
+    X(std::uint64_t, dram_bytes_total)                                      \
+    X(std::uint64_t, dram_bytes_demand)                                     \
+    X(std::uint64_t, dram_bytes_prefetch)                                   \
+    X(std::uint64_t, dram_bytes_metadata)                                   \
+    X(std::uint64_t, dram_bytes_writeback)                                  \
+    X(std::uint64_t, rnr_ontime)                                            \
+    X(std::uint64_t, rnr_early)                                             \
+    X(std::uint64_t, rnr_late)                                              \
+    X(std::uint64_t, rnr_out_of_window)                                     \
+    X(std::uint64_t, rnr_recorded)
+
 /** Counter snapshot for one simulated iteration (summed over cores). */
 struct IterStats {
-    Tick cycles = 0;
-    std::uint64_t instructions = 0;
-    std::uint64_t l2_accesses = 0;
-    std::uint64_t l2_demand_misses = 0; ///< true misses (no merges)
-    std::uint64_t pf_issued = 0;
-    std::uint64_t pf_useful = 0;        ///< demand hits on prefetched lines
-    std::uint64_t pf_late_merged = 0;   ///< demands merged into prefetches
-    std::uint64_t dram_bytes_total = 0;
-    std::uint64_t dram_bytes_demand = 0;
-    std::uint64_t dram_bytes_prefetch = 0;
-    std::uint64_t dram_bytes_metadata = 0;
-    std::uint64_t dram_bytes_writeback = 0;
-    std::uint64_t rnr_ontime = 0;
-    std::uint64_t rnr_early = 0;
-    std::uint64_t rnr_late = 0;
-    std::uint64_t rnr_out_of_window = 0;
-    std::uint64_t rnr_recorded = 0;     ///< misses recorded this iteration
+#define RNR_DEFINE_FIELD(type, name) type name = 0;
+    RNR_ITER_STAT_FIELDS(RNR_DEFINE_FIELD)
+#undef RNR_DEFINE_FIELD
 };
 
 /** Full raw result of one experiment. */

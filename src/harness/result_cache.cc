@@ -29,16 +29,12 @@ ResultCache::serialize(const ExperimentResult &r)
     os << r.input_bytes << " " << r.target_bytes << " "
        << r.seq_table_bytes << " " << r.div_table_bytes << " "
        << r.iterations.size();
+    // Field order comes from the X-macro: the single source of truth
+    // shared with IterStats itself, so codec and struct cannot drift.
     for (const IterStats &it : r.iterations) {
-        os << " " << it.cycles << " " << it.instructions << " "
-           << it.l2_accesses << " " << it.l2_demand_misses << " "
-           << it.pf_issued << " " << it.pf_useful << " "
-           << it.pf_late_merged << " " << it.dram_bytes_total << " "
-           << it.dram_bytes_demand << " " << it.dram_bytes_prefetch << " "
-           << it.dram_bytes_metadata << " " << it.dram_bytes_writeback
-           << " " << it.rnr_ontime << " " << it.rnr_early << " "
-           << it.rnr_late << " " << it.rnr_out_of_window << " "
-           << it.rnr_recorded;
+#define RNR_WRITE_FIELD(type, name) os << " " << it.name;
+        RNR_ITER_STAT_FIELDS(RNR_WRITE_FIELD)
+#undef RNR_WRITE_FIELD
     }
     return os.str();
 }
@@ -54,13 +50,12 @@ ResultCache::deserialize(const std::string &value, ExperimentResult &r)
     r.iterations.clear();
     for (std::size_t i = 0; i < n; ++i) {
         IterStats it;
-        if (!(is >> it.cycles >> it.instructions >> it.l2_accesses >>
-              it.l2_demand_misses >> it.pf_issued >> it.pf_useful >>
-              it.pf_late_merged >> it.dram_bytes_total >>
-              it.dram_bytes_demand >> it.dram_bytes_prefetch >>
-              it.dram_bytes_metadata >> it.dram_bytes_writeback >>
-              it.rnr_ontime >> it.rnr_early >> it.rnr_late >>
-              it.rnr_out_of_window >> it.rnr_recorded))
+        bool ok = true;
+#define RNR_READ_FIELD(type, name)                                          \
+        ok = ok && static_cast<bool>(is >> it.name);
+        RNR_ITER_STAT_FIELDS(RNR_READ_FIELD)
+#undef RNR_READ_FIELD
+        if (!ok)
             return false;
         r.iterations.push_back(it);
     }

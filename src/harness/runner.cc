@@ -8,7 +8,7 @@
 
 #include "cpu/system.h"
 #include "harness/result_cache.h"
-#include "prefetch/imp.h"
+#include "harness/system_counters.h"
 #include "workloads/graph_gen.h"
 #include "workloads/hyperanf.h"
 #include "workloads/jacobi.h"
@@ -20,73 +20,6 @@
 namespace rnr {
 
 namespace {
-
-/** Sums a counter over every core's cache/prefetcher stat group. */
-std::uint64_t
-sumL2(System &sys, const std::string &key)
-{
-    std::uint64_t total = 0;
-    for (unsigned c = 0; c < sys.coreCount(); ++c)
-        total += sys.mem().l2(c).stats().get(key);
-    return total;
-}
-
-std::uint64_t
-sumRnr(System &sys, const std::string &key)
-{
-    std::uint64_t total = 0;
-    for (unsigned c = 0; c < sys.coreCount(); ++c) {
-        if (RnrPrefetcher *r = asRnr(sys.mem().prefetcher(c)))
-            total += r->stats().get(key);
-    }
-    return total;
-}
-
-/** Snapshot of all cumulative counters an IterStats delta needs. */
-IterStats
-snapshot(System &sys)
-{
-    IterStats s;
-    s.l2_accesses = sumL2(sys, "accesses");
-    s.l2_demand_misses = sumL2(sys, "misses") - sumL2(sys, "mshr_merges");
-    s.pf_issued = sumL2(sys, "prefetches_issued");
-    s.pf_useful = sumL2(sys, "prefetch_useful");
-    s.pf_late_merged = sumL2(sys, "demand_merged_into_prefetch");
-    const StatGroup &d = sys.mem().dram().stats();
-    s.dram_bytes_total = d.get("bytes_total");
-    s.dram_bytes_demand = d.get("bytes_demand");
-    s.dram_bytes_prefetch = d.get("bytes_prefetch");
-    s.dram_bytes_metadata = d.get("bytes_metadata");
-    s.dram_bytes_writeback = d.get("bytes_writeback");
-    s.rnr_ontime = sumRnr(sys, "pf_ontime");
-    s.rnr_early = sumRnr(sys, "pf_early");
-    s.rnr_late = sumRnr(sys, "pf_late");
-    s.rnr_out_of_window = sumRnr(sys, "pf_out_of_window");
-    s.rnr_recorded = sumRnr(sys, "recorded_misses");
-    return s;
-}
-
-IterStats
-delta(const IterStats &after, const IterStats &before)
-{
-    IterStats d = after;
-    d.l2_accesses -= before.l2_accesses;
-    d.l2_demand_misses -= before.l2_demand_misses;
-    d.pf_issued -= before.pf_issued;
-    d.pf_useful -= before.pf_useful;
-    d.pf_late_merged -= before.pf_late_merged;
-    d.dram_bytes_total -= before.dram_bytes_total;
-    d.dram_bytes_demand -= before.dram_bytes_demand;
-    d.dram_bytes_prefetch -= before.dram_bytes_prefetch;
-    d.dram_bytes_metadata -= before.dram_bytes_metadata;
-    d.dram_bytes_writeback -= before.dram_bytes_writeback;
-    d.rnr_ontime -= before.rnr_ontime;
-    d.rnr_early -= before.rnr_early;
-    d.rnr_late -= before.rnr_late;
-    d.rnr_out_of_window -= before.rnr_out_of_window;
-    d.rnr_recorded -= before.rnr_recorded;
-    return d;
-}
 
 // ---- Single-flight bookkeeping for concurrent runExperiment calls ----
 
@@ -142,12 +75,7 @@ runExperimentUncached(const ExperimentConfig &cfg)
     std::vector<std::unique_ptr<Prefetcher>> prefetchers;
     for (unsigned c = 0; c < cfg.cores; ++c) {
         prefetchers.push_back(createPrefetcher(cfg.prefetcher, rnr_opts));
-        if (auto *d = dynamic_cast<DropletPrefetcher *>(
-                prefetchers.back().get()))
-            d->setHint(wl->dropletHint(c));
-        if (auto *i = dynamic_cast<ImpPrefetcher *>(
-                prefetchers.back().get()))
-            i->setSniffer(wl->impSniffer(c));
+        prefetchers.back()->configureFor(*wl, c);
         sys.mem().setPrefetcher(c, prefetchers.back().get());
     }
 
@@ -157,10 +85,10 @@ runExperimentUncached(const ExperimentConfig &cfg)
     result.target_bytes = wl->targetBytes();
 
     std::vector<TraceBuffer> bufs(cfg.cores);
-    IterStats before = snapshot(sys);
+    SystemCounters before = SystemCounters::capture(sys);
     for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
-        for (auto &b : bufs)
-            b.clear();
+        // No clear here: retargetAll() clears, and first samples each
+        // buffer's size so it can reserve the next iteration's records.
         wl->emitIteration(iter, iter + 1 == cfg.iterations, bufs);
 
         std::vector<const TraceBuffer *> ptrs;
@@ -168,8 +96,8 @@ runExperimentUncached(const ExperimentConfig &cfg)
             ptrs.push_back(&b);
         const IterationResult run = sys.run(ptrs);
 
-        IterStats after = snapshot(sys);
-        IterStats it = delta(after, before);
+        SystemCounters after = SystemCounters::capture(sys);
+        IterStats it = after.delta(before);
         it.cycles = run.cycles();
         it.instructions = run.instructions;
         result.iterations.push_back(it);

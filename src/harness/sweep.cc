@@ -74,24 +74,16 @@ appendResultJson(std::ostringstream &os, const ExperimentResult &r,
     os << indent << "  \"iterations\": [\n";
     for (std::size_t i = 0; i < r.iterations.size(); ++i) {
         const IterStats &it = r.iterations[i];
-        os << indent << "    {\"cycles\": " << it.cycles
-           << ", \"instructions\": " << it.instructions
-           << ", \"l2_accesses\": " << it.l2_accesses
-           << ", \"l2_demand_misses\": " << it.l2_demand_misses
-           << ", \"pf_issued\": " << it.pf_issued
-           << ", \"pf_useful\": " << it.pf_useful
-           << ", \"pf_late_merged\": " << it.pf_late_merged
-           << ", \"dram_bytes_total\": " << it.dram_bytes_total
-           << ", \"dram_bytes_demand\": " << it.dram_bytes_demand
-           << ", \"dram_bytes_prefetch\": " << it.dram_bytes_prefetch
-           << ", \"dram_bytes_metadata\": " << it.dram_bytes_metadata
-           << ", \"dram_bytes_writeback\": " << it.dram_bytes_writeback
-           << ", \"rnr_ontime\": " << it.rnr_ontime
-           << ", \"rnr_early\": " << it.rnr_early
-           << ", \"rnr_late\": " << it.rnr_late
-           << ", \"rnr_out_of_window\": " << it.rnr_out_of_window
-           << ", \"rnr_recorded\": " << it.rnr_recorded << "}"
-           << (i + 1 < r.iterations.size() ? "," : "") << "\n";
+        os << indent << "    {";
+        // Keys and order come from the IterStats X-macro, so the JSON
+        // schema follows the struct automatically.
+        const char *sep = "";
+#define RNR_JSON_FIELD(type, name)                                          \
+        os << sep << "\"" #name "\": " << it.name;                          \
+        sep = ", ";
+        RNR_ITER_STAT_FIELDS(RNR_JSON_FIELD)
+#undef RNR_JSON_FIELD
+        os << "}" << (i + 1 < r.iterations.size() ? "," : "") << "\n";
     }
     os << indent << "  ]\n";
     os << indent << "}";

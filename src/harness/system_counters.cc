@@ -1,0 +1,50 @@
+#include "harness/system_counters.h"
+
+#include "cpu/system.h"
+#include "prefetch/factory.h"
+
+namespace rnr {
+
+SystemCounters
+SystemCounters::capture(System &sys)
+{
+    SystemCounters s;
+    for (unsigned c = 0; c < sys.coreCount(); ++c) {
+        const CacheCounters &l2 = sys.mem().l2(c).ctr();
+        s.l2_accesses += l2.accesses.value();
+        s.l2_demand_misses += l2.misses.value() - l2.mshr_merges.value();
+        s.pf_issued += l2.prefetches_issued.value();
+        s.pf_useful += l2.prefetch_useful.value();
+        s.pf_late_merged += l2.demand_merged_into_prefetch.value();
+        if (const RnrPrefetcher *r = asRnr(sys.mem().prefetcher(c))) {
+            const RnrPrefetcher::Counters &rc = r->ctr();
+            s.rnr_ontime += rc.pf_ontime.value();
+            s.rnr_early += rc.pf_early.value();
+            s.rnr_late += rc.pf_late.value();
+            s.rnr_out_of_window += rc.pf_out_of_window.value();
+            s.rnr_recorded += rc.recorded_misses.value();
+        }
+    }
+    const DramCounters &d = sys.mem().dram().ctr();
+    s.dram_bytes_total = d.bytes_total.value();
+    const auto origin = [&d](ReqOrigin o) {
+        return d.bytes_by_origin[static_cast<int>(o)]->value();
+    };
+    s.dram_bytes_demand = origin(ReqOrigin::Demand);
+    s.dram_bytes_prefetch = origin(ReqOrigin::Prefetch);
+    s.dram_bytes_metadata = origin(ReqOrigin::Metadata);
+    s.dram_bytes_writeback = origin(ReqOrigin::Writeback);
+    return s;
+}
+
+IterStats
+SystemCounters::delta(const SystemCounters &before) const
+{
+    IterStats d;
+#define RNR_DELTA_FIELD(type, name) d.name = name - before.name;
+    RNR_ITER_STAT_FIELDS(RNR_DELTA_FIELD)
+#undef RNR_DELTA_FIELD
+    return d;
+}
+
+} // namespace rnr

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Typed snapshot of the cumulative system counters an IterStats delta is
+ * derived from.
+ *
+ * The fields mirror IterStats exactly — both structs are generated from
+ * RNR_ITER_STAT_FIELDS (harness/experiment.h), so the runner's
+ * snapshot/delta arithmetic, the cache codec and the JSON export can
+ * never drift apart.  capture() reads the components' pre-declared
+ * Counter handles directly (CacheCounters, DramCounters,
+ * RnrPrefetcher::Counters); no string-keyed lookup happens per
+ * iteration.
+ *
+ * cycles and instructions are not cumulative hardware counters — the
+ * runner fills them from IterationResult after the delta — so capture()
+ * leaves them zero.
+ */
+#ifndef RNR_HARNESS_SYSTEM_COUNTERS_H
+#define RNR_HARNESS_SYSTEM_COUNTERS_H
+
+#include "harness/experiment.h"
+
+namespace rnr {
+
+class System;
+
+struct SystemCounters {
+#define RNR_DEFINE_FIELD(type, name) type name = 0;
+    RNR_ITER_STAT_FIELDS(RNR_DEFINE_FIELD)
+#undef RNR_DEFINE_FIELD
+
+    /** Reads every counter handle of @p sys (summed over cores). */
+    static SystemCounters capture(System &sys);
+
+    /** Per-iteration view: field-wise `*this - before`. */
+    IterStats delta(const SystemCounters &before) const;
+};
+
+} // namespace rnr
+
+#endif // RNR_HARNESS_SYSTEM_COUNTERS_H

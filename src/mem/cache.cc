@@ -15,13 +15,38 @@ isPow2(std::size_t v)
 
 } // namespace
 
+CacheCounters::CacheCounters(StatGroup &g)
+    : accesses(g.declare("accesses")),
+      hits(g.declare("hits")),
+      misses(g.declare("misses")),
+      hits_on_inflight_fill(g.declare("hits_on_inflight_fill")),
+      prefetch_useful(g.declare("prefetch_useful")),
+      evictions(g.declare("evictions")),
+      writebacks(g.declare("writebacks")),
+      prefetch_evicted_unused(g.declare("prefetch_evicted_unused")),
+      fills_demand(g.declare("fills_demand")),
+      fills_prefetch(g.declare("fills_prefetch")),
+      mshr_merges(g.declare("mshr_merges")),
+      mshr_full_stalls(g.declare("mshr_full_stalls")),
+      demand_merged_into_prefetch(
+          g.declare("demand_merged_into_prefetch")),
+      target_accesses(g.declare("target_accesses")),
+      target_merges(g.declare("target_merges")),
+      target_misses(g.declare("target_misses")),
+      prefetches_issued(g.declare("prefetches_issued")),
+      prefetch_redundant(g.declare("prefetch_redundant")),
+      prefetch_mshr_full(g.declare("prefetch_mshr_full"))
+{
+}
+
 Cache::Cache(const CacheConfig &cfg)
     : cfg_(cfg),
       set_mask_(cfg.sets() - 1),
       lines_(static_cast<std::size_t>(cfg.sets()) * cfg.ways),
       mshr_(cfg.mshrs),
       pq_(cfg.prefetch_queue),
-      stats_(cfg.name)
+      stats_(cfg.name),
+      ctr_(stats_)
 {
     assert(isPow2(cfg.sets()) && "cache set count must be a power of two");
 }
@@ -29,7 +54,7 @@ Cache::Cache(const CacheConfig &cfg)
 CacheLine *
 Cache::access(Addr block, Tick now)
 {
-    stats_.add("accesses");
+    ++ctr_.accesses;
     CacheLine *set = &lines_[setIndex(block) * cfg_.ways];
     for (unsigned w = 0; w < cfg_.ways; ++w) {
         CacheLine &line = set[w];
@@ -37,15 +62,15 @@ Cache::access(Addr block, Tick now)
             line.lru = ++lru_clock_;
             line.rrpv = 0; // SRRIP: proven reuse -> near re-reference
             if (line.prefetched && !line.referenced)
-                stats_.add("prefetch_useful");
+                ++ctr_.prefetch_useful;
             line.referenced = true;
             if (line.fill_time > now)
-                stats_.add("hits_on_inflight_fill");
-            stats_.add("hits");
+                ++ctr_.hits_on_inflight_fill;
+            ++ctr_.hits;
             return &line;
         }
     }
-    stats_.add("misses");
+    ++ctr_.misses;
     return nullptr;
 }
 
@@ -111,11 +136,11 @@ Cache::insert(Addr block, Tick fill_time, bool prefetched, bool dirty)
         ev.block = victim->tag;
         ev.dirty = victim->dirty;
         ev.prefetched_unused = victim->prefetched && !victim->referenced;
-        stats_.add("evictions");
+        ++ctr_.evictions;
         if (ev.dirty)
-            stats_.add("writebacks");
+            ++ctr_.writebacks;
         if (ev.prefetched_unused)
-            stats_.add("prefetch_evicted_unused");
+            ++ctr_.prefetch_evicted_unused;
     }
 
     victim->tag = block;
@@ -126,7 +151,7 @@ Cache::insert(Addr block, Tick fill_time, bool prefetched, bool dirty)
     victim->fill_time = fill_time;
     victim->lru = ++lru_clock_;
     victim->rrpv = 2; // SRRIP insertion: "long" re-reference interval
-    stats_.add(prefetched ? "fills_prefetch" : "fills_demand");
+    ++(prefetched ? ctr_.fills_prefetch : ctr_.fills_demand);
     return ev;
 }
 

@@ -43,6 +43,42 @@ struct EvictResult {
     bool prefetched_unused = false; ///< Victim was an unreferenced prefetch.
 };
 
+/**
+ * Pre-declared per-access counter handles of one cache level.
+ *
+ * Declared once against the cache's StatGroup so the access path bumps
+ * plain uint64_t cells; the string names stay visible through
+ * StatGroup::get()/dump() for tests and the harness.  The MSHR-merge /
+ * target-structure / prefetch-issue counters are bumped by MemorySystem,
+ * which owns the cross-level protocol those events belong to.
+ */
+struct CacheCounters {
+    explicit CacheCounters(StatGroup &g);
+
+    // Bumped by Cache itself.
+    Counter &accesses;
+    Counter &hits;
+    Counter &misses;
+    Counter &hits_on_inflight_fill;
+    Counter &prefetch_useful;
+    Counter &evictions;
+    Counter &writebacks;
+    Counter &prefetch_evicted_unused;
+    Counter &fills_demand;
+    Counter &fills_prefetch;
+
+    // Bumped by MemorySystem on this cache's behalf.
+    Counter &mshr_merges;
+    Counter &mshr_full_stalls;
+    Counter &demand_merged_into_prefetch;
+    Counter &target_accesses;
+    Counter &target_merges;
+    Counter &target_misses;
+    Counter &prefetches_issued;
+    Counter &prefetch_redundant;
+    Counter &prefetch_mshr_full;
+};
+
 /** A set-associative, LRU-replacement cache level. */
 class Cache
 {
@@ -83,6 +119,8 @@ class Cache
     Mshr &prefetchQueue() { return pq_; }
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
+    CacheCounters &ctr() { return ctr_; }
+    const CacheCounters &ctr() const { return ctr_; }
 
   private:
     std::size_t setIndex(Addr block) const { return block & set_mask_; }
@@ -94,6 +132,7 @@ class Cache
     Mshr mshr_;
     Mshr pq_;
     StatGroup stats_;
+    CacheCounters ctr_; ///< Handles into stats_; keep declared after it.
 };
 
 } // namespace rnr

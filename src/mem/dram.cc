@@ -4,27 +4,37 @@
 
 namespace rnr {
 
-namespace {
-
-const char *
-originKey(ReqOrigin o)
+DramCounters::DramCounters(StatGroup &g)
+    : reads(g.declare("reads")),
+      writes(g.declare("writes")),
+      row_hits(g.declare("row_hits")),
+      row_misses(g.declare("row_misses")),
+      read_queue_full_stalls(g.declare("read_queue_full_stalls")),
+      read_latency_sum(g.declare("read_latency_sum")),
+      read_latency_max(g.declare("read_latency_max")),
+      read_rq_wait(g.declare("read_rq_wait")),
+      read_bank_wait(g.declare("read_bank_wait")),
+      read_channel_wait(g.declare("read_channel_wait")),
+      write_drains(g.declare("write_drains")),
+      writes_drained(g.declare("writes_drained")),
+      bytes_total(g.declare("bytes_total"))
 {
-    switch (o) {
-      case ReqOrigin::Demand: return "bytes_demand";
-      case ReqOrigin::Prefetch: return "bytes_prefetch";
-      case ReqOrigin::Metadata: return "bytes_metadata";
-      case ReqOrigin::Writeback: return "bytes_writeback";
-    }
-    return "bytes_other";
+    bytes_by_origin[static_cast<int>(ReqOrigin::Demand)] =
+        &g.declare("bytes_demand");
+    bytes_by_origin[static_cast<int>(ReqOrigin::Prefetch)] =
+        &g.declare("bytes_prefetch");
+    bytes_by_origin[static_cast<int>(ReqOrigin::Metadata)] =
+        &g.declare("bytes_metadata");
+    bytes_by_origin[static_cast<int>(ReqOrigin::Writeback)] =
+        &g.declare("bytes_writeback");
 }
-
-} // namespace
 
 Dram::Dram(const DramConfig &cfg)
     : cfg_(cfg),
       banks_(static_cast<std::size_t>(cfg.channels) * cfg.banks),
       channel_free_(cfg.channels, 0),
-      stats_("DRAM")
+      stats_("DRAM"),
+      ctr_(stats_)
 {
 }
 
@@ -58,14 +68,14 @@ Dram::rowOf(Addr addr) const
 void
 Dram::countBytes(ReqOrigin origin, std::uint64_t n)
 {
-    stats_.add(originKey(origin), n);
-    stats_.add("bytes_total", n);
+    *ctr_.bytes_by_origin[static_cast<int>(origin)] += n;
+    ctr_.bytes_total += n;
 }
 
 Tick
 Dram::read(Addr addr, Tick now, ReqOrigin origin)
 {
-    stats_.add("reads");
+    ++ctr_.reads;
     countBytes(origin, kBlockSize);
     const Tick arrival = now;
 
@@ -80,7 +90,7 @@ Dram::read(Addr addr, Tick now, ReqOrigin origin)
     };
     pop_completed(now);
     if (read_inflight_.size() >= cfg_.read_queue) {
-        stats_.add("read_queue_full_stalls");
+        ++ctr_.read_queue_full_stalls;
         now = std::max(now, read_inflight_.front());
         pop_completed(now);
     }
@@ -88,7 +98,7 @@ Dram::read(Addr addr, Tick now, ReqOrigin origin)
     Bank &bank = banks_[bankOf(addr)];
     const std::uint64_t row = rowOf(addr);
     const bool row_hit = bank.open_row == row;
-    stats_.add(row_hit ? "row_hits" : "row_misses");
+    ++(row_hit ? ctr_.row_hits : ctr_.row_misses);
 
     // The bank is busy for its own access + burst; queueing for the
     // shared channel does not extend the bank's busy window (an FR-FCFS
@@ -112,19 +122,18 @@ Dram::read(Addr addr, Tick now, ReqOrigin origin)
     read_inflight_.push_back(done);
     std::push_heap(read_inflight_.begin(), read_inflight_.end(),
                    std::greater<>());
-    stats_.add("read_latency_sum", done - arrival);
-    stats_.add("read_rq_wait", now - arrival);
-    stats_.add("read_bank_wait", start - now);
-    stats_.add("read_channel_wait", burst_start - (start + access));
-    if (done - arrival > stats_.get("read_latency_max"))
-        stats_.set("read_latency_max", done - arrival);
+    ctr_.read_latency_sum += done - arrival;
+    ctr_.read_rq_wait += now - arrival;
+    ctr_.read_bank_wait += start - now;
+    ctr_.read_channel_wait += burst_start - (start + access);
+    ctr_.read_latency_max.maxWith(done - arrival);
     return done;
 }
 
 void
 Dram::write(Addr addr, Tick now, ReqOrigin origin)
 {
-    stats_.add("writes");
+    ++ctr_.writes;
     countBytes(origin, kBlockSize);
     write_queue_.push_back({addr, origin});
 
@@ -140,7 +149,7 @@ Dram::write(Addr addr, Tick now, ReqOrigin origin)
 void
 Dram::drainWrites(Tick now, std::size_t target_depth)
 {
-    stats_.add("write_drains");
+    ++ctr_.write_drains;
     // The controller prioritises demand reads (Table II's write-queue
     // draining policy): drained writes occupy their banks and steal
     // channel burst slots, but do not block the channel for the whole
@@ -159,20 +168,20 @@ Dram::drainWrites(Tick now, std::size_t target_depth)
         bank.next_free = start + access + cfg_.tBURST;
         // One stolen burst slot per write on its channel.
         channel_free_[channelOf(w.addr)] += cfg_.tBURST;
-        stats_.add("writes_drained");
+        ++ctr_.writes_drained;
     }
 }
 
 std::uint64_t
 Dram::bytes(ReqOrigin origin) const
 {
-    return stats_.get(originKey(origin));
+    return ctr_.bytes_by_origin[static_cast<int>(origin)]->value();
 }
 
 std::uint64_t
 Dram::totalBytes() const
 {
-    return stats_.get("bytes_total");
+    return ctr_.bytes_total.value();
 }
 
 void

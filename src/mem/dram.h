@@ -24,6 +24,30 @@
 
 namespace rnr {
 
+/**
+ * Pre-declared per-request counter handles of the DRAM model.
+ * bytes_by_origin is indexed by ReqOrigin, replacing the per-request
+ * origin-name lookup the string API forced.
+ */
+struct DramCounters {
+    explicit DramCounters(StatGroup &g);
+
+    Counter &reads;
+    Counter &writes;
+    Counter &row_hits;
+    Counter &row_misses;
+    Counter &read_queue_full_stalls;
+    Counter &read_latency_sum;
+    Counter &read_latency_max; ///< Running maximum (Counter::maxWith).
+    Counter &read_rq_wait;
+    Counter &read_bank_wait;
+    Counter &read_channel_wait;
+    Counter &write_drains;
+    Counter &writes_drained;
+    Counter &bytes_total;
+    Counter *bytes_by_origin[4]; ///< Indexed by ReqOrigin.
+};
+
 /** Timestamp-based DDR channel + bank model. */
 class Dram
 {
@@ -54,6 +78,7 @@ class Dram
 
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
+    const DramCounters &ctr() const { return ctr_; }
     std::size_t writeQueueDepth() const { return write_queue_.size(); }
 
   private:
@@ -80,6 +105,7 @@ class Dram
     std::vector<Tick> read_inflight_;
     std::deque<PendingWrite> write_queue_;
     StatGroup stats_;
+    DramCounters ctr_; ///< Handles into stats_; keep declared after it.
 };
 
 } // namespace rnr

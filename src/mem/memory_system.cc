@@ -49,7 +49,7 @@ MemorySystem::accessShared(Addr block, Tick now, ReqOrigin origin)
     if (llc.mshr().full()) {
         t = std::max(t, llc.mshr().earliestFill());
         llc.mshr().purge(t);
-        llc.stats().add("mshr_full_stalls");
+        ++llc.ctr().mshr_full_stalls;
     }
 
     const Tick done = dram_.read(block << kBlockBits,
@@ -103,13 +103,13 @@ MemorySystem::demandAccess(unsigned core, Addr vaddr, bool is_write,
         res.done = std::max(t, e->fill) + l1.config().latency;
         if (is_write)
             l1.markDirty(block, t); // will be resident once filled
-        l1.stats().add("mshr_merges");
+        ++l1.ctr().mshr_merges;
         return res;
     }
     if (l1.mshr().full()) {
         t = std::max(t, l1.mshr().earliestFill());
         l1.mshr().purge(t);
-        l1.stats().add("mshr_full_stalls");
+        ++l1.ctr().mshr_full_stalls;
     }
     const Tick t2 = t + l1.config().latency;
 
@@ -134,14 +134,14 @@ MemorySystem::demandAccess(unsigned core, Addr vaddr, bool is_write,
         info.hit = true;
         res.l2_hit = true;
         if (target)
-            l2.stats().add("target_accesses");
+            ++l2.ctr().target_accesses;
     } else if (Mshr::Entry *e = l2.mshr().find(block)) {
         fill = std::max(t2, e->fill) + l2.config().latency;
         info.merged = true;
-        l2.stats().add("mshr_merges");
+        ++l2.ctr().mshr_merges;
         if (target) {
-            l2.stats().add("target_accesses");
-            l2.stats().add("target_merges");
+            ++l2.ctr().target_accesses;
+            ++l2.ctr().target_merges;
         }
     } else if (Mshr::Entry *pe = l2.prefetchQueue().find(block)) {
         // Demand caught an in-flight prefetch: a "late" prefetch that
@@ -149,14 +149,14 @@ MemorySystem::demandAccess(unsigned core, Addr vaddr, bool is_write,
         fill = std::max(t2, pe->fill) + l2.config().latency;
         info.merged = true;
         info.merged_into_prefetch = pe->prefetch;
-        l2.stats().add("mshr_merges");
+        ++l2.ctr().mshr_merges;
         if (pe->prefetch) {
-            l2.stats().add("demand_merged_into_prefetch");
+            ++l2.ctr().demand_merged_into_prefetch;
             pe->prefetch = false; // count each late prefetch once
         }
         if (target) {
-            l2.stats().add("target_accesses");
-            l2.stats().add("target_merges");
+            ++l2.ctr().target_accesses;
+            ++l2.ctr().target_merges;
         }
     } else {
         res.l2_miss = true;
@@ -164,7 +164,7 @@ MemorySystem::demandAccess(unsigned core, Addr vaddr, bool is_write,
         if (l2.mshr().full()) {
             t2b = std::max(t2b, l2.mshr().earliestFill());
             l2.mshr().purge(t2b);
-            l2.stats().add("mshr_full_stalls");
+            ++l2.ctr().mshr_full_stalls;
         }
         fill = accessShared(block, t2b + l2.config().latency,
                             ReqOrigin::Demand);
@@ -172,8 +172,8 @@ MemorySystem::demandAccess(unsigned core, Addr vaddr, bool is_write,
         EvictResult ev = l2.insert(block, fill, false, is_write);
         handleL2Evict(core, ev, t2b);
         if (target) {
-            l2.stats().add("target_accesses");
-            l2.stats().add("target_misses");
+            ++l2.ctr().target_accesses;
+            ++l2.ctr().target_misses;
         }
     }
     prefetchers_[core]->onAccess(info);
@@ -204,12 +204,12 @@ MemorySystem::prefetchIntoL2(unsigned core, Addr vaddr, Tick now)
     if (l2.peek(block) || l2.mshr().find(block) ||
         l2.prefetchQueue().find(block)) {
         out.redundant = true;
-        l2.stats().add("prefetch_redundant");
+        ++l2.ctr().prefetch_redundant;
         return out;
     }
     if (l2.prefetchQueue().full()) {
         out.mshr_full = true;
-        l2.stats().add("prefetch_mshr_full");
+        ++l2.ctr().prefetch_mshr_full;
         return out;
     }
 
@@ -218,7 +218,7 @@ MemorySystem::prefetchIntoL2(unsigned core, Addr vaddr, Tick now)
     l2.prefetchQueue().insert(block, fill, true);
     EvictResult ev = l2.insert(block, fill, true, false);
     handleL2Evict(core, ev, now);
-    l2.stats().add("prefetches_issued");
+    ++l2.ctr().prefetches_issued;
 
     out.issued = true;
     out.fill_time = fill;

@@ -6,7 +6,10 @@ Tlb::Tlb(const TlbConfig &cfg)
     : cfg_(cfg),
       dtlb_(cfg.dtlb_entries, 0),
       stlb_(cfg.stlb_entries, 0),
-      stats_("TLB")
+      stats_("TLB"),
+      c_dtlb_hits_(stats_.declare("dtlb_hits")),
+      c_stlb_hits_(stats_.declare("stlb_hits")),
+      c_walks_(stats_.declare("walks"))
 {
 }
 
@@ -18,18 +21,18 @@ Tlb::translate(Addr vaddr)
 
     Addr &d = dtlb_[page % dtlb_.size()];
     if (d == tag) {
-        stats_.add("dtlb_hits");
+        ++c_dtlb_hits_;
         return 0;
     }
 
     Addr &s = stlb_[page % stlb_.size()];
     if (s == tag) {
-        stats_.add("stlb_hits");
+        ++c_stlb_hits_;
         d = tag;
         return cfg_.stlb_latency;
     }
 
-    stats_.add("walks");
+    ++c_walks_;
     d = tag;
     s = tag;
     return cfg_.walk_latency;

@@ -41,6 +41,10 @@ class Tlb
     std::vector<Addr> dtlb_;
     std::vector<Addr> stlb_;
     StatGroup stats_;
+    // Per-translation handles, declared once (sim/counter.h).
+    Counter &c_dtlb_hits_;
+    Counter &c_stlb_hits_;
+    Counter &c_walks_;
 };
 
 } // namespace rnr

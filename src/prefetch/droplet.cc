@@ -2,11 +2,21 @@
 
 #include <algorithm>
 
+#include "workloads/workload.h"
+
 namespace rnr {
 
 DropletPrefetcher::DropletPrefetcher(unsigned distance)
-    : distance_(distance)
+    : distance_(distance),
+      c_indirect_launched_(stats_.declare("indirect_launched")),
+      c_indirect_filtered_(stats_.declare("indirect_filtered"))
 {
+}
+
+void
+DropletPrefetcher::configureFor(const Workload &wl, unsigned core)
+{
+    setHint(wl.dropletHint(core));
 }
 
 bool
@@ -35,7 +45,7 @@ DropletPrefetcher::launchIndirect(Addr edge_block, Tick fill_time)
         const Addr block = blockNumber(target);
         Addr &slot = filter_[block % filter_.size()];
         if (slot == block + 1) {
-            stats_.add("indirect_filtered");
+            ++c_indirect_filtered_;
             continue;
         }
         slot = block + 1;
@@ -43,7 +53,7 @@ DropletPrefetcher::launchIndirect(Addr edge_block, Tick fill_time)
         // is back — this is the extra indirection level the RnR paper
         // identifies as DROPLET's timeliness problem.
         issuePrefetch(target, fill_time);
-        stats_.add("indirect_launched");
+        ++c_indirect_launched_;
     }
 }
 

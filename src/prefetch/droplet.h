@@ -41,6 +41,9 @@ class DropletPrefetcher : public Prefetcher
 
     void setHint(DropletHint hint) { hint_ = std::move(hint); }
 
+    /** Pulls the edge->vertex indirection hint from the workload. */
+    void configureFor(const Workload &wl, unsigned core) override;
+
     void onAccess(const L2AccessInfo &info) override;
     std::string name() const override { return "droplet"; }
 
@@ -52,6 +55,8 @@ class DropletPrefetcher : public Prefetcher
 
     DropletHint hint_;
     unsigned distance_;
+    Counter &c_indirect_launched_;
+    Counter &c_indirect_filtered_;
     Addr next_stream_block_ = 0;  ///< Edge-stream run-ahead cursor.
 
     /** Prefetch filter: recently launched vertex blocks (tag = block+1,

@@ -76,6 +76,13 @@ CombinedPrefetcher::attach(MemorySystem *ms, unsigned core)
 }
 
 void
+CombinedPrefetcher::configureFor(const Workload &wl, unsigned core)
+{
+    rnr_->configureFor(wl, core);
+    stream_->configureFor(wl, core);
+}
+
+void
 CombinedPrefetcher::onAccess(const L2AccessInfo &info)
 {
     rnr_->onAccess(info);

@@ -55,6 +55,7 @@ class CombinedPrefetcher : public Prefetcher
                        std::unique_ptr<Prefetcher> stream);
 
     void attach(MemorySystem *ms, unsigned core) override;
+    void configureFor(const Workload &wl, unsigned core) override;
     void onAccess(const L2AccessInfo &info) override;
     void onEvict(Addr block) override;
     void onControl(const TraceRecord &rec, Tick now) override;

@@ -1,10 +1,19 @@
 #include "prefetch/imp.h"
 
+#include "workloads/workload.h"
+
 namespace rnr {
 
 ImpPrefetcher::ImpPrefetcher(unsigned distance, unsigned confirm)
-    : distance_(distance), confirm_(confirm)
+    : distance_(distance), confirm_(confirm),
+      c_pattern_confirmed_(stats_.declare("pattern_confirmed"))
 {
+}
+
+void
+ImpPrefetcher::configureFor(const Workload &wl, unsigned core)
+{
+    setSniffer(wl.impSniffer(core));
 }
 
 bool
@@ -67,7 +76,7 @@ ImpPrefetcher::train(Addr miss_addr)
                 coeff_ = c;
                 base_ = b;
                 confirmed_ = true;
-                stats_.add("pattern_confirmed");
+                ++c_pattern_confirmed_;
                 return;
             }
         }

@@ -51,6 +51,9 @@ class ImpPrefetcher : public Prefetcher
 
     void setSniffer(IndexSniffer sniffer) { sniffer_ = std::move(sniffer); }
 
+    /** Pulls the index-value sniffer from the workload. */
+    void configureFor(const Workload &wl, unsigned core) override;
+
     void onAccess(const L2AccessInfo &info) override;
     std::string name() const override { return "imp"; }
 
@@ -83,6 +86,8 @@ class ImpPrefetcher : public Prefetcher
 
     /** Vote counts per candidate (base*16+coeff) during training. */
     std::unordered_map<std::uint64_t, unsigned> candidates_;
+
+    Counter &c_pattern_confirmed_;
 };
 
 } // namespace rnr

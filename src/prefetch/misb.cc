@@ -6,7 +6,9 @@ namespace rnr {
 
 MisbPrefetcher::MisbPrefetcher(unsigned degree,
                                std::size_t metadata_cache_entries)
-    : degree_(degree), metadata_cap_(metadata_cache_entries)
+    : degree_(degree), metadata_cap_(metadata_cache_entries),
+      c_metadata_cache_hits_(stats_.declare("metadata_cache_hits")),
+      c_metadata_cache_misses_(stats_.declare("metadata_cache_misses"))
 {
 }
 
@@ -18,10 +20,10 @@ MisbPrefetcher::touchMetadata(std::uint64_t key, Tick now)
     auto it = meta_cache_.find(line);
     if (it != meta_cache_.end()) {
         meta_lru_.splice(meta_lru_.end(), meta_lru_, it->second);
-        stats_.add("metadata_cache_hits");
+        ++c_metadata_cache_hits_;
         return;
     }
-    stats_.add("metadata_cache_misses");
+    ++c_metadata_cache_misses_;
     // Off-chip metadata access: one line read, and a dirty line written
     // back half the time (training constantly updates mappings).
     ms_->metadataRead(metadata_base_ + line * kBlockSize, kBlockSize, now);

@@ -44,6 +44,8 @@ class MisbPrefetcher : public Prefetcher
 
     unsigned degree_;
     std::size_t metadata_cap_;
+    Counter &c_metadata_cache_hits_;
+    Counter &c_metadata_cache_misses_;
 
     /** Training unit: last missed block per PC. */
     std::unordered_map<std::uint32_t, Addr> training_;

@@ -4,12 +4,21 @@
 
 namespace rnr {
 
+Prefetcher::Prefetcher()
+    : c_issued_(stats_.declare("issued")),
+      c_redundant_(stats_.declare("redundant")),
+      c_dropped_mshr_full_(stats_.declare("dropped_mshr_full"))
+{
+}
+
 void
 Prefetcher::attach(MemorySystem *ms, unsigned core)
 {
     ms_ = ms;
     core_ = core;
-    stats_ = StatGroup(name() + "." + std::to_string(core));
+    // Rename in place: counters declared by constructors (base and
+    // derived) keep their handles and their accumulated values.
+    stats_.rename(name() + "." + std::to_string(core));
 }
 
 PrefetchIssue
@@ -17,11 +26,11 @@ Prefetcher::issuePrefetch(Addr vaddr, Tick now)
 {
     PrefetchIssue out = ms_->prefetchIntoL2(core_, vaddr, now);
     if (out.issued)
-        stats_.add("issued");
+        ++c_issued_;
     else if (out.redundant)
-        stats_.add("redundant");
+        ++c_redundant_;
     else if (out.mshr_full)
-        stats_.add("dropped_mshr_full");
+        ++c_dropped_mshr_full_;
     return out;
 }
 

@@ -22,6 +22,7 @@
 namespace rnr {
 
 class MemorySystem;
+class Workload;
 
 /** Everything the L2 tells its prefetcher about one demand access. */
 struct L2AccessInfo {
@@ -49,10 +50,24 @@ struct PrefetchIssue {
 class Prefetcher
 {
   public:
+    Prefetcher();
     virtual ~Prefetcher() = default;
 
     /** Binds this prefetcher to @p core of @p ms; called once by setup. */
     virtual void attach(MemorySystem *ms, unsigned core);
+
+    /**
+     * Lets a prefetcher pull whatever software-provided hints it needs
+     * from the workload (DROPLET's edge->vertex indirection, IMP's
+     * index-value sniffer, ...).  Called once per core by the harness
+     * after construction; the default needs nothing, so adding a
+     * prefetcher never means editing the runner's wiring code.
+     */
+    virtual void configureFor(const Workload &wl, unsigned core)
+    {
+        (void)wl;
+        (void)core;
+    }
 
     /** Invoked for every L2 demand access, after hit/miss resolution. */
     virtual void onAccess(const L2AccessInfo &info) = 0;
@@ -98,6 +113,11 @@ class Prefetcher
     MemorySystem *ms_ = nullptr;
     unsigned core_ = 0;
     StatGroup stats_{"prefetcher"};
+    // Handles for the per-issue outcome counters, declared once here;
+    // attach() only rename()s the group, so they stay valid.
+    Counter &c_issued_;
+    Counter &c_redundant_;
+    Counter &c_dropped_mshr_full_;
 };
 
 /** A prefetcher that never issues anything (the no-prefetch baseline). */

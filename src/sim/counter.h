@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Pre-registered counter handle for the simulator's hot path.
+ *
+ * A Counter is a plain uint64_t cell living inside a StatGroup's
+ * registry (sim/stats.h).  Components call StatGroup::declare(name)
+ * once, at construction, and keep the returned reference; bumping it on
+ * the event path is then a single inlined add — no string hashing, no
+ * map lookup, no allocation — which is what lets per-access accounting
+ * stay free relative to the cache/DRAM event being modeled (the same
+ * plain-counter-array discipline ChampSim-lineage simulators use).
+ *
+ * Handles are stable: the registry is node-based, so a Counter's
+ * address never changes once declared, and StatGroup::reset() zeroes
+ * values in place without invalidating references.
+ *
+ * Thread-safety: a Counter inherits its owning StatGroup's contract
+ * (one simulation == one thread; see sim/stats.h).  It is deliberately
+ * NOT atomic so the hot path pays no RMW cost.
+ */
+#ifndef RNR_SIM_COUNTER_H
+#define RNR_SIM_COUNTER_H
+
+#include <cstdint>
+
+namespace rnr {
+
+/** One monotonically increasing (or gauge-set) 64-bit counter cell. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    Counter &
+    operator+=(std::uint64_t delta)
+    {
+        value_ += delta;
+        return *this;
+    }
+
+    /** Gauge-style absolute update (e.g. peak table sizes, maxima). */
+    void set(std::uint64_t v) { value_ = v; }
+
+    /** Raises the value to @p v when larger (running-maximum gauges). */
+    void
+    maxWith(std::uint64_t v)
+    {
+        if (v > value_)
+            value_ = v;
+    }
+
+    std::uint64_t value() const { return value_; }
+
+  private:
+    friend class StatGroup; // reset() zeroes cells in place
+
+    std::uint64_t value_ = 0;
+};
+
+} // namespace rnr
+
+#endif // RNR_SIM_COUNTER_H

@@ -8,14 +8,14 @@ std::uint64_t
 StatGroup::get(const std::string &key) const
 {
     auto it = counters_.find(key);
-    return it == counters_.end() ? 0 : it->second;
+    return it == counters_.end() ? 0 : it->second.value();
 }
 
 void
 StatGroup::reset()
 {
     for (auto &kv : counters_)
-        kv.second = 0;
+        kv.second.value_ = 0;
 }
 
 std::string
@@ -23,7 +23,8 @@ StatGroup::dump() const
 {
     std::ostringstream os;
     for (const auto &kv : counters_)
-        os << name_ << "." << kv.first << " = " << kv.second << "\n";
+        os << name_ << "." << kv.first << " = " << kv.second.value()
+           << "\n";
     return os.str();
 }
 

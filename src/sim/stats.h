@@ -2,10 +2,13 @@
  * @file
  * Lightweight named-counter statistics registry.
  *
- * Components own a StatGroup and declare counters up front; the harness
- * walks the registry to compute the paper's derived metrics (MPKI, miss
- * coverage, accuracy, off-chip traffic) without each component having to
- * know which figure it feeds.
+ * Components own a StatGroup and declare their counters up front in
+ * their constructors: declare(name) returns a stable Counter& handle
+ * (sim/counter.h) whose ++/+= is a plain uint64_t bump, so the per-event
+ * simulation path never touches the name→counter map.  The string-keyed
+ * add()/set()/get() API remains for one-time and per-iteration gauges
+ * and for tests/the harness walk, and both views are the same storage:
+ * a handle bump is immediately visible through get() and dump().
  *
  * Thread-safety contract: a StatGroup is NOT internally synchronised.
  * Every group is owned by exactly one System (cache, DRAM, prefetcher),
@@ -24,6 +27,8 @@
 #include <map>
 #include <string>
 
+#include "sim/counter.h"
+
 namespace rnr {
 
 /** A named group of monotonically increasing 64-bit counters. */
@@ -32,7 +37,22 @@ class StatGroup
   public:
     explicit StatGroup(std::string name) : name_(std::move(name)) {}
 
-    /** Adds @p delta to counter @p key, creating it at zero if absent. */
+    /**
+     * Registers @p key and returns its stable handle, creating the
+     * counter at zero on first declaration.  Declaring the same name
+     * again returns the same handle (composite components may share a
+     * cell).  The map is node-based, so the reference stays valid for
+     * the group's lifetime — across further declarations, rename() and
+     * reset().
+     */
+    Counter &
+    declare(const std::string &key)
+    {
+        return counters_[key];
+    }
+
+    /** Adds @p delta to counter @p key, creating it at zero if absent.
+     *  Map-lookup cost: for per-access paths use declare() handles. */
     void
     add(const std::string &key, std::uint64_t delta = 1)
     {
@@ -43,17 +63,24 @@ class StatGroup
     void
     set(const std::string &key, std::uint64_t value)
     {
-        counters_[key] = value;
+        counters_[key].set(value);
     }
 
     /** Returns the value of @p key, or 0 when it was never touched. */
     std::uint64_t get(const std::string &key) const;
 
-    /** Resets every counter to zero (per-iteration measurement windows). */
+    /** Resets every counter to zero, in place: handles returned by
+     *  declare() remain valid (per-iteration measurement windows). */
     void reset();
 
     const std::string &name() const { return name_; }
-    const std::map<std::string, std::uint64_t> &counters() const
+
+    /** Renames the group (display only); handles stay valid — this is
+     *  how prefetchers pick up their per-core name at attach() without
+     *  invalidating counters declared at construction. */
+    void rename(std::string name) { name_ = std::move(name); }
+
+    const std::map<std::string, Counter> &counters() const
     {
         return counters_;
     }
@@ -63,7 +90,7 @@ class StatGroup
 
   private:
     std::string name_;
-    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, Counter> counters_;
 };
 
 } // namespace rnr

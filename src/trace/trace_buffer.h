@@ -39,6 +39,10 @@ class TraceBuffer
         loads_ = stores_ = controls_ = instrs_ = 0;
     }
 
+    /** Pre-sizes the record store (capacity only; size is untouched). */
+    void reserve(std::size_t n) { records_.reserve(n); }
+    std::size_t capacity() const { return records_.capacity(); }
+
     const std::vector<TraceRecord> &records() const { return records_; }
     std::size_t size() const { return records_.size(); }
     bool empty() const { return records_.empty(); }

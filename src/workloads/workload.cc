@@ -4,7 +4,8 @@
 
 namespace rnr {
 
-Workload::Workload(WorkloadOptions opts) : opts_(opts)
+Workload::Workload(WorkloadOptions opts)
+    : opts_(opts), prev_records_(opts.cores, 0)
 {
     for (unsigned c = 0; c < opts_.cores; ++c) {
         tracers_.push_back(std::make_unique<Tracer>(nullptr));
@@ -18,8 +19,16 @@ void
 Workload::retargetAll(std::vector<TraceBuffer> &bufs)
 {
     assert(bufs.size() == opts_.cores);
-    for (unsigned c = 0; c < opts_.cores; ++c)
+    for (unsigned c = 0; c < opts_.cores; ++c) {
+        // Sample the last iteration's size before clearing: callers
+        // commonly pass the same buffers every iteration.
+        if (const TraceBuffer *prev = tracers_[c]->buffer())
+            if (prev->size() > 0)
+                prev_records_[c] = prev->size();
+        bufs[c].clear();
+        bufs[c].reserve(prev_records_[c]);
         tracers_[c]->retarget(&bufs[c]);
+    }
 }
 
 } // namespace rnr

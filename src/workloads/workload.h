@@ -81,13 +81,22 @@ class Workload
     const WorkloadOptions &options() const { return opts_; }
 
   protected:
-    /** Points every tracer at this iteration's buffers. */
+    /**
+     * Points every tracer at this iteration's buffers.
+     *
+     * Also clears each buffer and reserves it to the record count of the
+     * iteration the tracer emitted last — successive iterations of these
+     * SPMD kernels trace nearly identical record counts, so the first
+     * push after iteration 0 never reallocates mid-trace.
+     */
     void retargetAll(std::vector<TraceBuffer> &bufs);
 
     WorkloadOptions opts_;
     AddressSpace space_;
     std::vector<std::unique_ptr<Tracer>> tracers_;
     std::vector<std::unique_ptr<RnrRuntime>> runtimes_;
+    /** Per-core record count of the previously emitted iteration. */
+    std::vector<std::size_t> prev_records_;
 };
 
 } // namespace rnr

@@ -2,10 +2,51 @@
 
 #include <gtest/gtest.h>
 
+#include "cpu/system.h"
 #include "harness/runner.h"
+#include "harness/system_counters.h"
 
 namespace rnr {
 namespace {
+
+/** String-keyed reimplementation of the counter snapshot, kept
+ *  deliberately independent of the X-macro so the test can catch a
+ *  field wired to the wrong handle. */
+IterStats
+stringSnapshot(System &sys)
+{
+    const auto sum_l2 = [&sys](const std::string &key) {
+        std::uint64_t total = 0;
+        for (unsigned c = 0; c < sys.coreCount(); ++c)
+            total += sys.mem().l2(c).stats().get(key);
+        return total;
+    };
+    const auto sum_rnr = [&sys](const std::string &key) {
+        std::uint64_t total = 0;
+        for (unsigned c = 0; c < sys.coreCount(); ++c)
+            if (RnrPrefetcher *r = asRnr(sys.mem().prefetcher(c)))
+                total += r->stats().get(key);
+        return total;
+    };
+    IterStats s;
+    s.l2_accesses = sum_l2("accesses");
+    s.l2_demand_misses = sum_l2("misses") - sum_l2("mshr_merges");
+    s.pf_issued = sum_l2("prefetches_issued");
+    s.pf_useful = sum_l2("prefetch_useful");
+    s.pf_late_merged = sum_l2("demand_merged_into_prefetch");
+    const StatGroup &d = sys.mem().dram().stats();
+    s.dram_bytes_total = d.get("bytes_total");
+    s.dram_bytes_demand = d.get("bytes_demand");
+    s.dram_bytes_prefetch = d.get("bytes_prefetch");
+    s.dram_bytes_metadata = d.get("bytes_metadata");
+    s.dram_bytes_writeback = d.get("bytes_writeback");
+    s.rnr_ontime = sum_rnr("pf_ontime");
+    s.rnr_early = sum_rnr("pf_early");
+    s.rnr_late = sum_rnr("pf_late");
+    s.rnr_out_of_window = sum_rnr("pf_out_of_window");
+    s.rnr_recorded = sum_rnr("recorded_misses");
+    return s;
+}
 
 struct RunnerFixture : ::testing::Test {
     static void
@@ -94,6 +135,91 @@ TEST_F(RunnerFixture, RnrRunRecordsMetadata)
     EXPECT_GT(r.div_table_bytes, 0u);
     EXPECT_GT(r.first().rnr_recorded, 0u);
     EXPECT_GT(r.steady().pf_issued, 0u);
+}
+
+TEST_F(RunnerFixture, TypedDeltaMatchesHandComputedStringDelta)
+{
+    // 2-iteration spcg run with RnR: record pass then replay pass, so
+    // every field of the snapshot (including the timeliness taxonomy)
+    // sees non-zero traffic.
+    ExperimentConfig cfg;
+    cfg.app = "spcg";
+    cfg.input = "pdb1HYS";
+    cfg.iterations = 2;
+    cfg.prefetcher = PrefetcherKind::Rnr;
+
+    MachineConfig mcfg = MachineConfig::scaledDefault();
+    mcfg.cores = cfg.cores;
+    System sys(mcfg);
+    std::unique_ptr<Workload> wl = makeWorkload(cfg);
+    std::vector<std::unique_ptr<Prefetcher>> pfs;
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        pfs.push_back(createPrefetcher(cfg.prefetcher, {}));
+        pfs.back()->configureFor(*wl, c);
+        sys.mem().setPrefetcher(c, pfs.back().get());
+    }
+
+    std::vector<TraceBuffer> bufs(cfg.cores);
+    SystemCounters typed_before = SystemCounters::capture(sys);
+    IterStats hand_before = stringSnapshot(sys);
+    for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
+        wl->emitIteration(iter, iter + 1 == cfg.iterations, bufs);
+        std::vector<const TraceBuffer *> ptrs;
+        for (auto &b : bufs)
+            ptrs.push_back(&b);
+        sys.run(ptrs);
+
+        const SystemCounters typed_after = SystemCounters::capture(sys);
+        const IterStats typed = typed_after.delta(typed_before);
+        const IterStats hand_after = stringSnapshot(sys);
+
+        EXPECT_EQ(typed.l2_accesses,
+                  hand_after.l2_accesses - hand_before.l2_accesses);
+        EXPECT_EQ(typed.l2_demand_misses,
+                  hand_after.l2_demand_misses - hand_before.l2_demand_misses);
+        EXPECT_EQ(typed.pf_issued,
+                  hand_after.pf_issued - hand_before.pf_issued);
+        EXPECT_EQ(typed.pf_useful,
+                  hand_after.pf_useful - hand_before.pf_useful);
+        EXPECT_EQ(typed.pf_late_merged,
+                  hand_after.pf_late_merged - hand_before.pf_late_merged);
+        EXPECT_EQ(typed.dram_bytes_total,
+                  hand_after.dram_bytes_total - hand_before.dram_bytes_total);
+        EXPECT_EQ(typed.dram_bytes_demand,
+                  hand_after.dram_bytes_demand -
+                      hand_before.dram_bytes_demand);
+        EXPECT_EQ(typed.dram_bytes_prefetch,
+                  hand_after.dram_bytes_prefetch -
+                      hand_before.dram_bytes_prefetch);
+        EXPECT_EQ(typed.dram_bytes_metadata,
+                  hand_after.dram_bytes_metadata -
+                      hand_before.dram_bytes_metadata);
+        EXPECT_EQ(typed.dram_bytes_writeback,
+                  hand_after.dram_bytes_writeback -
+                      hand_before.dram_bytes_writeback);
+        EXPECT_EQ(typed.rnr_ontime,
+                  hand_after.rnr_ontime - hand_before.rnr_ontime);
+        EXPECT_EQ(typed.rnr_early,
+                  hand_after.rnr_early - hand_before.rnr_early);
+        EXPECT_EQ(typed.rnr_late,
+                  hand_after.rnr_late - hand_before.rnr_late);
+        EXPECT_EQ(typed.rnr_out_of_window,
+                  hand_after.rnr_out_of_window -
+                      hand_before.rnr_out_of_window);
+        EXPECT_EQ(typed.rnr_recorded,
+                  hand_after.rnr_recorded - hand_before.rnr_recorded);
+
+        // The run must actually exercise the counters being compared.
+        EXPECT_GT(typed.l2_accesses, 0u);
+        EXPECT_GT(typed.dram_bytes_total, 0u);
+        if (iter == 0)
+            EXPECT_GT(typed.rnr_recorded, 0u);
+        else
+            EXPECT_GT(typed.pf_issued, 0u);
+
+        typed_before = typed_after;
+        hand_before = hand_after;
+    }
 }
 
 TEST_F(RunnerFixture, RunBaselineStripsPrefetcher)

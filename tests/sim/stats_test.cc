@@ -33,6 +33,77 @@ TEST(StatsTest, ResetZeroesButKeepsKeys)
     EXPECT_EQ(g.counters().size(), 2u);
 }
 
+TEST(StatsTest, DeclaredHandleAndStringViewAgree)
+{
+    StatGroup g("test");
+    Counter &c = g.declare("events");
+    ++c;
+    c += 4;
+    EXPECT_EQ(c.value(), 5u);
+    EXPECT_EQ(g.get("events"), 5u);
+    // The string API writes into the same cell the handle reads.
+    g.add("events", 2);
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(StatsTest, DuplicateDeclareReturnsSameCounter)
+{
+    StatGroup g("test");
+    Counter &a = g.declare("shared");
+    Counter &b = g.declare("shared");
+    EXPECT_EQ(&a, &b);
+    ++a;
+    EXPECT_EQ(b.value(), 1u);
+    EXPECT_EQ(g.counters().size(), 1u);
+}
+
+TEST(StatsTest, ResetZeroesInPlaceKeepingHandlesValid)
+{
+    StatGroup g("test");
+    Counter &c = g.declare("events");
+    c += 41;
+    g.reset();
+    EXPECT_EQ(c.value(), 0u);
+    // The handle still aliases the registry cell after reset.
+    ++c;
+    EXPECT_EQ(g.get("events"), 1u);
+}
+
+TEST(StatsTest, HandlesSurviveLaterDeclares)
+{
+    // std::map storage gives stable addresses: declaring more counters
+    // must not move earlier cells.
+    StatGroup g("test");
+    Counter &first = g.declare("a");
+    for (int i = 0; i < 64; ++i)
+        g.declare("k" + std::to_string(i));
+    ++first;
+    EXPECT_EQ(g.get("a"), 1u);
+}
+
+TEST(StatsTest, RenameKeepsValuesAndHandles)
+{
+    StatGroup g("before");
+    Counter &c = g.declare("events");
+    c += 3;
+    g.rename("after.0");
+    EXPECT_EQ(g.get("events"), 3u);
+    ++c;
+    EXPECT_EQ(g.get("events"), 4u);
+    EXPECT_NE(g.dump().find("after.0.events = 4"), std::string::npos);
+}
+
+TEST(StatsTest, MaxWithTracksRunningMaximum)
+{
+    StatGroup g("test");
+    Counter &c = g.declare("peak");
+    c.maxWith(7);
+    c.maxWith(3);
+    EXPECT_EQ(c.value(), 7u);
+    c.maxWith(11);
+    EXPECT_EQ(g.get("peak"), 11u);
+}
+
 TEST(StatsTest, DumpFormatsSortedLines)
 {
     StatGroup g("grp");
