@@ -13,13 +13,19 @@ ReplayController::ReplayController(ReplayControlMode mode,
 
 void
 ReplayController::beginReplay(const std::vector<std::uint64_t> *division,
-                              std::uint64_t total_entries)
+                              std::uint64_t total_entries, Tick now)
 {
     division_ = division;
     total_entries_ = total_entries;
     cur_window_ = 0;
     reads_since_issue_ = 0;
     recomputePace();
+    if (tr_) {
+        tr_->emit(tr_track_, TraceEventType::PaceRecompute, now, 0, pace_,
+                  0, tr_core_);
+        tr_->emit(tr_track_, TraceEventType::WindowOpen, now, 0, pace_, 0,
+                  tr_core_);
+    }
 }
 
 std::uint64_t
@@ -85,7 +91,7 @@ ReplayController::initialBurst() const
 
 std::uint64_t
 ReplayController::onStructRead(std::uint64_t cur_struct_read,
-                               std::uint64_t issued_so_far)
+                               std::uint64_t issued_so_far, Tick now)
 {
     if (mode_ == ReplayControlMode::None) {
         // Uncontrolled: a fixed burst on every read, no budget.
@@ -97,9 +103,18 @@ ReplayController::onStructRead(std::uint64_t cur_struct_read,
     // Advance through completed windows.
     while (cur_struct_read >= divisionAt(cur_window_) &&
            divisionAt(cur_window_) != kTickMax) {
+        if (tr_)
+            tr_->emit(tr_track_, TraceEventType::WindowClose, now, 0, 0,
+                      cur_window_, tr_core_);
         ++cur_window_;
         reads_since_issue_ = 0;
         recomputePace();
+        if (tr_) {
+            tr_->emit(tr_track_, TraceEventType::PaceRecompute, now, 0,
+                      pace_, cur_window_, tr_core_);
+            tr_->emit(tr_track_, TraceEventType::WindowOpen, now, 0,
+                      pace_, cur_window_, tr_core_);
+        }
     }
 
     const std::uint64_t allowed = budget(cur_window_);

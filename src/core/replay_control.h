@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/trace_event.h"
 #include "sim/types.h"
 
 namespace rnr {
@@ -64,9 +65,10 @@ class ReplayController
      * Arms the controller for a replay pass.
      * @param division cumulative struct-read counts at window ends.
      * @param total_entries sequence length to replay.
+     * @param now current tick, used only to timestamp trace events.
      */
     void beginReplay(const std::vector<std::uint64_t> *division,
-                     std::uint64_t total_entries);
+                     std::uint64_t total_entries, Tick now = 0);
 
     /** Adopts the architectural window-size register (set by RnR.init()
      *  or WindowSize.set()); must be called before beginReplay. */
@@ -79,9 +81,10 @@ class ReplayController
      * Notes one demand read of the target structure and returns how many
      * additional sequence entries the prefetcher should issue now.
      * @param issued_so_far entries the caller has already issued.
+     * @param now current tick, used only to timestamp trace events.
      */
     std::uint64_t onStructRead(std::uint64_t cur_struct_read,
-                               std::uint64_t issued_so_far);
+                               std::uint64_t issued_so_far, Tick now = 0);
 
     /** Entries the caller may issue immediately at replay start. */
     std::uint64_t initialBurst() const;
@@ -92,6 +95,16 @@ class ReplayController
     std::uint64_t pace() const { return pace_; }
 
     ReplayControlMode mode() const { return mode_; }
+
+    /** Routes window-open/close and pace-recompute events to @p tr's
+     *  @p track (the shared "rnr" track), tagged with @p core. */
+    void
+    setTrace(TraceCollector *tr, std::uint16_t track, std::uint16_t core)
+    {
+        tr_ = tr;
+        tr_track_ = track;
+        tr_core_ = core;
+    }
 
   private:
     /** Cumulative reads at the end of window @p w (handles tail). */
@@ -111,6 +124,9 @@ class ReplayController
     std::uint32_t cur_window_ = 0;
     std::uint64_t pace_ = 1;
     std::uint64_t reads_since_issue_ = 0;
+    TraceCollector *tr_ = nullptr; ///< Null unless tracing is enabled.
+    std::uint16_t tr_track_ = 0;
+    std::uint16_t tr_core_ = 0;
 };
 
 } // namespace rnr

@@ -31,6 +31,15 @@ RnrPrefetcher::RnrPrefetcher(Options opts)
 {
 }
 
+void
+RnrPrefetcher::setTrace(TraceCollector *tr, std::uint16_t track)
+{
+    Prefetcher::setTrace(tr, track);
+    tr_rnr_track_ = tr ? tr->rnrTrack() : 0;
+    controller_.setTrace(tr, tr_rnr_track_,
+                         static_cast<std::uint16_t>(core_));
+}
+
 std::uint64_t
 RnrPrefetcher::contextSwitchBytes()
 {
@@ -115,6 +124,7 @@ RnrPrefetcher::onControl(const TraceRecord &rec, Tick now)
 
       case RnrOp::Start:
         startRecording();
+        emitRnr(TraceEventType::RecordStart, now);
         break;
 
       case RnrOp::Replay:
@@ -147,6 +157,8 @@ RnrPrefetcher::onControl(const TraceRecord &rec, Tick now)
       case RnrOp::EndState:
         if (arch_.state == RnrState::Record)
             finishRecording(now);
+        else if (arch_.state == RnrState::Replay)
+            emitRnr(TraceEventType::ReplayStop, now);
         arch_.state = RnrState::Idle;
         break;
 
@@ -185,23 +197,28 @@ RnrPrefetcher::finishRecording(Tick now)
     }
     const std::uint64_t seq_pending =
         (seq_store_.size() - seq_flushed_) * kSeqEntryBytes;
-    if (seq_pending)
+    if (seq_pending) {
         ms_->metadataWrite(arch_.seq_table_base +
                                seq_flushed_ * kSeqEntryBytes,
                            seq_pending, now);
+        emitRnr(TraceEventType::SeqTableWrite, now, seq_pending);
+    }
     seq_flushed_ = seq_store_.size();
     const std::uint64_t div_pending =
         (div_store_.size() - div_flushed_) * kDivEntryBytes;
-    if (div_pending)
+    if (div_pending) {
         ms_->metadataWrite(arch_.div_table_base +
                                div_flushed_ * kDivEntryBytes,
                            div_pending, now);
+        emitRnr(TraceEventType::DivTableWrite, now, div_pending);
+    }
     div_flushed_ = div_store_.size();
 
     peak_seq_entries_ = std::max<std::uint64_t>(peak_seq_entries_,
                                                 seq_store_.size());
     peak_div_entries_ = std::max<std::uint64_t>(peak_div_entries_,
                                                 div_store_.size());
+    emitRnr(TraceEventType::RecordStop, now, seq_store_.size());
 }
 
 void
@@ -217,13 +234,22 @@ RnrPrefetcher::startReplay(Tick now)
     last_window_ = 0;
     pf_status_.clear();
     controller_.setWindowSize(arch_.window_size);
-    controller_.beginReplay(&div_store_, seq_store_.size());
+    emitRnr(TraceEventType::ReplayStart, now, seq_store_.size());
+    controller_.beginReplay(&div_store_, seq_store_.size(), now);
     ++ctr_.replay_passes;
 
     // Prime the double buffers: two sequence buffers + one division
     // buffer of metadata are fetched before prefetching begins.
-    ms_->metadataRead(arch_.seq_table_base, 2 * kMetaBufferBytes, now);
-    ms_->metadataRead(arch_.div_table_base, kMetaBufferBytes, now);
+    const Tick seq_done =
+        ms_->metadataRead(arch_.seq_table_base, 2 * kMetaBufferBytes, now);
+    const Tick div_done =
+        ms_->metadataRead(arch_.div_table_base, kMetaBufferBytes, now);
+    emitRnr(TraceEventType::MetaRefill, now, 2 * kMetaBufferBytes, 0,
+            arch_.seq_table_base);
+    emitRnr(TraceEventType::MetaRefill, now, kMetaBufferBytes, 0,
+            arch_.div_table_base);
+    if (const Tick done = std::max(seq_done, div_done); done > now)
+        emitRnr(TraceEventType::MetaRefillStall, now, done - now, 0);
     seq_streamed_ = std::min<std::uint64_t>(
         seq_store_.size(), 2 * kMetaBufferBytes / kSeqEntryBytes);
     div_streamed_ = std::min<std::uint64_t>(
@@ -254,10 +280,22 @@ RnrPrefetcher::issueEntries(std::uint64_t n, Tick now)
     while (n > 0 && issue_cursor_ < seq_store_.size()) {
         // Stream further metadata as the cursor crosses buffer ends.
         if (issue_cursor_ >= seq_streamed_) {
-            ms_->metadataRead(arch_.seq_table_base +
-                                  seq_streamed_ * kSeqEntryBytes,
-                              kMetaBufferBytes, now);
+            const Tick done =
+                ms_->metadataRead(arch_.seq_table_base +
+                                      seq_streamed_ * kSeqEntryBytes,
+                                  kMetaBufferBytes, now);
             seq_streamed_ += kMetaBufferBytes / kSeqEntryBytes;
+            if (tr_) {
+                const auto w = static_cast<std::uint32_t>(
+                    issue_cursor_ / arch_.window_size);
+                emitRnr(TraceEventType::MetaRefill, now, kMetaBufferBytes,
+                        w);
+                // A refill completing after `now` means the replay
+                // engine outran the metadata stream.
+                if (done > now)
+                    emitRnr(TraceEventType::MetaRefillStall, now,
+                            done - now, w);
+            }
         }
 
         const SeqEntry entry = seq_store_[issue_cursor_];
@@ -277,6 +315,8 @@ RnrPrefetcher::issueEntries(std::uint64_t n, Tick now)
             pf_status_[blockNumber(vaddr)] =
                 {PfStatus::Pending, window, res.fill_time};
             ++internal_.prefetch_count;
+            if (tr_)
+                tr_->countWindowIssue(window);
         }
         ++issue_cursor_;
         --n;
@@ -284,7 +324,7 @@ RnrPrefetcher::issueEntries(std::uint64_t n, Tick now)
 }
 
 void
-RnrPrefetcher::sweepOutOfWindow()
+RnrPrefetcher::sweepOutOfWindow(Tick now)
 {
     // A prefetch targeted at window w should be consumed while the
     // program is inside window w; once the current window is past it,
@@ -296,6 +336,8 @@ RnrPrefetcher::sweepOutOfWindow()
     std::erase_if(pf_status_, [&](const auto &kv) {
         if (kv.second.window + 1 < cur) {
             ++ctr_.pf_out_of_window;
+            emitRnr(TraceEventType::PfOutOfWindow, now, 0,
+                    kv.second.window, kv.first);
             return true;
         }
         return false;
@@ -354,6 +396,8 @@ RnrPrefetcher::handleRecordAccess(const L2AccessInfo &info)
                                    div_flushed_ * kDivEntryBytes,
                                kMetaBufferBytes, info.now);
             div_flushed_ = div_store_.size();
+            emitRnr(TraceEventType::DivTableWrite, info.now,
+                    kMetaBufferBytes);
         }
     }
 
@@ -371,6 +415,8 @@ RnrPrefetcher::handleRecordAccess(const L2AccessInfo &info)
         }
         ms_->metadataWrite(wb, kMetaBufferBytes, info.now);
         seq_flushed_ = seq_store_.size();
+        emitRnr(TraceEventType::SeqTableWrite, info.now, kMetaBufferBytes,
+                0, wb);
     }
 }
 
@@ -384,21 +430,31 @@ RnrPrefetcher::handleReplayAccess(const L2AccessInfo &info)
     // Classify the outcome of a prior replay prefetch of this block.
     auto it = pf_status_.find(info.block);
     if (it != pf_status_.end()) {
-        if (it->second.status == PfStatus::Evicted)
+        if (it->second.status == PfStatus::Evicted) {
             ++ctr_.pf_early;
-        else if (it->second.fill_time > info.now)
+            emitRnr(TraceEventType::PfEarly, info.now, 0,
+                    it->second.window, info.block);
+        } else if (it->second.fill_time > info.now) {
             ++ctr_.pf_late;
-        else
+            emitRnr(TraceEventType::PfLate, info.now, 0,
+                    it->second.window, info.block);
+        } else {
             ++ctr_.pf_ontime;
+            emitRnr(TraceEventType::PfOntime, info.now, 0,
+                    it->second.window, info.block);
+        }
         pf_status_.erase(it);
     }
 
     const std::uint64_t n =
-        controller_.onStructRead(internal_.cur_struct_read, issue_cursor_);
+        controller_.onStructRead(internal_.cur_struct_read, issue_cursor_,
+                                 info.now);
     internal_.cur_window = controller_.currentWindow();
     internal_.prefetch_pace =
         static_cast<std::uint32_t>(controller_.pace());
-    sweepOutOfWindow();
+    sweepOutOfWindow(info.now);
+    if (tr_)
+        tr_->countWindowDemand(controller_.currentWindow());
     if (n > 0)
         issueEntries(n, info.now);
 }

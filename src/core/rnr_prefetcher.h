@@ -72,6 +72,9 @@ class RnrPrefetcher : public Prefetcher
     void onControl(const TraceRecord &rec, Tick now) override;
     bool inTargetRegion(Addr vaddr) const override;
     std::string name() const override { return "rnr"; }
+    /** Also routes lifecycle events to the shared "rnr" track and arms
+     *  the replay controller's window/pace events. */
+    void setTrace(TraceCollector *tr, std::uint16_t track) override;
 
     // ---- Introspection (tests, benches, Fig 11/13) ----
     const Counters &ctr() const { return ctr_; }
@@ -110,7 +113,17 @@ class RnrPrefetcher : public Prefetcher
     void startReplay(Tick now);
 
     /** Retires classification records older than the active windows. */
-    void sweepOutOfWindow();
+    void sweepOutOfWindow(Tick now);
+
+    /** Emits onto the shared "rnr" lifecycle track (no-op when off). */
+    void
+    emitRnr(TraceEventType type, Tick now, std::uint64_t arg = 0,
+            std::uint32_t window = 0, Addr addr = 0)
+    {
+        if (tr_)
+            tr_->emit(tr_rnr_track_, type, now, addr, arg, window,
+                      static_cast<std::uint16_t>(core_));
+    }
 
     Options opts_;
     Counters ctr_; ///< Handles into the base-class stats_.
@@ -136,6 +149,8 @@ class RnrPrefetcher : public Prefetcher
     /** Peak metadata footprint across the whole run (Fig 13). */
     std::uint64_t peak_seq_entries_ = 0;
     std::uint64_t peak_div_entries_ = 0;
+
+    std::uint16_t tr_rnr_track_ = 0; ///< Cached TraceCollector::rnrTrack().
 };
 
 } // namespace rnr

@@ -118,6 +118,11 @@ CoreModel::step()
         instrs_ += 2;
         ms_->control(id_, rec, issue_clock_);
         ++c_control_records_;
+        if (tr_)
+            tr_->emit(static_cast<std::uint16_t>(id_),
+                      TraceEventType::ControlRecord, issue_clock_,
+                      rec.addr, static_cast<std::uint64_t>(rec.ctrl), 0,
+                      static_cast<std::uint16_t>(id_));
         return;
     }
 

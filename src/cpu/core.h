@@ -33,6 +33,9 @@ class CoreModel
     /** Points the core at a trace; position resets, the clock does not. */
     void setTrace(const TraceBuffer *trace);
 
+    /** Routes this core's ControlRecord events to @p tr (null = off). */
+    void attachTrace(TraceCollector *tr) { tr_ = tr; }
+
     bool done() const;
 
     /** Current issue-stage time; the System schedules on this. */
@@ -75,6 +78,7 @@ class CoreModel
     MemorySystem *ms_;
     const TraceBuffer *trace_ = nullptr;
     std::size_t pos_ = 0;
+    TraceCollector *tr_ = nullptr; ///< Null unless tracing is enabled.
 
     Tick issue_clock_ = 0;
     unsigned issued_this_cycle_ = 0;

@@ -47,6 +47,17 @@ class System
      */
     IterationResult run(const std::vector<const TraceBuffer *> &traces);
 
+    /** Fans @p tr out to the memory hierarchy, prefetchers and cores
+     *  (null = detach).  Call after installing prefetchers, or rely on
+     *  MemorySystem::setPrefetcher re-applying it to late installs. */
+    void
+    attachTrace(TraceCollector *tr)
+    {
+        mem_.attachTrace(tr);
+        for (auto &c : cores_)
+            c->attachTrace(tr);
+    }
+
   private:
     MachineConfig cfg_;
     MemorySystem mem_;

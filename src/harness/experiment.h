@@ -10,6 +10,7 @@
 #ifndef RNR_HARNESS_EXPERIMENT_H
 #define RNR_HARNESS_EXPERIMENT_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -19,6 +20,22 @@
 #include "sim/types.h"
 
 namespace rnr {
+
+/**
+ * Observability knobs (sim/trace_event.h), carried by ExperimentConfig.
+ *
+ * Deliberately excluded from ExperimentConfig::key(): tracing is
+ * observation-only (a traced run's counters are bit-identical to an
+ * untraced run's), so the results are interchangeable cache-wise.  The
+ * flip side: runExperiment() may satisfy a traced config from the cache
+ * without simulating, producing no events — call runExperimentTraced()
+ * when events are the point.
+ */
+struct TraceOptions {
+    bool enabled = false;      ///< Collect events (or RNR_TRACE=1).
+    std::string json_out;      ///< Chrome-trace path ("" = RNR_TRACE_OUT).
+    std::size_t ring_capacity = 0; ///< Events/track; 0 = env or default.
+};
 
 /** One cell of the evaluation matrix. */
 struct ExperimentConfig {
@@ -30,6 +47,7 @@ struct ExperimentConfig {
     unsigned iterations = 3;        ///< Simulated iterations.
     unsigned cores = 4;
     bool ideal_llc = false;         ///< Fig 6's "ideal" bar.
+    TraceOptions trace;             ///< Observation-only; not in key().
 
     /** Stable cache key / display id. */
     std::string key() const;

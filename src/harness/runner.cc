@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <mutex>
 #include <set>
 #include <stdexcept>
@@ -57,7 +58,7 @@ makeWorkload(const ExperimentConfig &cfg)
 }
 
 ExperimentResult
-runExperimentUncached(const ExperimentConfig &cfg)
+runExperimentTraced(const ExperimentConfig &cfg, TraceCollector *tr)
 {
     g_simulated.fetch_add(1);
     MachineConfig mcfg = MachineConfig::scaledDefault();
@@ -78,6 +79,8 @@ runExperimentUncached(const ExperimentConfig &cfg)
         prefetchers.back()->configureFor(*wl, c);
         sys.mem().setPrefetcher(c, prefetchers.back().get());
     }
+    if (tr)
+        sys.attachTrace(tr);
 
     ExperimentResult result;
     result.config = cfg;
@@ -109,6 +112,33 @@ runExperimentUncached(const ExperimentConfig &cfg)
             result.seq_table_bytes += r->seqTableBytes();
             result.div_table_bytes += r->divTableBytes();
         }
+    }
+    return result;
+}
+
+ExperimentResult
+runExperimentUncached(const ExperimentConfig &cfg)
+{
+    if (!cfg.trace.enabled && !traceEnvEnabled())
+        return runExperimentTraced(cfg, nullptr);
+
+    TraceCollector tr(cfg.cores, cfg.trace.ring_capacity);
+    ExperimentResult result = runExperimentTraced(cfg, &tr);
+
+    // Sinks.  Caveat for parallel sweeps: every traced cell writes the
+    // same RNR_TRACE_OUT path (atomically; last writer wins) — tracing
+    // is meant for single-cell runs, not whole sweeps.
+    const std::string out = !cfg.trace.json_out.empty()
+                                ? cfg.trace.json_out
+                                : traceEnvOutPath();
+    if (!out.empty() && !writeChromeTrace(out, tr))
+        std::fprintf(stderr, "rnr: failed to write trace to %s\n",
+                     out.c_str());
+    if (traceEnvReportEnabled()) {
+        const std::string report =
+            formatReplayDiagnostics(buildReplayDiagnostics(tr));
+        std::fprintf(stderr, "[%s] replay windows:\n%s", cfg.key().c_str(),
+                     report.c_str());
     }
     return result;
 }

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "harness/experiment.h"
+#include "sim/trace_event.h"
 #include "workloads/workload.h"
 
 namespace rnr {
@@ -27,8 +28,24 @@ namespace rnr {
 /** Instantiates the workload named by @p cfg (app + input). */
 std::unique_ptr<Workload> makeWorkload(const ExperimentConfig &cfg);
 
-/** Simulates @p cfg (no caching, no locking). */
+/**
+ * Simulates @p cfg (no caching, no locking).  When cfg.trace.enabled or
+ * RNR_TRACE=1, a TraceCollector rides along for the whole run and the
+ * sinks fire afterwards: the Chrome-trace JSON goes to cfg.trace.json_out
+ * (or $RNR_TRACE_OUT) and the per-window replay report to stderr when
+ * RNR_TRACE_REPORT=1.  Tracing never changes the returned counters.
+ */
 ExperimentResult runExperimentUncached(const ExperimentConfig &cfg);
+
+/**
+ * Simulates @p cfg with events collected into @p tr (caller-owned; must
+ * be built for cfg.cores tracks).  Always simulates — never consults or
+ * populates the result cache — because a cache hit would return counters
+ * without ever generating events.  Pass tr = nullptr to just bypass the
+ * cache.
+ */
+ExperimentResult runExperimentTraced(const ExperimentConfig &cfg,
+                                     TraceCollector *tr);
 
 /**
  * Simulates @p cfg, consulting the in-process cache and the file cache

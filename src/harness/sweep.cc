@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -51,6 +52,28 @@ controlName(ReplayControlMode mode)
     }
     return "?";
 }
+
+} // namespace
+
+std::string
+formatSweepEta(std::size_t done, std::size_t total, std::size_t simulated,
+               double elapsed_sec)
+{
+    // No signal: nothing finished, the clock has not moved, or every
+    // finished cell was a warm cache hit — per-cell time then says
+    // nothing about the simulations still to run.
+    if (done == 0 || elapsed_sec <= 0.0 || simulated == 0)
+        return "--";
+    const double eta = elapsed_sec / static_cast<double>(done) *
+                       static_cast<double>(total - std::min(done, total));
+    if (!std::isfinite(eta))
+        return "--";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0fs", eta);
+    return buf;
+}
+
+namespace {
 
 /** Serialises one result as a JSON object (no external JSON dep). */
 void
@@ -111,15 +134,13 @@ class ProgressReporter
         if (done % stride != 0 && done != total_)
             return;
         const double elapsed = secondsSince(start_);
-        const double eta =
-            done ? elapsed / static_cast<double>(done) *
-                       static_cast<double>(total_ - done)
-                 : 0.0;
+        const std::string eta =
+            formatSweepEta(done, total_, simulated, elapsed);
         std::fprintf(stderr,
                      "%s[%s] %zu/%zu cells | %zu simulated, %zu cached "
-                     "| %.1fs elapsed, ETA %.0fs%s",
+                     "| %.1fs elapsed, ETA %s%s",
                      tty_ ? "\r" : "", label_.c_str(), done, total_,
-                     simulated, hits, elapsed, eta,
+                     simulated, hits, elapsed, eta.c_str(),
                      tty_ ? "   " : "\n");
         std::fflush(stderr);
     }

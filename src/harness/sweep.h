@@ -103,6 +103,17 @@ bool writeResultsJson(const std::string &path,
                       const std::vector<ExperimentResult> &results,
                       const std::string &label = "sweep");
 
+/**
+ * Formats the progress reporter's ETA ("12s"), or "--" when the data
+ * carries no signal: nothing done yet, no elapsed time, or every
+ * finished cell was a warm cache hit (@p simulated == 0) — cache hits
+ * complete in microseconds, so extrapolating the remaining *simulated*
+ * cells from them would print a nonsense near-zero ETA.  Also guards
+ * the division against non-finite results.  Pure; unit-tested.
+ */
+std::string formatSweepEta(std::size_t done, std::size_t total,
+                           std::size_t simulated, double elapsed_sec);
+
 } // namespace rnr
 
 #endif // RNR_HARNESS_SWEEP_H

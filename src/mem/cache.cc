@@ -71,6 +71,9 @@ Cache::access(Addr block, Tick now)
         }
     }
     ++ctr_.misses;
+    if (tr_)
+        tr_->emit(tr_track_, TraceEventType::CacheMiss, now, block,
+                  tr_level_);
     return nullptr;
 }
 
@@ -152,6 +155,9 @@ Cache::insert(Addr block, Tick fill_time, bool prefetched, bool dirty)
     victim->lru = ++lru_clock_;
     victim->rrpv = 2; // SRRIP insertion: "long" re-reference interval
     ++(prefetched ? ctr_.fills_prefetch : ctr_.fills_demand);
+    if (tr_)
+        tr_->emit(tr_track_, TraceEventType::CacheFill, fill_time, block,
+                  tr_level_ + (prefetched ? 4u : 0u));
     return ev;
 }
 
@@ -171,6 +177,17 @@ Cache::reset()
     lru_clock_ = 0;
     mshr_.clear();
     pq_.clear();
+}
+
+void
+Cache::setTrace(TraceCollector *tr, std::uint16_t track,
+                std::uint8_t level)
+{
+    tr_ = tr;
+    tr_track_ = track;
+    tr_level_ = level;
+    mshr_.setTrace(tr, track, false);
+    pq_.setTrace(tr, track, true);
 }
 
 std::size_t

@@ -19,6 +19,7 @@
 #include "mem/mshr.h"
 #include "sim/config.h"
 #include "sim/stats.h"
+#include "sim/trace_event.h"
 #include "sim/types.h"
 
 namespace rnr {
@@ -109,6 +110,12 @@ class Cache
     /** Invalidates every line and clears the MSHR file. */
     void reset();
 
+    /** Routes this level's miss/fill (and both MSHR files') events to
+     *  @p tr's @p track; @p level tags events (0 = L1, 1 = L2, 2 = LLC).
+     *  Pass tr = nullptr to detach. */
+    void setTrace(TraceCollector *tr, std::uint16_t track,
+                  std::uint8_t level);
+
     /** Number of valid lines (tests and occupancy probes). */
     std::size_t residentCount() const;
 
@@ -133,6 +140,9 @@ class Cache
     Mshr pq_;
     StatGroup stats_;
     CacheCounters ctr_; ///< Handles into stats_; keep declared after it.
+    TraceCollector *tr_ = nullptr; ///< Null unless tracing is enabled.
+    std::uint16_t tr_track_ = 0;
+    std::uint8_t tr_level_ = 0;
 };
 
 } // namespace rnr

@@ -127,6 +127,12 @@ Dram::read(Addr addr, Tick now, ReqOrigin origin)
     ctr_.read_bank_wait += start - now;
     ctr_.read_channel_wait += burst_start - (start + access);
     ctr_.read_latency_max.maxWith(done - arrival);
+    if (tr_) {
+        tr_->emit(tr_track_, TraceEventType::DramEnqueue, arrival, addr,
+                  static_cast<std::uint64_t>(origin));
+        tr_->emit(tr_track_, TraceEventType::DramDequeue, done, addr,
+                  done - arrival);
+    }
     return done;
 }
 

@@ -20,6 +20,7 @@
 
 #include "sim/config.h"
 #include "sim/stats.h"
+#include "sim/trace_event.h"
 #include "sim/types.h"
 
 namespace rnr {
@@ -76,6 +77,14 @@ class Dram
     /** Clears timing state but keeps statistics (between iterations). */
     void resetTiming();
 
+    /** Routes DramEnqueue/DramDequeue events to @p tr's @p track. */
+    void
+    setTrace(TraceCollector *tr, std::uint16_t track)
+    {
+        tr_ = tr;
+        tr_track_ = track;
+    }
+
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
     const DramCounters &ctr() const { return ctr_; }
@@ -106,6 +115,8 @@ class Dram
     std::deque<PendingWrite> write_queue_;
     StatGroup stats_;
     DramCounters ctr_; ///< Handles into stats_; keep declared after it.
+    TraceCollector *tr_ = nullptr; ///< Null unless tracing is enabled.
+    std::uint16_t tr_track_ = 0;
 };
 
 } // namespace rnr

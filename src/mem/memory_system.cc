@@ -23,8 +23,26 @@ void
 MemorySystem::setPrefetcher(unsigned core, Prefetcher *pf)
 {
     prefetchers_[core] = pf ? pf : &null_pf_;
-    if (pf)
+    if (pf) {
         pf->attach(this, core);
+        if (tr_)
+            pf->setTrace(tr_, static_cast<std::uint16_t>(core));
+    }
+}
+
+void
+MemorySystem::attachTrace(TraceCollector *tr)
+{
+    tr_ = tr;
+    const std::uint16_t mem_track = tr ? tr->memTrack() : 0;
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        const auto track = static_cast<std::uint16_t>(c);
+        l1d_[c]->setTrace(tr, track, 0);
+        l2_[c]->setTrace(tr, track, 1);
+        prefetchers_[c]->setTrace(tr, track);
+    }
+    llc_->setTrace(tr, mem_track, 2);
+    dram_.setTrace(tr, mem_track);
 }
 
 void
@@ -104,6 +122,9 @@ MemorySystem::demandAccess(unsigned core, Addr vaddr, bool is_write,
         if (is_write)
             l1.markDirty(block, t); // will be resident once filled
         ++l1.ctr().mshr_merges;
+        if (tr_)
+            tr_->emit(static_cast<std::uint16_t>(core),
+                      TraceEventType::MshrMerge, t, block, 0);
         return res;
     }
     if (l1.mshr().full()) {
@@ -139,6 +160,9 @@ MemorySystem::demandAccess(unsigned core, Addr vaddr, bool is_write,
         fill = std::max(t2, e->fill) + l2.config().latency;
         info.merged = true;
         ++l2.ctr().mshr_merges;
+        if (tr_)
+            tr_->emit(static_cast<std::uint16_t>(core),
+                      TraceEventType::MshrMerge, t2, block, 1);
         if (target) {
             ++l2.ctr().target_accesses;
             ++l2.ctr().target_merges;
@@ -150,6 +174,10 @@ MemorySystem::demandAccess(unsigned core, Addr vaddr, bool is_write,
         info.merged = true;
         info.merged_into_prefetch = pe->prefetch;
         ++l2.ctr().mshr_merges;
+        if (tr_)
+            tr_->emit(static_cast<std::uint16_t>(core),
+                      TraceEventType::MshrMerge, t2, block,
+                      pe->prefetch ? 5 : 1);
         if (pe->prefetch) {
             ++l2.ctr().demand_merged_into_prefetch;
             pe->prefetch = false; // count each late prefetch once
@@ -205,11 +233,17 @@ MemorySystem::prefetchIntoL2(unsigned core, Addr vaddr, Tick now)
         l2.prefetchQueue().find(block)) {
         out.redundant = true;
         ++l2.ctr().prefetch_redundant;
+        if (tr_)
+            tr_->emit(static_cast<std::uint16_t>(core),
+                      TraceEventType::PrefetchDrop, now, block, 0);
         return out;
     }
     if (l2.prefetchQueue().full()) {
         out.mshr_full = true;
         ++l2.ctr().prefetch_mshr_full;
+        if (tr_)
+            tr_->emit(static_cast<std::uint16_t>(core),
+                      TraceEventType::PrefetchDrop, now, block, 1);
         return out;
     }
 
@@ -219,6 +253,13 @@ MemorySystem::prefetchIntoL2(unsigned core, Addr vaddr, Tick now)
     EvictResult ev = l2.insert(block, fill, true, false);
     handleL2Evict(core, ev, now);
     ++l2.ctr().prefetches_issued;
+    if (tr_) {
+        const auto track = static_cast<std::uint16_t>(core);
+        tr_->emit(track, TraceEventType::PrefetchIssue, now, block,
+                  fill - now);
+        tr_->emit(track, TraceEventType::PrefetchFill, fill, block,
+                  fill - now);
+    }
 
     out.issued = true;
     out.fill_time = fill;

@@ -78,6 +78,15 @@ class MemorySystem
     /** Resets DRAM/queue timing (not cache contents) between phases. */
     void resetTiming();
 
+    /**
+     * Fans @p tr out to every cache level, both MSHR files, the DRAM
+     * model and the attached prefetchers (null = detach).  Core-private
+     * structures use the core's track; LLC + DRAM share the "mem" track.
+     * Prefetchers installed later (setPrefetcher) inherit it.
+     */
+    void attachTrace(TraceCollector *tr);
+    TraceCollector *trace() { return tr_; }
+
   private:
     /** Shared LLC + DRAM access; returns fill-complete tick. */
     Tick accessShared(Addr block, Tick now, ReqOrigin origin);
@@ -93,6 +102,7 @@ class MemorySystem
     Dram dram_;
     std::vector<Prefetcher *> prefetchers_;
     NullPrefetcher null_pf_;
+    TraceCollector *tr_ = nullptr; ///< Null unless tracing is enabled.
 };
 
 } // namespace rnr

@@ -15,6 +15,7 @@
 #include <cassert>
 #include <vector>
 
+#include "sim/trace_event.h"
 #include "sim/types.h"
 
 namespace rnr {
@@ -30,6 +31,16 @@ class Mshr
     };
 
     explicit Mshr(unsigned capacity) : capacity_(capacity) {}
+
+    /** Routes MshrAlloc events to @p tr's @p track; @p prefetch_file
+     *  tags events from the prefetch-queue file (event arg = 1). */
+    void
+    setTrace(TraceCollector *tr, std::uint16_t track, bool prefetch_file)
+    {
+        tr_ = tr;
+        tr_track_ = track;
+        tr_pq_ = prefetch_file;
+    }
 
     /** Drops entries whose fill completed at or before @p now. */
     void
@@ -75,6 +86,9 @@ class Mshr
     {
         assert(!full());
         entries_.push_back({block, fill, prefetch});
+        if (tr_)
+            tr_->emit(tr_track_, TraceEventType::MshrAlloc, fill, block,
+                      tr_pq_ ? 1 : 0);
     }
 
     void clear() { entries_.clear(); }
@@ -82,6 +96,9 @@ class Mshr
   private:
     unsigned capacity_;
     std::vector<Entry> entries_;
+    TraceCollector *tr_ = nullptr; ///< Null unless tracing is enabled.
+    std::uint16_t tr_track_ = 0;
+    bool tr_pq_ = false;
 };
 
 } // namespace rnr

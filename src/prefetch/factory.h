@@ -62,6 +62,14 @@ class CombinedPrefetcher : public Prefetcher
     bool inTargetRegion(Addr vaddr) const override;
     std::string name() const override { return "rnr-combined"; }
 
+    void
+    setTrace(TraceCollector *tr, std::uint16_t track) override
+    {
+        Prefetcher::setTrace(tr, track);
+        rnr_->setTrace(tr, track);
+        stream_->setTrace(tr, track);
+    }
+
     RnrPrefetcher &rnr() { return *rnr_; }
 
   private:

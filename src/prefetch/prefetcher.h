@@ -16,6 +16,7 @@
 #include <string>
 
 #include "sim/stats.h"
+#include "sim/trace_event.h"
 #include "sim/types.h"
 #include "trace/record.h"
 
@@ -103,6 +104,19 @@ class Prefetcher
 
     virtual std::string name() const = 0;
 
+    /**
+     * Routes this prefetcher's events to @p tr (null = tracing off).
+     * Events from per-core internals go to track @p track (the core's);
+     * RnR overrides this to also emit onto the shared "rnr" track.
+     * Composites (CombinedPrefetcher) forward to their children.
+     */
+    virtual void
+    setTrace(TraceCollector *tr, std::uint16_t track)
+    {
+        tr_ = tr;
+        tr_track_ = track;
+    }
+
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
@@ -112,6 +126,8 @@ class Prefetcher
 
     MemorySystem *ms_ = nullptr;
     unsigned core_ = 0;
+    TraceCollector *tr_ = nullptr; ///< Null unless tracing is enabled.
+    std::uint16_t tr_track_ = 0;
     StatGroup stats_{"prefetcher"};
     // Handles for the per-issue outcome counters, declared once here;
     // attach() only rename()s the group, so they stay valid.

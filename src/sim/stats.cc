@@ -1,6 +1,9 @@
 #include "sim/stats.h"
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 namespace rnr {
 
@@ -21,10 +24,18 @@ StatGroup::reset()
 std::string
 StatGroup::dump() const
 {
-    std::ostringstream os;
+    // Sort explicitly rather than relying on the map's iteration order:
+    // dumps must diff deterministically across runs and job counts even
+    // if the backing container changes (e.g. to an unordered map).
+    std::vector<std::pair<std::string, std::uint64_t>> rows;
+    rows.reserve(counters_.size());
     for (const auto &kv : counters_)
-        os << name_ << "." << kv.first << " = " << kv.second.value()
-           << "\n";
+        rows.emplace_back(kv.first, kv.second.value());
+    std::sort(rows.begin(), rows.end());
+
+    std::ostringstream os;
+    for (const auto &[key, value] : rows)
+        os << name_ << "." << key << " = " << value << "\n";
     return os.str();
 }
 

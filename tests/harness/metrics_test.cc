@@ -116,6 +116,47 @@ TEST(MetricsTest, TimelinessSharesSumToOne)
                 1e-12);
 }
 
+TEST(MetricsTest, TimelinessHandComputedNonRoundShares)
+{
+    // 7 + 13 + 17 + 23 = 60 classified prefetches; the shares are the
+    // exact rationals n/60, not rounded percentages.
+    ExperimentResult r = makeResult(100, 100);
+    IterStats &it = r.iterations.back();
+    it.rnr_ontime = 7;
+    it.rnr_early = 13;
+    it.rnr_late = 17;
+    it.rnr_out_of_window = 23;
+    const TimelinessBreakdown b = timeliness(r);
+    EXPECT_DOUBLE_EQ(b.ontime, 7.0 / 60.0);
+    EXPECT_DOUBLE_EQ(b.early, 13.0 / 60.0);
+    EXPECT_DOUBLE_EQ(b.late, 17.0 / 60.0);
+    EXPECT_DOUBLE_EQ(b.out_of_window, 23.0 / 60.0);
+}
+
+TEST(MetricsTest, TimelinessZeroWhenNothingClassified)
+{
+    // No classified prefetches: all shares 0, never NaN.
+    const ExperimentResult r = makeResult(100, 100);
+    const TimelinessBreakdown b = timeliness(r);
+    EXPECT_DOUBLE_EQ(b.ontime, 0.0);
+    EXPECT_DOUBLE_EQ(b.early, 0.0);
+    EXPECT_DOUBLE_EQ(b.late, 0.0);
+    EXPECT_DOUBLE_EQ(b.out_of_window, 0.0);
+}
+
+TEST(MetricsTest, TimelinessReadsTheSteadyIteration)
+{
+    // Counters on the first (record) iteration must not leak into the
+    // breakdown, which is defined over the steady-state replay pass.
+    ExperimentResult r = makeResult(100, 100);
+    r.iterations.front().rnr_ontime = 1000;
+    r.iterations.back().rnr_ontime = 1;
+    r.iterations.back().rnr_early = 3;
+    const TimelinessBreakdown b = timeliness(r);
+    EXPECT_DOUBLE_EQ(b.ontime, 0.25);
+    EXPECT_DOUBLE_EQ(b.early, 0.75);
+}
+
 TEST(MetricsTest, GeomeanOfKnownValues)
 {
     EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);

@@ -249,5 +249,30 @@ TEST_F(SweepFixture, JsonExportWritesTheWholeBatch)
     std::remove(json_path.c_str());
 }
 
+TEST(SweepEtaTest, ExtrapolatesFromFinishedCells)
+{
+    // 2 of 6 cells in 10s -> 4 remaining at 5s each.
+    EXPECT_EQ(formatSweepEta(2, 6, 2, 10.0), "20s");
+    EXPECT_EQ(formatSweepEta(3, 3, 3, 9.0), "0s");
+}
+
+TEST(SweepEtaTest, NoSignalMeansNoEta)
+{
+    // Nothing finished yet.
+    EXPECT_EQ(formatSweepEta(0, 6, 0, 0.0), "--");
+    // Clock has not advanced (sub-resolution cache hits).
+    EXPECT_EQ(formatSweepEta(2, 6, 2, 0.0), "--");
+    // Every finished cell was a warm cache hit: per-cell time says
+    // nothing about the simulations still to run, so no nonsense
+    // near-zero ETA.
+    EXPECT_EQ(formatSweepEta(4, 8, 0, 0.001), "--");
+}
+
+TEST(SweepEtaTest, OverdoneCountClampsToZeroRemaining)
+{
+    // done > total (e.g. duplicate-folding races) must not underflow.
+    EXPECT_EQ(formatSweepEta(7, 6, 7, 14.0), "0s");
+}
+
 } // namespace
 } // namespace rnr

@@ -1,3 +1,6 @@
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "sim/stats.h"
@@ -114,7 +117,33 @@ TEST(StatsTest, DumpFormatsSortedLines)
     const auto b = d.find("grp.beta = 2");
     ASSERT_NE(a, std::string::npos);
     ASSERT_NE(b, std::string::npos);
-    EXPECT_LT(a, b); // map iteration gives sorted keys
+    EXPECT_LT(a, b); // dump() sorts explicitly, whatever the container
+}
+
+TEST(StatsTest, DumpIsFullySortedRegardlessOfInsertionOrder)
+{
+    // Adversarial insertion order; every line of the dump must come out
+    // in lexicographic key order so dumps diff cleanly across runs.
+    StatGroup g("grp");
+    for (const char *key : {"zeta", "m10", "alpha", "m2", "omega",
+                            "beta", "m1"})
+        g.add(key, 1);
+    const std::string d = g.dump();
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < d.size()) {
+        const std::size_t nl = d.find('\n', pos);
+        lines.push_back(d.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    ASSERT_EQ(lines.size(), 7u);
+    for (std::size_t i = 1; i < lines.size(); ++i)
+        EXPECT_LT(lines[i - 1], lines[i])
+            << "line " << i << " out of order";
+    // Lexicographic, not numeric: m1 < m10 < m2.
+    EXPECT_EQ(lines[2], "grp.m1 = 1");
+    EXPECT_EQ(lines[3], "grp.m10 = 1");
+    EXPECT_EQ(lines[4], "grp.m2 = 1");
 }
 
 } // namespace
