@@ -9,9 +9,10 @@
  * cache (rnr_results.cache) on every core; the print loops then read
  * the warm cache.  Shared flags, parsed by parseBenchArgs():
  *
- *   --jobs <n>     thread-pool width        (or RNR_JOBS=<n>)
- *   --json <path>  structured result export (or RNR_JSON_OUT=<path>)
- *   --quiet        silence progress         (or RNR_PROGRESS=0)
+ *   --jobs <n>        thread-pool width        (or RNR_JOBS=<n>)
+ *   --json <path>     structured result export (or RNR_JSON_OUT=<path>)
+ *   --quiet           silence progress         (or RNR_PROGRESS=0)
+ *   --trace-dir <p>   trace-store corpus dir   (or RNR_TRACE_DIR=<p>)
  *
  * See docs/HARNESS.md for the full pipeline walkthrough.
  */
@@ -85,11 +86,23 @@ makeConfig(const WorkloadRef &w, PrefetcherKind kind)
     return cfg;
 }
 
+/** Points the trace store at @p path for the rest of the process
+ *  (the CLI spelling of RNR_TRACE_DIR). */
+inline void
+setTraceDir(const std::string &path)
+{
+#ifdef _WIN32
+    _putenv_s("RNR_TRACE_DIR", path.c_str());
+#else
+    setenv("RNR_TRACE_DIR", path.c_str(), 1);
+#endif
+}
+
 /**
  * Parses the flags shared by every bench binary (--jobs, --json,
- * --quiet; see the file header) into SweepOptions labelled @p label.
- * Unknown flags print usage and exit so typos don't silently run the
- * full matrix.
+ * --trace-dir, --quiet; see the file header) into SweepOptions
+ * labelled @p label.  Unknown flags print usage and exit so typos
+ * don't silently run the full matrix.
  */
 inline SweepOptions
 parseBenchArgs(int argc, char **argv, const std::string &label)
@@ -110,10 +123,14 @@ parseBenchArgs(int argc, char **argv, const std::string &label)
             opts.json_out = argv[++i];
         } else if (arg.rfind("--json=", 0) == 0) {
             opts.json_out = arg.substr(7);
+        } else if (arg == "--trace-dir" && i + 1 < argc) {
+            setTraceDir(argv[++i]);
+        } else if (arg.rfind("--trace-dir=", 0) == 0) {
+            setTraceDir(arg.substr(12));
         } else {
             std::fprintf(stderr,
                          "usage: %s [--jobs <n>] [--json <path>] "
-                         "[--quiet]\n",
+                         "[--trace-dir <path>] [--quiet]\n",
                          argv[0]);
             std::exit(2);
         }

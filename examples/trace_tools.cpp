@@ -4,12 +4,32 @@
  * replay-many workflow.
  *
  *   trace_tools capture <app> <input> <iteration> <out-prefix>
- *       Emits one .rnrt file per core for the given algorithm
- *       iteration (0 = the record iteration with RnR setup calls).
+ *       Emits one compressed (v2) .rnrt file per core for the given
+ *       algorithm iteration (0 = the record iteration with RnR setup
+ *       calls).  Pass --v1 for the uncompressed legacy format.  Files
+ *       are named <prefix>.c<K>.rnrt, which is exactly the layout
+ *       `trace_tools simulate <prefix>` consumes.
+ *
+ *   trace_tools convert <champsim.trace> <out.rnrt>
+ *       Imports a raw (uncompressed) ChampSim instruction trace and
+ *       writes it as a v2 trace file runnable via `simulate`.
+ *
+ *   trace_tools simulate <file-or-prefix> [prefetcher] [iterations]
+ *       Replays a trace file (or a `<prefix>.c<K>.rnrt` per-core set)
+ *       through the simulator under the given prefetcher (default rnr)
+ *       and prints the per-iteration counters.
+ *
+ *   trace_tools stats <file.rnrt>
+ *       Decode-free summary from the v2 footer (or a single streaming
+ *       pass for v1 files) plus the compression ratio against the
+ *       uncompressed v1 encoding.
+ *
+ *   trace_tools corpus
+ *       Lists the trace store's entries ($RNR_TRACE_DIR).
  *
  *   trace_tools inspect <file.rnrt>
- *       Prints a summary: record counts, instruction count, access-site
- *       histogram and the embedded RnR control calls.
+ *       Prints a full decode: record counts, instruction count,
+ *       access-site histogram and the embedded RnR control calls.
  *
  *   trace_tools rnr-trace [app] [input] [trace.json]
  *       Simulates a small RnR run (default pagerank/urand) with event
@@ -26,14 +46,26 @@
 #include "harness/runner.h"
 #include "sim/trace_event.h"
 #include "trace/trace_io.h"
+#include "tracestore/champsim_import.h"
+#include "tracestore/trace_codec.h"
+#include "tracestore/trace_file.h"
+#include "tracestore/trace_store.h"
+#include "workloads/trace_replay.h"
 
 using namespace rnr;
 
 namespace {
 
+/** Bytes the uncompressed v1 encoding of @p records would occupy. */
+std::uint64_t
+v1FileBytes(std::uint64_t records)
+{
+    return 24 + records * 28; // header + packed records
+}
+
 int
 capture(const std::string &app, const std::string &input, unsigned iter,
-        const std::string &prefix)
+        const std::string &prefix, bool v1)
 {
     ExperimentConfig cfg;
     cfg.app = app;
@@ -47,17 +79,164 @@ capture(const std::string &app, const std::string &input, unsigned iter,
         wl->emitIteration(it, false, bufs);
     }
     for (unsigned c = 0; c < wl->cores(); ++c) {
-        const std::string path =
-            prefix + ".core" + std::to_string(c) + ".rnrt";
-        if (!writeTraceFile(path, bufs[c])) {
-            std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        const std::string path = prefix + ".c" + std::to_string(c) +
+                                 ".rnrt";
+        const TraceIoResult r = v1 ? writeTraceFile(path, bufs[c])
+                                   : writeTraceFileV2(path, bufs[c]);
+        if (!r) {
+            std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                         r.message().c_str());
             return 1;
         }
-        std::printf("wrote %s (%zu records, %llu instructions)\n",
+        const std::uint64_t disk = traceFileSizeBytes(path);
+        std::printf("wrote %s (%zu records, %llu instructions, "
+                    "%.1f KiB in memory -> %.1f KiB on disk)\n",
                     path.c_str(), bufs[c].size(),
                     static_cast<unsigned long long>(
-                        bufs[c].instructions()));
+                        bufs[c].instructions()),
+                    static_cast<double>(bufs[c].memoryBytes()) / 1024.0,
+                    static_cast<double>(disk) / 1024.0);
     }
+    return 0;
+}
+
+int
+convert(const std::string &in_path, const std::string &out_path)
+{
+    TraceBuffer buf;
+    ChampSimImportStats stats;
+    if (TraceIoResult r = importChampSimTrace(in_path, buf, &stats); !r) {
+        std::fprintf(stderr, "cannot import %s: %s\n", in_path.c_str(),
+                     r.message().c_str());
+        return 1;
+    }
+    if (TraceIoResult r = writeTraceFileV2(out_path, buf); !r) {
+        std::fprintf(stderr, "failed to write %s: %s\n", out_path.c_str(),
+                     r.message().c_str());
+        return 1;
+    }
+    std::printf("imported %s: %llu instructions -> %llu loads, "
+                "%llu stores, %llu folded into gaps\n",
+                in_path.c_str(),
+                static_cast<unsigned long long>(stats.instructions),
+                static_cast<unsigned long long>(stats.loads),
+                static_cast<unsigned long long>(stats.stores),
+                static_cast<unsigned long long>(stats.memless));
+    std::printf("wrote %s (%zu records, %llu bytes on disk)\n",
+                out_path.c_str(), buf.size(),
+                static_cast<unsigned long long>(
+                    traceFileSizeBytes(out_path)));
+    std::printf("run it with: trace_tools simulate %s\n",
+                out_path.c_str());
+    return 0;
+}
+
+int
+simulate(const std::string &input, const std::string &prefetcher,
+         unsigned iterations)
+{
+    const unsigned cores = TraceFileWorkload::detectCores(input);
+    if (cores == 0) {
+        std::fprintf(stderr,
+                     "%s: no trace file (nor %s.c0.rnrt) found\n",
+                     input.c_str(), input.c_str());
+        return 1;
+    }
+    ExperimentConfig cfg;
+    cfg.app = "tracefile";
+    cfg.input = input;
+    cfg.cores = cores;
+    cfg.iterations = iterations;
+    try {
+        cfg.prefetcher = prefetcherKindFromString(prefetcher);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+
+    std::printf("simulating %s (%u core%s)\n", cfg.key().c_str(), cores,
+                cores == 1 ? "" : "s");
+    const ExperimentResult res = runExperimentUncached(cfg);
+    for (std::size_t i = 0; i < res.iterations.size(); ++i) {
+        const IterStats &it = res.iterations[i];
+        std::printf("  iter %zu: %llu cycles, %llu instrs, "
+                    "%llu L2 misses, %llu prefetches (%llu useful)\n",
+                    i, static_cast<unsigned long long>(it.cycles),
+                    static_cast<unsigned long long>(it.instructions),
+                    static_cast<unsigned long long>(it.l2_demand_misses),
+                    static_cast<unsigned long long>(it.pf_issued),
+                    static_cast<unsigned long long>(it.pf_useful));
+    }
+    return 0;
+}
+
+int
+stats(const std::string &path)
+{
+    std::uint32_t version = 0;
+    if (TraceIoResult r = probeTraceFileVersion(path, version); !r) {
+        std::fprintf(stderr, "cannot probe %s: %s\n", path.c_str(),
+                     r.message().c_str());
+        return 1;
+    }
+    TraceFileStats s;
+    if (TraceIoResult r = readAnyTraceFileStats(path, s); !r) {
+        std::fprintf(stderr, "cannot summarise %s: %s\n", path.c_str(),
+                     r.message().c_str());
+        return 1;
+    }
+    const std::uint64_t disk = traceFileSizeBytes(path);
+    const std::uint64_t v1 = v1FileBytes(s.records);
+    std::printf("%s: format v%u\n", path.c_str(), version);
+    std::printf("  records=%llu loads=%llu stores=%llu controls=%llu "
+                "instructions=%llu\n",
+                static_cast<unsigned long long>(s.records),
+                static_cast<unsigned long long>(s.loads),
+                static_cast<unsigned long long>(s.stores),
+                static_cast<unsigned long long>(s.controls),
+                static_cast<unsigned long long>(s.instructions));
+    std::printf("  address span: 0x%llx .. 0x%llx\n",
+                static_cast<unsigned long long>(s.min_addr),
+                static_cast<unsigned long long>(s.max_addr));
+    std::printf("  on disk: %llu bytes; uncompressed v1 equivalent: "
+                "%llu bytes (%.2fx)\n",
+                static_cast<unsigned long long>(disk),
+                static_cast<unsigned long long>(v1),
+                disk ? static_cast<double>(v1) / static_cast<double>(disk)
+                     : 0.0);
+    return 0;
+}
+
+int
+corpus()
+{
+    const std::vector<TraceStore::Entry> entries =
+        TraceStore::instance().listEntries();
+    std::printf("trace store at %s: %zu entries\n",
+                TraceStore::rootPath().c_str(), entries.size());
+    std::uint64_t raw = 0, stored = 0;
+    for (const TraceStore::Entry &e : entries) {
+        std::printf("  %s: %u iter x %u cores, %llu records, "
+                    "%.1f MiB raw -> %.1f MiB stored (%.1fx)\n",
+                    e.key.c_str(), e.iterations, e.cores,
+                    static_cast<unsigned long long>(e.records),
+                    static_cast<double>(e.raw_bytes) / (1024.0 * 1024.0),
+                    static_cast<double>(e.stored_bytes) /
+                        (1024.0 * 1024.0),
+                    e.stored_bytes ? static_cast<double>(e.raw_bytes) /
+                                         static_cast<double>(
+                                             e.stored_bytes)
+                                   : 0.0);
+        raw += e.raw_bytes;
+        stored += e.stored_bytes;
+    }
+    if (!entries.empty())
+        std::printf("total: %.1f MiB raw -> %.1f MiB stored (%.1fx)\n",
+                    static_cast<double>(raw) / (1024.0 * 1024.0),
+                    static_cast<double>(stored) / (1024.0 * 1024.0),
+                    stored ? static_cast<double>(raw) /
+                                 static_cast<double>(stored)
+                           : 0.0);
     return 0;
 }
 
@@ -84,8 +263,9 @@ int
 inspect(const std::string &path)
 {
     TraceBuffer buf;
-    if (!readTraceFile(path, buf)) {
-        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    if (TraceIoResult r = readAnyTraceFile(path, buf); !r) {
+        std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
+                     r.message().c_str());
         return 1;
     }
     std::printf("%s: %zu records\n", path.c_str(), buf.size());
@@ -177,10 +357,33 @@ rnrTrace(const std::string &app, const std::string &input,
 int
 main(int argc, char **argv)
 {
-    if (argc >= 6 && std::strcmp(argv[1], "capture") == 0)
-        return capture(argv[2], argv[3],
-                       static_cast<unsigned>(std::atoi(argv[4])),
-                       argv[5]);
+    if (argc >= 6 && std::strcmp(argv[1], "capture") == 0) {
+        bool v1 = false;
+        std::vector<std::string> pos;
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--v1") == 0)
+                v1 = true;
+            else
+                pos.emplace_back(argv[i]);
+        }
+        if (pos.size() >= 4)
+            return capture(pos[0], pos[1],
+                           static_cast<unsigned>(std::atoi(
+                               pos[2].c_str())),
+                           pos[3], v1);
+    }
+    if (argc >= 4 && std::strcmp(argv[1], "convert") == 0)
+        return convert(argv[2], argv[3]);
+    if (argc >= 3 && std::strcmp(argv[1], "simulate") == 0) {
+        const std::string pf = argc >= 4 ? argv[3] : "rnr";
+        const unsigned iters =
+            argc >= 5 ? static_cast<unsigned>(std::atoi(argv[4])) : 3;
+        return simulate(argv[2], pf, iters);
+    }
+    if (argc >= 3 && std::strcmp(argv[1], "stats") == 0)
+        return stats(argv[2]);
+    if (argc >= 2 && std::strcmp(argv[1], "corpus") == 0)
+        return corpus();
     if (argc >= 3 && std::strcmp(argv[1], "inspect") == 0)
         return inspect(argv[2]);
     if (argc >= 2 && std::strcmp(argv[1], "rnr-trace") == 0) {
@@ -203,10 +406,16 @@ main(int argc, char **argv)
         return rnrTrace(app, input, out, buf);
     }
     std::fprintf(stderr,
-                 "usage:\n  %s capture <app> <input> <iter> <prefix>\n"
+                 "usage:\n"
+                 "  %s capture <app> <input> <iter> <prefix> [--v1]\n"
+                 "  %s convert <champsim.trace> <out.rnrt>\n"
+                 "  %s simulate <file-or-prefix> [prefetcher] [iters]\n"
+                 "  %s stats <file.rnrt>\n"
+                 "  %s corpus\n"
                  "  %s inspect <file.rnrt>\n"
                  "  %s rnr-trace [app] [input] [trace.json] "
                  "[--trace-buf <events>]\n",
-                 argv[0], argv[0], argv[0]);
+                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0],
+                 argv[0]);
     return 2;
 }

@@ -21,14 +21,20 @@ CoreModel::CoreModel(unsigned id, const CoreConfig &cfg, MemorySystem *ms)
 void
 CoreModel::setTrace(const TraceBuffer *trace)
 {
-    trace_ = trace;
-    pos_ = 0;
+    buffer_source_ = BufferSource(trace);
+    src_ = trace ? &buffer_source_ : nullptr;
+}
+
+void
+CoreModel::setSource(TraceSource *src)
+{
+    src_ = src;
 }
 
 bool
-CoreModel::done() const
+CoreModel::done()
 {
-    return !trace_ || pos_ >= trace_->size();
+    return !src_ || src_->done();
 }
 
 Tick
@@ -101,7 +107,7 @@ void
 CoreModel::step()
 {
     assert(!done());
-    const TraceRecord &rec = trace_->records()[pos_++];
+    const TraceRecord rec = src_->take();
 
     if (rec.gap) {
         // Plain instructions: charge issue bandwidth and ROB slots; they

@@ -21,6 +21,7 @@
 #include "sim/config.h"
 #include "sim/stats.h"
 #include "trace/trace_buffer.h"
+#include "trace/trace_source.h"
 
 namespace rnr {
 
@@ -30,13 +31,23 @@ class CoreModel
   public:
     CoreModel(unsigned id, const CoreConfig &cfg, MemorySystem *ms);
 
-    /** Points the core at a trace; position resets, the clock does not. */
+    /** Points the core at a materialised trace (wrapped in an internal
+     *  BufferSource); position resets, the clock does not. */
     void setTrace(const TraceBuffer *trace);
+
+    /**
+     * Points the core at a streaming record source (caller-owned, must
+     * outlive the run).  This is the replay path: a compressed trace
+     * file feeds the core block-by-block with one decoded block
+     * resident instead of the whole iteration.
+     */
+    void setSource(TraceSource *src);
 
     /** Routes this core's ControlRecord events to @p tr (null = off). */
     void attachTrace(TraceCollector *tr) { tr_ = tr; }
 
-    bool done() const;
+    /** True when the feed is exhausted (may decode the next block). */
+    bool done();
 
     /** Current issue-stage time; the System schedules on this. */
     Tick time() const { return issue_clock_; }
@@ -76,8 +87,8 @@ class CoreModel
     unsigned id_;
     CoreConfig cfg_;
     MemorySystem *ms_;
-    const TraceBuffer *trace_ = nullptr;
-    std::size_t pos_ = 0;
+    TraceSource *src_ = nullptr;
+    BufferSource buffer_source_; ///< Backs setTrace(); src_ points here.
     TraceCollector *tr_ = nullptr; ///< Null unless tracing is enabled.
 
     Tick issue_clock_ = 0;

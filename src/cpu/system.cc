@@ -15,7 +15,25 @@ IterationResult
 System::run(const std::vector<const TraceBuffer *> &traces)
 {
     assert(traces.size() == cores_.size());
+    // setTrace wraps each buffer in the core's own BufferSource, so the
+    // feed outlives this call (tests poke core(i).done() afterwards).
+    for (unsigned c = 0; c < cores_.size(); ++c)
+        cores_[c]->setTrace(traces[c]);
+    return drive();
+}
 
+IterationResult
+System::runStreaming(const std::vector<TraceSource *> &sources)
+{
+    assert(sources.size() == cores_.size());
+    for (unsigned c = 0; c < cores_.size(); ++c)
+        cores_[c]->setSource(sources[c]);
+    return drive();
+}
+
+IterationResult
+System::drive()
+{
     IterationResult result;
     Tick barrier = 0;
     for (auto &core : cores_)
@@ -27,9 +45,6 @@ System::run(const std::vector<const TraceBuffer *> &traces)
     std::uint64_t instrs_before = 0;
     for (auto &core : cores_)
         instrs_before += core->instructionsRetired();
-
-    for (unsigned c = 0; c < cores_.size(); ++c)
-        cores_[c]->setTrace(traces[c]);
 
     // Interleave by local time.  Batching a few records per pick keeps
     // scheduling overhead low without letting any core run far ahead.

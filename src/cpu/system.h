@@ -47,6 +47,17 @@ class System
      */
     IterationResult run(const std::vector<const TraceBuffer *> &traces);
 
+    /**
+     * Streaming variant: every core pulls from its TraceSource (one per
+     * core, caller-owned, alive for the duration of the call).  This is
+     * how the trace store replays compressed trace files without
+     * materialising an iteration's records per core.  (Named rather
+     * than overloaded: a braced list of TraceBuffer pointers would
+     * otherwise match both signatures via vector's iterator-pair
+     * constructor.)
+     */
+    IterationResult runStreaming(const std::vector<TraceSource *> &sources);
+
     /** Fans @p tr out to the memory hierarchy, prefetchers and cores
      *  (null = detach).  Call after installing prefetchers, or rely on
      *  MemorySystem::setPrefetcher re-applying it to late installs. */
@@ -59,6 +70,9 @@ class System
     }
 
   private:
+    /** Shared interleaving driver; feeds were set by the run() overload. */
+    IterationResult drive();
+
     MachineConfig cfg_;
     MemorySystem mem_;
     std::vector<std::unique_ptr<CoreModel>> cores_;

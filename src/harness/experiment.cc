@@ -5,12 +5,20 @@
 namespace rnr {
 
 std::string
+ExperimentConfig::workloadKey() const
+{
+    std::ostringstream os;
+    os << app << ":" << input << ":w" << window_size << ":i" << iterations
+       << ":n" << cores;
+    return os.str();
+}
+
+std::string
 ExperimentConfig::key() const
 {
     std::ostringstream os;
-    os << app << ":" << input << ":" << toString(prefetcher) << ":c"
-       << static_cast<int>(control) << ":w" << window_size << ":i"
-       << iterations << ":n" << cores << (ideal_llc ? ":ideal" : "");
+    os << workloadKey() << ":" << toString(prefetcher) << ":c"
+       << static_cast<int>(control) << (ideal_llc ? ":ideal" : "");
     return os.str();
 }
 

@@ -49,7 +49,18 @@ struct ExperimentConfig {
     bool ideal_llc = false;         ///< Fig 6's "ideal" bar.
     TraceOptions trace;             ///< Observation-only; not in key().
 
-    /** Stable cache key / display id. */
+    /**
+     * Workload half of the key: every field that shapes the *emitted
+     * trace* (app, input, window size, iterations, cores) and nothing
+     * that only shapes the simulation.  This is what the trace store
+     * keys entries by — the 6+ prefetcher configs of one figure row all
+     * replay the one trace captured under this key.  window_size stays
+     * in: it changes the WindowSize.set control payload in the trace.
+     */
+    std::string workloadKey() const;
+
+    /** Stable cache key / display id: workloadKey() plus the
+     *  simulation-only fields (prefetcher, control mode, ideal LLC). */
     std::string key() const;
 };
 

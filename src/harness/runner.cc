@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <set>
 #include <stdexcept>
@@ -10,6 +11,8 @@
 #include "cpu/system.h"
 #include "harness/result_cache.h"
 #include "harness/system_counters.h"
+#include "tracestore/trace_reader.h"
+#include "tracestore/trace_store.h"
 #include "workloads/graph_gen.h"
 #include "workloads/hyperanf.h"
 #include "workloads/jacobi.h"
@@ -17,6 +20,7 @@
 #include "workloads/pagerank.h"
 #include "workloads/sparse_gen.h"
 #include "workloads/spcg.h"
+#include "workloads/trace_replay.h"
 
 namespace rnr {
 
@@ -28,6 +32,203 @@ std::atomic<std::uint64_t> g_simulated{0};
 std::mutex g_inflight_mu;
 std::condition_variable g_inflight_cv;
 std::set<std::string> g_inflight;
+
+bool
+progressEnabled()
+{
+    const char *p = std::getenv("RNR_PROGRESS");
+    return !(p && std::string(p) == "0");
+}
+
+/** Thrown by the replay path when a stored trace fails mid-stream; the
+ *  caller quarantines the entry and recaptures. */
+struct CorruptTraceEntry : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Machine + workload + prefetchers for one experiment, shared by the
+ * capture (materialised) and replay (streaming) paths so they simulate
+ * byte-identically.
+ */
+struct Sim {
+    System sys;
+    std::unique_ptr<Workload> wl;
+    std::vector<std::unique_ptr<Prefetcher>> prefetchers;
+    ExperimentResult result;
+    SystemCounters before;
+
+    Sim(const ExperimentConfig &cfg, TraceCollector *tr)
+        : sys(machineFor(cfg)), wl(makeWorkload(cfg))
+    {
+        RnrPrefetcher::Options rnr_opts;
+        rnr_opts.control = cfg.control;
+        rnr_opts.window_size = cfg.window_size;
+
+        for (unsigned c = 0; c < cfg.cores; ++c) {
+            prefetchers.push_back(
+                createPrefetcher(cfg.prefetcher, rnr_opts));
+            prefetchers.back()->configureFor(*wl, c);
+            sys.mem().setPrefetcher(c, prefetchers.back().get());
+        }
+        if (tr)
+            sys.attachTrace(tr);
+
+        result.config = cfg;
+        result.input_bytes = wl->inputBytes();
+        result.target_bytes = wl->targetBytes();
+        before = SystemCounters::capture(sys);
+    }
+
+    static MachineConfig
+    machineFor(const ExperimentConfig &cfg)
+    {
+        MachineConfig mcfg = MachineConfig::scaledDefault();
+        mcfg.cores = cfg.cores;
+        if (cfg.ideal_llc)
+            mcfg = MachineConfig::withInfiniteLlc(mcfg);
+        return mcfg;
+    }
+
+    /** Books one simulated iteration into the result. */
+    void
+    recordIteration(const IterationResult &run)
+    {
+        SystemCounters after = SystemCounters::capture(sys);
+        IterStats it = after.delta(before);
+        it.cycles = run.cycles();
+        it.instructions = run.instructions;
+        result.iterations.push_back(it);
+        before = after;
+    }
+
+    /** Collects the end-of-run metadata sizes (Fig 13). */
+    ExperimentResult
+    finish(const ExperimentConfig &cfg)
+    {
+        for (unsigned c = 0; c < cfg.cores; ++c)
+            if (RnrPrefetcher *r = asRnr(sys.mem().prefetcher(c))) {
+                result.seq_table_bytes += r->seqTableBytes();
+                result.div_table_bytes += r->divTableBytes();
+            }
+        return std::move(result);
+    }
+};
+
+/**
+ * Executes the workload natively and simulates from the materialised
+ * buffers (the legacy path, and the store's capture path).  When
+ * @p cap is non-null every iteration's buffers are also encoded into
+ * the in-progress store entry.
+ */
+ExperimentResult
+runMaterialized(const ExperimentConfig &cfg, TraceCollector *tr,
+                TraceStore::Capture *cap)
+{
+    g_simulated.fetch_add(1);
+    Sim sim(cfg, tr);
+
+    std::vector<TraceBuffer> bufs(cfg.cores);
+    for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
+        // No clear here: retargetAll() clears, and first samples each
+        // buffer's size so it can reserve the next iteration's records.
+        sim.wl->emitIteration(iter, iter + 1 == cfg.iterations, bufs);
+
+        for (unsigned c = 0; cap && c < cfg.cores; ++c)
+            if (TraceIoResult r = cap->add(iter, c, bufs[c]); !r) {
+                // Capture is best-effort: keep simulating, drop the
+                // half-written entry (the destructor aborts it).
+                std::fprintf(stderr,
+                             "[tracestore] capture of %s failed: %s\n",
+                             cfg.workloadKey().c_str(),
+                             r.message().c_str());
+                cap = nullptr;
+            }
+
+        std::vector<const TraceBuffer *> ptrs;
+        for (auto &b : bufs)
+            ptrs.push_back(&b);
+        sim.recordIteration(sim.sys.run(ptrs));
+    }
+    return sim.finish(cfg);
+}
+
+/**
+ * Simulates from a validated store entry: each core streams its
+ * compressed per-iteration trace block-by-block; the workload is still
+ * constructed (prefetcher hints read its structures) but its expensive
+ * emitIteration() never runs.  Throws CorruptTraceEntry when a file
+ * fails mid-stream.
+ */
+ExperimentResult
+runFromStore(const ExperimentConfig &cfg, TraceCollector *tr,
+             const TraceStore::Entry &entry)
+{
+    g_simulated.fetch_add(1);
+    Sim sim(cfg, tr);
+
+    for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
+        // Advance workload-held replay state (e.g. PageRank's p_curr
+        // base swap) that emitIteration() would have performed.
+        sim.wl->beginReplayIteration(iter);
+
+        std::vector<StreamingTraceReader> readers(cfg.cores);
+        std::vector<TraceSource *> sources;
+        sources.reserve(cfg.cores);
+        for (unsigned c = 0; c < cfg.cores; ++c) {
+            const std::string path = entry.tracePath(iter, c);
+            if (TraceIoResult r = readers[c].open(path); !r)
+                throw CorruptTraceEntry(path + ": " + r.message());
+            sources.push_back(&readers[c]);
+        }
+        const IterationResult run = sim.sys.runStreaming(sources);
+        for (unsigned c = 0; c < cfg.cores; ++c)
+            if (readers[c].error())
+                throw CorruptTraceEntry(
+                    readers[c].errorResult().message());
+        sim.recordIteration(run);
+    }
+    return sim.finish(cfg);
+}
+
+/**
+ * Trace-store front door: replay when the corpus has this workload,
+ * capture-and-publish when it does not.  A corrupt entry is
+ * quarantined and recaptured once before giving up on the store.
+ */
+ExperimentResult
+runWithTraceStore(const ExperimentConfig &cfg, TraceCollector *tr)
+{
+    TraceStore &store = TraceStore::instance();
+    const std::string wkey = cfg.workloadKey();
+
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        TraceStore::Entry entry;
+        if (store.acquire(wkey, entry) == TraceStore::Acquire::Hit) {
+            try {
+                return runFromStore(cfg, tr, entry);
+            } catch (const CorruptTraceEntry &e) {
+                if (progressEnabled())
+                    std::fprintf(
+                        stderr,
+                        "[tracestore] replay of %s failed (%s); "
+                        "quarantining and recapturing\n",
+                        wkey.c_str(), e.what());
+                store.invalidate(wkey);
+                continue;
+            }
+        }
+        // Owner: run natively, encoding each iteration as it finishes.
+        TraceStore::Capture cap =
+            store.beginCapture(wkey, cfg.iterations, cfg.cores);
+        ExperimentResult r = runMaterialized(cfg, tr, &cap);
+        cap.publish(r.input_bytes, r.target_bytes);
+        return r;
+    }
+    // Two corrupt replays in a row: something is systematically wrong
+    // with this entry's environment; simulate without the store.
+    return runMaterialized(cfg, tr, nullptr);
+}
 
 } // namespace
 
@@ -54,66 +255,19 @@ makeWorkload(const ExperimentConfig &cfg)
     if (cfg.app == "jacobi")
         return std::make_unique<JacobiWorkload>(
             makeMatrixInput(cfg.input).matrix, opts);
+    if (cfg.app == "tracefile")
+        return std::make_unique<TraceFileWorkload>(cfg.input, opts);
     throw std::invalid_argument("unknown app: " + cfg.app);
 }
 
 ExperimentResult
 runExperimentTraced(const ExperimentConfig &cfg, TraceCollector *tr)
 {
-    g_simulated.fetch_add(1);
-    MachineConfig mcfg = MachineConfig::scaledDefault();
-    mcfg.cores = cfg.cores;
-    if (cfg.ideal_llc)
-        mcfg = MachineConfig::withInfiniteLlc(mcfg);
-
-    System sys(mcfg);
-    std::unique_ptr<Workload> wl = makeWorkload(cfg);
-
-    RnrPrefetcher::Options rnr_opts;
-    rnr_opts.control = cfg.control;
-    rnr_opts.window_size = cfg.window_size;
-
-    std::vector<std::unique_ptr<Prefetcher>> prefetchers;
-    for (unsigned c = 0; c < cfg.cores; ++c) {
-        prefetchers.push_back(createPrefetcher(cfg.prefetcher, rnr_opts));
-        prefetchers.back()->configureFor(*wl, c);
-        sys.mem().setPrefetcher(c, prefetchers.back().get());
-    }
-    if (tr)
-        sys.attachTrace(tr);
-
-    ExperimentResult result;
-    result.config = cfg;
-    result.input_bytes = wl->inputBytes();
-    result.target_bytes = wl->targetBytes();
-
-    std::vector<TraceBuffer> bufs(cfg.cores);
-    SystemCounters before = SystemCounters::capture(sys);
-    for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
-        // No clear here: retargetAll() clears, and first samples each
-        // buffer's size so it can reserve the next iteration's records.
-        wl->emitIteration(iter, iter + 1 == cfg.iterations, bufs);
-
-        std::vector<const TraceBuffer *> ptrs;
-        for (auto &b : bufs)
-            ptrs.push_back(&b);
-        const IterationResult run = sys.run(ptrs);
-
-        SystemCounters after = SystemCounters::capture(sys);
-        IterStats it = after.delta(before);
-        it.cycles = run.cycles();
-        it.instructions = run.instructions;
-        result.iterations.push_back(it);
-        before = after;
-    }
-
-    for (unsigned c = 0; c < cfg.cores; ++c) {
-        if (RnrPrefetcher *r = asRnr(sys.mem().prefetcher(c))) {
-            result.seq_table_bytes += r->seqTableBytes();
-            result.div_table_bytes += r->divTableBytes();
-        }
-    }
-    return result;
+    // The tracefile app already replays from disk; storing it again
+    // would only duplicate the file.
+    if (TraceStore::enabled() && cfg.app != "tracefile")
+        return runWithTraceStore(cfg, tr);
+    return runMaterialized(cfg, tr, nullptr);
 }
 
 ExperimentResult

@@ -11,6 +11,15 @@
  * concurrent calls with the same key block on one simulation instead of
  * racing — this is what lets SweepRunner (harness/sweep.h) saturate every
  * core on a cold cache.
+ *
+ * Below the result cache sits the trace store (tracestore/trace_store.h,
+ * RNR_TRACE_STORE=0 to disable): the first simulation of a workload key
+ * captures the emitted trace into a compressed on-disk corpus; every
+ * further simulation of that workload — different prefetcher, control
+ * mode or ideal-LLC setting, another process, another day — replays the
+ * stored trace block-by-block instead of re-executing the workload
+ * natively.  Replay is counter-for-counter identical to native emission
+ * (tests/harness/trace_replay_test.cc asserts bit-equality).
  */
 #ifndef RNR_HARNESS_RUNNER_H
 #define RNR_HARNESS_RUNNER_H

@@ -26,6 +26,7 @@
 #endif
 
 #include "harness/runner.h"
+#include "tracestore/trace_store.h"
 
 namespace rnr {
 
@@ -156,6 +157,18 @@ class ProgressReporter
                      tty_ ? "\r" : "", label_.c_str(), stats.cells,
                      stats.simulated, stats.cache_hits,
                      stats.duplicates, stats.elapsed_sec);
+        // One line of trace-store accounting: how many of the
+        // simulations above re-executed a workload natively (captures)
+        // versus replaying the shared corpus (hits).
+        const TraceStore &ts = TraceStore::instance();
+        if (TraceStore::enabled() && (ts.captures() + ts.hits()) > 0)
+            std::fprintf(stderr,
+                         "[%s] trace store: %llu workloads captured, "
+                         "%llu replays served from %s\n",
+                         label_.c_str(),
+                         static_cast<unsigned long long>(ts.captures()),
+                         static_cast<unsigned long long>(ts.hits()),
+                         TraceStore::rootPath().c_str());
     }
 
   private:

@@ -47,6 +47,15 @@ class TraceBuffer
     std::size_t size() const { return records_.size(); }
     bool empty() const { return records_.empty(); }
 
+    /** Bytes the stored records occupy in memory (size, not capacity) —
+     *  the "raw" side of the trace store's raw-vs-compressed ratio. */
+    std::uint64_t
+    memoryBytes() const
+    {
+        return static_cast<std::uint64_t>(records_.size()) *
+               sizeof(TraceRecord);
+    }
+
     std::uint64_t loads() const { return loads_; }
     std::uint64_t stores() const { return stores_; }
     std::uint64_t controls() const { return controls_; }

@@ -1,7 +1,9 @@
 #include "trace/trace_io.h"
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 namespace rnr {
 
@@ -26,12 +28,50 @@ get(std::ifstream &in, T &value)
 
 } // namespace
 
-bool
+const char *
+toString(TraceIoStatus status)
+{
+    switch (status) {
+      case TraceIoStatus::Ok: return "ok";
+      case TraceIoStatus::OpenFailed: return "cannot open";
+      case TraceIoStatus::BadMagic: return "bad magic";
+      case TraceIoStatus::BadVersion: return "unsupported version";
+      case TraceIoStatus::Truncated: return "truncated";
+      case TraceIoStatus::CorruptBlock: return "corrupt block";
+      case TraceIoStatus::BadFooter: return "bad footer";
+      case TraceIoStatus::WriteFailed: return "write failed";
+    }
+    return "?";
+}
+
+std::string
+TraceIoResult::message() const
+{
+    std::ostringstream os;
+    os << toString(status);
+    if (!detail.empty())
+        os << " (" << detail << ")";
+    if (sys_errno != 0)
+        os << ": " << std::strerror(sys_errno);
+    return os.str();
+}
+
+TraceIoResult
+TraceIoResult::fail(TraceIoStatus s, std::string detail, int err)
+{
+    TraceIoResult r;
+    r.status = s;
+    r.detail = std::move(detail);
+    r.sys_errno = err;
+    return r;
+}
+
+TraceIoResult
 writeTraceFile(const std::string &path, const TraceBuffer &buf)
 {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out)
-        return false;
+        return TraceIoResult::fail(TraceIoStatus::OpenFailed, path, errno);
     out.write(kMagic, sizeof(kMagic));
     put<std::uint32_t>(out, kTraceFormatVersion);
     put<std::uint32_t>(out, 0); // reserved
@@ -45,24 +85,40 @@ writeTraceFile(const std::string &path, const TraceBuffer &buf)
         put<std::uint8_t>(out, static_cast<std::uint8_t>(r.ctrl));
         put<std::uint16_t>(out, 0); // padding
     }
-    return static_cast<bool>(out);
+    out.flush();
+    if (!out)
+        return TraceIoResult::fail(TraceIoStatus::WriteFailed, path, errno);
+    return TraceIoResult::ok();
 }
 
-bool
+TraceIoResult
 readTraceFile(const std::string &path, TraceBuffer &buf)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        return false;
+        return TraceIoResult::fail(TraceIoStatus::OpenFailed, path, errno);
     char magic[8];
     in.read(magic, sizeof(magic));
-    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        return false;
+    if (!in)
+        return TraceIoResult::fail(TraceIoStatus::Truncated,
+                                   "file shorter than the 8-byte magic");
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return TraceIoResult::fail(TraceIoStatus::BadMagic,
+                                   "expected RNRTRACE");
     std::uint32_t version = 0, reserved = 0;
     std::uint64_t count = 0;
-    if (!get(in, version) || version != kTraceFormatVersion ||
-        !get(in, reserved) || !get(in, count))
-        return false;
+    if (!get(in, version))
+        return TraceIoResult::fail(TraceIoStatus::Truncated,
+                                   "missing version field");
+    if (version != kTraceFormatVersion)
+        return TraceIoResult::fail(
+            TraceIoStatus::BadVersion,
+            "version " + std::to_string(version) +
+                (version == 2 ? "; use readAnyTraceFile for v2 files"
+                              : ""));
+    if (!get(in, reserved) || !get(in, count))
+        return TraceIoResult::fail(TraceIoStatus::Truncated,
+                                   "missing header fields");
 
     for (std::uint64_t i = 0; i < count; ++i) {
         TraceRecord r;
@@ -71,12 +127,15 @@ readTraceFile(const std::string &path, TraceBuffer &buf)
         if (!get(in, r.addr) || !get(in, r.aux) || !get(in, r.pc) ||
             !get(in, r.gap) || !get(in, kind) || !get(in, ctrl) ||
             !get(in, padding))
-            return false;
+            return TraceIoResult::fail(
+                TraceIoStatus::Truncated,
+                "record " + std::to_string(i) + " of " +
+                    std::to_string(count));
         r.kind = static_cast<RecordKind>(kind);
         r.ctrl = static_cast<RnrOp>(ctrl);
         buf.push(r);
     }
-    return true;
+    return TraceIoResult::ok();
 }
 
 } // namespace rnr

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Streaming record feed for the core model.
+ *
+ * CoreModel historically consumed a fully materialised TraceBuffer; a
+ * multi-million-record iteration therefore had to be resident in memory
+ * per core before simulation could start.  TraceSource abstracts the
+ * feed so a core can equally pull records from an in-memory buffer
+ * (BufferSource, the capture path) or block-by-block from a compressed
+ * v2 trace file (tracestore/trace_reader.h, the replay path) with only
+ * one decoded block resident per core.
+ *
+ * The contract is single-pass: done() may be called repeatedly (and may
+ * refill an internal block on the way); take() requires !done() and
+ * consumes exactly one record.
+ */
+#ifndef RNR_TRACE_TRACE_SOURCE_H
+#define RNR_TRACE_TRACE_SOURCE_H
+
+#include <cstddef>
+
+#include "trace/trace_buffer.h"
+
+namespace rnr {
+
+/** Single-pass record stream consumed by one core. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** True when the stream is exhausted.  May refill internally. */
+    virtual bool done() = 0;
+
+    /** Consumes and returns the next record; requires !done(). */
+    virtual TraceRecord take() = 0;
+};
+
+/** TraceSource over a caller-owned, fully materialised buffer. */
+class BufferSource final : public TraceSource
+{
+  public:
+    BufferSource() = default;
+    explicit BufferSource(const TraceBuffer *buf) : buf_(buf) {}
+
+    bool
+    done() override
+    {
+        return !buf_ || pos_ >= buf_->size();
+    }
+
+    TraceRecord
+    take() override
+    {
+        return buf_->records()[pos_++];
+    }
+
+  private:
+    const TraceBuffer *buf_ = nullptr;
+    std::size_t pos_ = 0;
+};
+
+} // namespace rnr
+
+#endif // RNR_TRACE_TRACE_SOURCE_H

@@ -1,0 +1,102 @@
+#include "tracestore/champsim_import.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+namespace rnr {
+
+namespace {
+
+/** Offsets inside one packed ChampSim record (all little-endian). */
+constexpr std::size_t kIpOffset = 0;
+constexpr std::size_t kDestMemOffset = 16; ///< 2 x u64
+constexpr std::size_t kSrcMemOffset = 32;  ///< 4 x u64
+constexpr std::size_t kDestMemSlots = 2;
+constexpr std::size_t kSrcMemSlots = 4;
+
+std::uint64_t
+readU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint32_t
+foldPc(std::uint64_t ip)
+{
+    return static_cast<std::uint32_t>(ip) ^
+           static_cast<std::uint32_t>(ip >> 32);
+}
+
+} // namespace
+
+TraceIoResult
+importChampSimTrace(const std::string &path, TraceBuffer &buf,
+                    ChampSimImportStats *stats)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return TraceIoResult::fail(TraceIoStatus::OpenFailed, path, errno);
+
+    ChampSimImportStats s;
+    std::uint64_t gap = 0;
+    std::uint8_t rec[kChampSimRecordBytes];
+    for (;;) {
+        in.read(reinterpret_cast<char *>(rec), sizeof(rec));
+        const std::streamsize got = in.gcount();
+        if (got == 0)
+            break;
+        if (got != static_cast<std::streamsize>(sizeof(rec)))
+            return TraceIoResult::fail(
+                TraceIoStatus::Truncated,
+                path + ": trailing " + std::to_string(got) +
+                    " bytes are not a whole 64-byte ChampSim record "
+                    "(still compressed?)");
+        ++s.instructions;
+
+        const std::uint32_t pc = foldPc(readU64(rec + kIpOffset));
+        bool emitted = false;
+        const auto emit = [&](std::uint64_t addr, bool is_load) {
+            // The gap field saturates rather than wraps on the (absurd)
+            // case of >4G consecutive memless instructions.
+            const std::uint32_t g = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(
+                    gap, std::numeric_limits<std::uint32_t>::max()));
+            buf.push(is_load ? TraceRecord::load(addr, pc, g)
+                             : TraceRecord::store(addr, pc, g));
+            gap = 0;
+            emitted = true;
+        };
+        for (std::size_t i = 0; i < kSrcMemSlots; ++i) {
+            const std::uint64_t a = readU64(rec + kSrcMemOffset + 8 * i);
+            if (a) {
+                emit(a, true);
+                ++s.loads;
+            }
+        }
+        for (std::size_t i = 0; i < kDestMemSlots; ++i) {
+            const std::uint64_t a = readU64(rec + kDestMemOffset + 8 * i);
+            if (a) {
+                emit(a, false);
+                ++s.stores;
+            }
+        }
+        if (!emitted) {
+            ++gap;
+            ++s.memless;
+        }
+    }
+    if (s.instructions == 0)
+        return TraceIoResult::fail(TraceIoStatus::Truncated,
+                                   path + ": empty trace");
+    if (stats)
+        *stats = s;
+    return TraceIoResult::ok();
+}
+
+} // namespace rnr

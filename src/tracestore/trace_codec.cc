@@ -1,0 +1,344 @@
+#include "tracestore/trace_codec.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <unordered_map>
+
+#include "tracestore/varint.h"
+
+namespace rnr {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'N', 'R', 'T', 'R', 'A', 'C', 'E'};
+constexpr char kFooterMagic[8] = {'R', 'N', 'R', 'T', 'F', 'T', 'R', '1'};
+
+// Tag byte: bits 0-1 = RecordKind, bit 2 = aux field present.
+constexpr std::uint8_t kKindMask = 0x03;
+constexpr std::uint8_t kAuxFlag = 0x04;
+
+template <typename T>
+void
+put(std::ostream &out, T value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+template <typename T>
+bool
+get(std::istream &in, T &value)
+{
+    in.read(reinterpret_cast<char *>(&value), sizeof(value));
+    return static_cast<bool>(in);
+}
+
+/**
+ * Per-block delta context.  Addresses delta against the last address
+ * seen *from the same pc* (each access site is its own stream); a site's
+ * first record in a block deltas against the last memory address of any
+ * site, which is usually in the same region.  Everything resets at
+ * block boundaries so blocks decode independently.
+ */
+struct DeltaState {
+    std::uint32_t prev_pc = 0;
+    std::uint64_t last_mem_addr = 0;
+    std::unordered_map<std::uint32_t, std::uint64_t> site_last;
+
+    std::uint64_t
+    baseFor(std::uint32_t pc) const
+    {
+        const auto it = site_last.find(pc);
+        return it != site_last.end() ? it->second : last_mem_addr;
+    }
+
+    void
+    noteMem(std::uint32_t pc, std::uint64_t addr)
+    {
+        site_last[pc] = addr;
+        last_mem_addr = addr;
+    }
+};
+
+} // namespace
+
+void
+encodeBlock(const TraceRecord *recs, std::size_t n,
+            std::vector<std::uint8_t> &out)
+{
+    DeltaState st;
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceRecord &r = recs[i];
+        std::uint8_t tag = static_cast<std::uint8_t>(r.kind) & kKindMask;
+        if (r.aux != 0)
+            tag |= kAuxFlag;
+        out.push_back(tag);
+        if (r.kind == RecordKind::Control)
+            out.push_back(static_cast<std::uint8_t>(r.ctrl));
+        putVarint(out, r.gap);
+        putVarint(out, zigzag(static_cast<std::int64_t>(r.pc) -
+                              static_cast<std::int64_t>(st.prev_pc)));
+        st.prev_pc = r.pc;
+        if (r.kind == RecordKind::Control) {
+            // Control payloads are region bases/sizes, unrelated to the
+            // access stream: store the address verbatim.
+            putVarint(out, r.addr);
+        } else {
+            const std::uint64_t base = st.baseFor(r.pc);
+            putVarint(out, zigzag(static_cast<std::int64_t>(r.addr - base)));
+            st.noteMem(r.pc, r.addr);
+        }
+        if (r.aux != 0)
+            putVarint(out, r.aux);
+    }
+}
+
+bool
+decodeBlock(const std::uint8_t *payload, std::size_t payload_bytes,
+            std::size_t expected_records, std::vector<TraceRecord> &out)
+{
+    const std::uint8_t *p = payload;
+    const std::uint8_t *end = payload + payload_bytes;
+    DeltaState st;
+    for (std::size_t i = 0; i < expected_records; ++i) {
+        if (p == end)
+            return false;
+        const std::uint8_t tag = *p++;
+        if ((tag & ~(kKindMask | kAuxFlag)) != 0)
+            return false;
+        const auto kind = static_cast<RecordKind>(tag & kKindMask);
+        if (kind != RecordKind::Load && kind != RecordKind::Store &&
+            kind != RecordKind::Control)
+            return false;
+
+        TraceRecord r;
+        r.kind = kind;
+        if (kind == RecordKind::Control) {
+            if (p == end)
+                return false;
+            r.ctrl = static_cast<RnrOp>(*p++);
+        }
+        std::uint64_t v = 0;
+        if (!getVarint(p, end, v) || v > 0xffffffffull)
+            return false;
+        r.gap = static_cast<std::uint32_t>(v);
+        if (!getVarint(p, end, v))
+            return false;
+        r.pc = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(st.prev_pc) + unzigzag(v));
+        st.prev_pc = r.pc;
+        if (!getVarint(p, end, v))
+            return false;
+        if (kind == RecordKind::Control) {
+            r.addr = v;
+        } else {
+            r.addr = st.baseFor(r.pc) +
+                     static_cast<std::uint64_t>(unzigzag(v));
+            st.noteMem(r.pc, r.addr);
+        }
+        if (tag & kAuxFlag) {
+            if (!getVarint(p, end, r.aux))
+                return false;
+        }
+        out.push_back(r);
+    }
+    return p == end; // trailing garbage = corrupt
+}
+
+TraceIoResult
+writeTraceFileV2(const std::string &path, const TraceBuffer &buf,
+                 std::uint32_t block_records)
+{
+    if (block_records == 0)
+        block_records = kDefaultBlockRecords;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return TraceIoResult::fail(TraceIoStatus::OpenFailed, path, errno);
+    out.write(kMagic, sizeof(kMagic));
+    put<std::uint32_t>(out, kTraceFormatVersionV2);
+    put<std::uint32_t>(out, block_records);
+
+    TraceFileStats stats;
+    stats.records = buf.size();
+    stats.loads = buf.loads();
+    stats.stores = buf.stores();
+    stats.controls = buf.controls();
+    stats.instructions = buf.instructions();
+    stats.raw_bytes = buf.memoryBytes();
+    bool have_mem = false;
+
+    std::vector<TraceBlockIndexEntry> index;
+    std::vector<std::uint8_t> payload;
+    const std::vector<TraceRecord> &recs = buf.records();
+    for (std::size_t first = 0; first < recs.size();
+         first += block_records) {
+        const std::size_t n =
+            std::min<std::size_t>(block_records, recs.size() - first);
+        payload.clear();
+        encodeBlock(recs.data() + first, n, payload);
+
+        TraceBlockIndexEntry e;
+        e.offset = static_cast<std::uint64_t>(out.tellp());
+        e.payload_bytes = static_cast<std::uint32_t>(payload.size());
+        e.record_count = static_cast<std::uint32_t>(n);
+        index.push_back(e);
+
+        put<std::uint32_t>(out, e.payload_bytes);
+        put<std::uint32_t>(out, e.record_count);
+        out.write(reinterpret_cast<const char *>(payload.data()),
+                  static_cast<std::streamsize>(payload.size()));
+
+        for (std::size_t i = first; i < first + n; ++i) {
+            const TraceRecord &r = recs[i];
+            if (r.kind == RecordKind::Control)
+                continue;
+            if (!have_mem || r.addr < stats.min_addr)
+                stats.min_addr = r.addr;
+            if (!have_mem || r.addr > stats.max_addr)
+                stats.max_addr = r.addr;
+            have_mem = true;
+        }
+    }
+    // Terminator lets a sequential reader stop without the footer.
+    put<std::uint32_t>(out, 0);
+    put<std::uint32_t>(out, 0);
+
+    const std::uint64_t footer_offset =
+        static_cast<std::uint64_t>(out.tellp());
+    put<std::uint64_t>(out, static_cast<std::uint64_t>(index.size()));
+    for (const TraceBlockIndexEntry &e : index) {
+        put<std::uint64_t>(out, e.offset);
+        put<std::uint32_t>(out, e.payload_bytes);
+        put<std::uint32_t>(out, e.record_count);
+    }
+    put<std::uint64_t>(out, stats.records);
+    put<std::uint64_t>(out, stats.loads);
+    put<std::uint64_t>(out, stats.stores);
+    put<std::uint64_t>(out, stats.controls);
+    put<std::uint64_t>(out, stats.instructions);
+    put<std::uint64_t>(out, stats.min_addr);
+    put<std::uint64_t>(out, stats.max_addr);
+    put<std::uint64_t>(out, stats.raw_bytes);
+    put<std::uint64_t>(out, footer_offset);
+    out.write(kFooterMagic, sizeof(kFooterMagic));
+    out.flush();
+    if (!out)
+        return TraceIoResult::fail(TraceIoStatus::WriteFailed, path, errno);
+    return TraceIoResult::ok();
+}
+
+TraceIoResult
+readV2FileHeader(std::istream &in, std::uint32_t &block_records)
+{
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in)
+        return TraceIoResult::fail(TraceIoStatus::Truncated,
+                                   "file shorter than the 8-byte magic");
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return TraceIoResult::fail(TraceIoStatus::BadMagic,
+                                   "expected RNRTRACE");
+    std::uint32_t version = 0;
+    if (!get(in, version))
+        return TraceIoResult::fail(TraceIoStatus::Truncated,
+                                   "missing version field");
+    if (version != kTraceFormatVersionV2)
+        return TraceIoResult::fail(TraceIoStatus::BadVersion,
+                                   "version " + std::to_string(version));
+    if (!get(in, block_records) || block_records == 0)
+        return TraceIoResult::fail(TraceIoStatus::Truncated,
+                                   "missing block size field");
+    return TraceIoResult::ok();
+}
+
+TraceIoResult
+probeTraceFileVersion(const std::string &path, std::uint32_t &version)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return TraceIoResult::fail(TraceIoStatus::OpenFailed, path, errno);
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in)
+        return TraceIoResult::fail(TraceIoStatus::Truncated,
+                                   "file shorter than the 8-byte magic");
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return TraceIoResult::fail(TraceIoStatus::BadMagic,
+                                   "expected RNRTRACE");
+    if (!get(in, version))
+        return TraceIoResult::fail(TraceIoStatus::Truncated,
+                                   "missing version field");
+    return TraceIoResult::ok();
+}
+
+TraceIoResult
+readTraceFileV2Stats(const std::string &path, TraceFileStats &stats,
+                     std::vector<TraceBlockIndexEntry> *index)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return TraceIoResult::fail(TraceIoStatus::OpenFailed, path, errno);
+    std::uint32_t block_records = 0;
+    if (TraceIoResult r = readV2FileHeader(in, block_records); !r)
+        return r;
+
+    in.seekg(0, std::ios::end);
+    const std::int64_t file_size = in.tellg();
+    constexpr std::int64_t kTrailer = 16; // footer_offset + footer magic
+    if (file_size < kTrailer)
+        return TraceIoResult::fail(TraceIoStatus::BadFooter,
+                                   "file too short for a footer");
+    in.seekg(file_size - kTrailer);
+    std::uint64_t footer_offset = 0;
+    char fmagic[8];
+    if (!get(in, footer_offset) ||
+        !in.read(fmagic, sizeof(fmagic)))
+        return TraceIoResult::fail(TraceIoStatus::BadFooter,
+                                   "cannot read footer trailer");
+    if (std::memcmp(fmagic, kFooterMagic, sizeof(kFooterMagic)) != 0)
+        return TraceIoResult::fail(TraceIoStatus::BadFooter,
+                                   "footer magic missing (truncated "
+                                   "write?)");
+    if (footer_offset >= static_cast<std::uint64_t>(file_size))
+        return TraceIoResult::fail(TraceIoStatus::BadFooter,
+                                   "footer offset out of range");
+    in.seekg(static_cast<std::streamoff>(footer_offset));
+    std::uint64_t block_count = 0;
+    if (!get(in, block_count))
+        return TraceIoResult::fail(TraceIoStatus::BadFooter,
+                                   "cannot read block count");
+    if (block_count * 16 > static_cast<std::uint64_t>(file_size))
+        return TraceIoResult::fail(TraceIoStatus::BadFooter,
+                                   "implausible block count");
+    std::vector<TraceBlockIndexEntry> idx(
+        static_cast<std::size_t>(block_count));
+    for (TraceBlockIndexEntry &e : idx) {
+        if (!get(in, e.offset) || !get(in, e.payload_bytes) ||
+            !get(in, e.record_count))
+            return TraceIoResult::fail(TraceIoStatus::BadFooter,
+                                       "cannot read block index");
+    }
+    TraceFileStats s;
+    if (!get(in, s.records) || !get(in, s.loads) || !get(in, s.stores) ||
+        !get(in, s.controls) || !get(in, s.instructions) ||
+        !get(in, s.min_addr) || !get(in, s.max_addr) ||
+        !get(in, s.raw_bytes))
+        return TraceIoResult::fail(TraceIoStatus::BadFooter,
+                                   "cannot read stats");
+    std::uint64_t indexed_records = 0;
+    for (const TraceBlockIndexEntry &e : idx)
+        indexed_records += e.record_count;
+    if (indexed_records != s.records)
+        return TraceIoResult::fail(
+            TraceIoStatus::BadFooter,
+            "index covers " + std::to_string(indexed_records) +
+                " records, stats claim " + std::to_string(s.records));
+    stats = s;
+    if (index)
+        *index = std::move(idx);
+    return TraceIoResult::ok();
+}
+
+} // namespace rnr

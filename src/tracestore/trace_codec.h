@@ -1,0 +1,118 @@
+/**
+ * @file
+ * v2 trace codec: per-field delta + varint encoding in fixed-size
+ * indexed blocks, with a stats footer.
+ *
+ * The v1 format (trace/trace_io.h) spends 28 bytes per record on fields
+ * that are almost entirely redundant: successive records from one
+ * access site stride by one element, instruction gaps are tiny, and
+ * aux is zero outside control records.  v2 exploits all three:
+ *
+ *  - addresses are delta-encoded *per access site* (keyed by the
+ *    record's pc), so each of the workload's interleaved streams
+ *    (offsets, edges, values...) compresses against itself rather than
+ *    against whichever stream happened to emit last;
+ *  - pc and gap are varint-encoded (pc as a delta, gap raw);
+ *  - aux costs one tag bit unless nonzero.
+ *
+ * Records are packed into blocks of a fixed record count; all delta
+ * state resets at block boundaries, so any block decodes independently
+ * (this is what lets tracestore/trace_reader.h stream a file with one
+ * decoded block resident).  A footer carries a per-block index plus
+ * per-kind record counts, so `trace_tools stats` and the store's
+ * corpus report summarise a file without decoding any payload.
+ *
+ * File layout (little-endian):
+ *   8B magic "RNRTRACE" | u32 version=2 | u32 block_records
+ *   per block:  u32 payload_bytes | u32 record_count | payload
+ *   terminator: u32 0 | u32 0
+ *   footer:     u64 block_count
+ *               per block: u64 offset | u32 payload_bytes | u32 records
+ *               TraceFileStats (9 x u64)
+ *               u64 footer_offset | 8B footer magic "RNRTFTR1"
+ */
+#ifndef RNR_TRACESTORE_TRACE_CODEC_H
+#define RNR_TRACESTORE_TRACE_CODEC_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace_io.h"
+
+namespace rnr {
+
+/** Version tag of the compressed block format. */
+constexpr std::uint32_t kTraceFormatVersionV2 = 2;
+
+/** Records per block unless the writer overrides it. */
+constexpr std::uint32_t kDefaultBlockRecords = 4096;
+
+/** Per-kind summary carried by the v2 footer (decode-free). */
+struct TraceFileStats {
+    std::uint64_t records = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t controls = 0;
+    std::uint64_t instructions = 0; ///< Memory ops + gaps (TraceBuffer).
+    std::uint64_t min_addr = 0;     ///< Over load/store records; 0 if none.
+    std::uint64_t max_addr = 0;
+    std::uint64_t raw_bytes = 0;    ///< records * sizeof(TraceRecord).
+};
+
+/** One footer index entry: where a block lives and what it holds. */
+struct TraceBlockIndexEntry {
+    std::uint64_t offset = 0; ///< File offset of the block header.
+    std::uint32_t payload_bytes = 0;
+    std::uint32_t record_count = 0;
+};
+
+/**
+ * Encodes @p n records into @p out (appended).  Delta state starts
+ * fresh, so the result is a self-contained block payload.
+ */
+void encodeBlock(const TraceRecord *recs, std::size_t n,
+                 std::vector<std::uint8_t> &out);
+
+/**
+ * Decodes a block payload of exactly @p expected_records records into
+ * @p out (appended).  Returns false if the payload is malformed or its
+ * length disagrees with the record count.
+ */
+bool decodeBlock(const std::uint8_t *payload, std::size_t payload_bytes,
+                 std::size_t expected_records,
+                 std::vector<TraceRecord> &out);
+
+/** Writes @p buf to @p path in v2 format. */
+TraceIoResult writeTraceFileV2(
+    const std::string &path, const TraceBuffer &buf,
+    std::uint32_t block_records = kDefaultBlockRecords);
+
+/**
+ * Reads only the v2 footer of @p path: stats and (optionally) the
+ * block index, without touching any payload.
+ */
+TraceIoResult readTraceFileV2Stats(
+    const std::string &path, TraceFileStats &stats,
+    std::vector<TraceBlockIndexEntry> *index = nullptr);
+
+/**
+ * Validates the leading magic + version of an open stream positioned
+ * at 0 and leaves it positioned after the v2 header.  On success fills
+ * @p block_records.  Shared by the stats reader and the streaming
+ * reader.
+ */
+TraceIoResult readV2FileHeader(std::istream &in,
+                               std::uint32_t &block_records);
+
+/**
+ * Peeks the format version of @p path (1, 2, ...).  Fails with
+ * BadMagic/Truncated/OpenFailed for non-trace files.
+ */
+TraceIoResult probeTraceFileVersion(const std::string &path,
+                                    std::uint32_t &version);
+
+} // namespace rnr
+
+#endif // RNR_TRACESTORE_TRACE_CODEC_H

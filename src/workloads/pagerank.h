@@ -37,6 +37,15 @@ class PageRankWorkload : public Workload
     DropletHint dropletHint(unsigned core) const override;
     IndexSniffer impSniffer(unsigned core) const override;
 
+    /** Replay path: emitIteration() normally advances sim_cur_base_
+     *  (the p_curr/p_next swap DROPLET's hint chases); when iterations
+     *  replay from stored traces the swap must happen here instead. */
+    void
+    beginReplayIteration(unsigned iter) override
+    {
+        sim_cur_base_ = value_base_[iter & 1];
+    }
+
     /** Scaled rank (rank/deg) of vertex @p v after the last iteration. */
     double rank(std::uint32_t v) const { return values_[cur_][v]; }
     /** Sum of |p_next - p_curr| over the last iteration. */

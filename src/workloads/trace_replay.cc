@@ -1,0 +1,104 @@
+#include "workloads/trace_replay.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+
+#include "tracestore/trace_file.h"
+
+namespace rnr {
+
+namespace {
+
+bool
+fileExists(const std::string &path)
+{
+    std::error_code ec;
+    return std::filesystem::is_regular_file(path, ec);
+}
+
+std::string
+perCorePath(const std::string &prefix, unsigned core)
+{
+    return prefix + ".c" + std::to_string(core) + ".rnrt";
+}
+
+} // namespace
+
+unsigned
+TraceFileWorkload::detectCores(const std::string &input)
+{
+    if (fileExists(input))
+        return 1;
+    unsigned n = 0;
+    while (fileExists(perCorePath(input, n)))
+        ++n;
+    return n;
+}
+
+TraceFileWorkload::TraceFileWorkload(std::string input, WorkloadOptions opts)
+    : Workload(opts), input_(std::move(input))
+{
+    single_file_ = fileExists(input_);
+    if (single_file_ && opts_.cores != 1)
+        throw std::runtime_error(input_ +
+                                 " is a single trace file; run it with "
+                                 "1 core or provide per-core files");
+
+    Addr min_addr = 0, max_addr = 0;
+    bool have_mem = false;
+    for (unsigned c = 0; c < opts_.cores; ++c) {
+        TraceFileStats stats;
+        const std::string path = corePath(c);
+        if (TraceIoResult r = readAnyTraceFileStats(path, stats); !r)
+            throw std::runtime_error(path + ": " + r.message());
+        if (stats.loads + stats.stores > 0) {
+            if (!have_mem || stats.min_addr < min_addr)
+                min_addr = stats.min_addr;
+            if (!have_mem || stats.max_addr > max_addr)
+                max_addr = stats.max_addr;
+            have_mem = true;
+        }
+    }
+    if (!have_mem)
+        throw std::runtime_error(input_ + ": trace has no memory records");
+    base_addr_ = min_addr;
+    // Span covers through the last accessed byte's cache block.
+    span_bytes_ = max_addr - min_addr + 64;
+}
+
+std::string
+TraceFileWorkload::corePath(unsigned core) const
+{
+    return single_file_ ? input_ : perCorePath(input_, core);
+}
+
+void
+TraceFileWorkload::emitIteration(unsigned iter, bool is_last,
+                                 std::vector<TraceBuffer> &bufs)
+{
+    retargetAll(bufs);
+    for (unsigned c = 0; c < opts_.cores; ++c) {
+        RnrRuntime &rt = *runtimes_[c];
+        if (iter == 0) {
+            rt.init(span_bytes_);
+            rt.addrBaseSet(base_addr_, span_bytes_);
+            if (opts_.window_size)
+                rt.windowSizeSet(opts_.window_size);
+            rt.addrEnable(base_addr_);
+            rt.start();
+        } else {
+            rt.replay();
+        }
+        if (TraceIoResult r = readAnyTraceFile(corePath(c), bufs[c]); !r)
+            throw std::runtime_error(corePath(c) + ": " + r.message());
+        if (is_last) {
+            rt.addrDisable(base_addr_);
+            rt.endState();
+            rt.end();
+        }
+    }
+}
+
+} // namespace rnr

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Trace-file workload: replays an on-disk trace as if it were one of
+ * the in-process SPMD kernels.
+ *
+ * This is the consumer end of `trace_tools convert`: a ChampSim trace
+ * imported to our format (or any v1/v2 trace file) becomes a runnable
+ * workload — app "tracefile", input = the file path (single core) or a
+ * prefix with `<prefix>.c<K>.rnrt` per-core files.  Every "iteration"
+ * replays the same file, which matches how record-and-replay is
+ * evaluated: iteration 0 records, later iterations replay the
+ * identical access stream.
+ *
+ * The file carries only loads/stores/gaps; the RnR API calls of
+ * Algorithm 1 are injected here per iteration (init + AddrBase over
+ * the file's observed address span + start on iteration 0, replay
+ * afterwards, teardown at the end), so the RnR prefetcher drives a
+ * foreign trace exactly as it drives the native kernels.
+ */
+#ifndef RNR_WORKLOADS_TRACE_REPLAY_H
+#define RNR_WORKLOADS_TRACE_REPLAY_H
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace rnr {
+
+class TraceFileWorkload : public Workload
+{
+  public:
+    /**
+     * @param input path of a trace file (one core), or a prefix such
+     *   that `<input>.c<K>.rnrt` exists for cores 0..opts.cores-1.
+     * Throws std::runtime_error when a per-core file is missing or
+     * unreadable (the constructor summarises every file up front).
+     */
+    TraceFileWorkload(std::string input, WorkloadOptions opts);
+
+    /** Cores the on-disk layout provides: 1 when @p input is itself a
+     *  file, else the count of consecutive `<input>.c<K>.rnrt` files
+     *  (0 when neither exists). */
+    static unsigned detectCores(const std::string &input);
+
+    std::string name() const override { return "tracefile"; }
+    void emitIteration(unsigned iter, bool is_last,
+                       std::vector<TraceBuffer> &bufs) override;
+    std::uint64_t inputBytes() const override { return span_bytes_; }
+    std::uint64_t targetBytes() const override { return span_bytes_; }
+
+  private:
+    std::string corePath(unsigned core) const;
+
+    std::string input_;
+    bool single_file_ = false;
+    std::uint64_t span_bytes_ = 0; ///< Observed address span of the trace.
+    Addr base_addr_ = 0;           ///< Lowest load/store address.
+};
+
+} // namespace rnr
+
+#endif // RNR_WORKLOADS_TRACE_REPLAY_H

@@ -62,6 +62,22 @@ class Workload
     /** Bytes of the irregularly-accessed target structure(s). */
     virtual std::uint64_t targetBytes() const = 0;
 
+    /**
+     * Prepares workload-held simulation state for replaying iteration
+     * @p iter from a stored trace *without* running emitIteration().
+     *
+     * Most workloads need nothing: their dropletHint()/impSniffer()
+     * closures read only static structure (edges, column indices).
+     * PageRank is the exception — its hint chases the p_curr base that
+     * emitIteration() swaps every iteration — so it overrides this.
+     * The trace-store replay path calls it before each iteration.
+     */
+    virtual void
+    beginReplayIteration(unsigned iter)
+    {
+        (void)iter;
+    }
+
     /** Edge->vertex indirection for DROPLET; empty when inapplicable. */
     virtual DropletHint dropletHint(unsigned core) const
     {
