@@ -14,6 +14,13 @@
  *   --quiet           silence progress         (or RNR_PROGRESS=0)
  *   --trace-dir <p>   trace-store corpus dir   (or RNR_TRACE_DIR=<p>)
  *
+ * This header also hosts the bench-regression gate
+ * (`micro_hotpath compare`, benchCompareMain below): it loads two
+ * benchmark JSON files — google-benchmark's --benchmark_out format or
+ * the committed rnr-hotpath-v1 trajectory file — and exits non-zero
+ * when any common benchmark's items_per_second regressed by more than
+ * the threshold.  CI runs it against BENCH_hotpath.json.
+ *
  * See docs/HARNESS.md for the full pipeline walkthrough.
  */
 #ifndef RNR_BENCH_BENCH_UTIL_H
@@ -22,9 +29,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "harness/json_parse.h"
 #include "harness/metrics.h"
 #include "harness/runner.h"
 #include "harness/sweep.h"
@@ -221,6 +230,129 @@ printColumnHeads(const std::vector<std::string> &heads)
     for (const auto &h : heads)
         std::printf("%13s", h.c_str());
     std::printf("\n");
+}
+
+// ---- Bench-regression gate (`micro_hotpath compare`) ----
+
+/**
+ * Extracts benchmark-name -> items_per_second from @p doc.  Understands
+ * two shapes:
+ *  - google-benchmark --benchmark_out: {"benchmarks": [{"name": ...,
+ *    "items_per_second": ...}, ...]} (aggregate entries like
+ *    "name/mean" are taken verbatim; callers compare like with like);
+ *  - the committed trajectory file (rnr-hotpath-v1): {"results":
+ *    {"<name>": {"after": {"items_per_second": ...}}}} — "after" is the
+ *    file's accepted state, which is what a gate compares against.
+ */
+inline std::map<std::string, double>
+loadBenchRates(const JsonValue &doc)
+{
+    std::map<std::string, double> out;
+    if (const JsonValue *benches = doc.find("benchmarks")) {
+        for (const JsonValue &b : benches->items) {
+            const JsonValue *name = b.find("name");
+            const JsonValue *rate = b.find("items_per_second");
+            if (name && rate && rate->asDouble() > 0)
+                out[name->text] = rate->asDouble();
+        }
+    } else if (const JsonValue *results = doc.find("results")) {
+        for (const auto &m : results->members) {
+            const JsonValue *after = m.second.find("after");
+            const JsonValue *rate =
+                after ? after->find("items_per_second") : nullptr;
+            if (rate && rate->asDouble() > 0)
+                out[m.first] = rate->asDouble();
+        }
+    }
+    return out;
+}
+
+/**
+ * `compare <baseline.json> <current.json> [--max-regress <pct>]`:
+ * exits 0 when every benchmark present in both files is within
+ * @c max_regress percent of the baseline rate (default 15), 1 when any
+ * regressed beyond it, 2 on usage/parse errors or no common benchmarks.
+ * Faster-than-baseline results always pass (the gate is one-sided).
+ */
+inline int
+benchCompareMain(int argc, char **argv)
+{
+    const char *base_path = nullptr;
+    const char *cur_path = nullptr;
+    double max_regress = 15.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--max-regress" && i + 1 < argc) {
+            max_regress = std::strtod(argv[++i], nullptr);
+        } else if (arg.rfind("--max-regress=", 0) == 0) {
+            max_regress = std::strtod(arg.c_str() + 14, nullptr);
+        } else if (!base_path) {
+            base_path = argv[i];
+        } else if (!cur_path) {
+            cur_path = argv[i];
+        } else {
+            base_path = nullptr;
+            break;
+        }
+    }
+    if (!base_path || !cur_path) {
+        std::fprintf(stderr,
+                     "usage: compare <baseline.json> <current.json> "
+                     "[--max-regress <pct>]\n");
+        return 2;
+    }
+
+    JsonValue base_doc, cur_doc;
+    std::string err;
+    if (!parseJsonFile(base_path, base_doc, &err)) {
+        std::fprintf(stderr, "compare: %s: %s\n", base_path,
+                     err.c_str());
+        return 2;
+    }
+    if (!parseJsonFile(cur_path, cur_doc, &err)) {
+        std::fprintf(stderr, "compare: %s: %s\n", cur_path, err.c_str());
+        return 2;
+    }
+
+    const std::map<std::string, double> base = loadBenchRates(base_doc);
+    const std::map<std::string, double> cur = loadBenchRates(cur_doc);
+
+    std::size_t common = 0;
+    int failures = 0;
+    for (const auto &b : base) {
+        const auto it = cur.find(b.first);
+        if (it == cur.end())
+            continue;
+        ++common;
+        const double delta_pct =
+            (b.second - it->second) / b.second * 100.0;
+        const bool regressed = delta_pct > max_regress;
+        std::fprintf(stderr,
+                     "compare: %-28s %12.0f -> %12.0f items/s "
+                     "(%+.1f%%)%s\n",
+                     b.first.c_str(), b.second, it->second, -delta_pct,
+                     regressed ? "  REGRESSION" : "");
+        if (regressed)
+            ++failures;
+    }
+    if (common == 0) {
+        std::fprintf(stderr,
+                     "compare: no common benchmarks between %s and %s\n",
+                     base_path, cur_path);
+        return 2;
+    }
+    if (failures) {
+        std::fprintf(stderr,
+                     "compare: %d of %zu benchmarks regressed more "
+                     "than %.1f%%\n",
+                     failures, common, max_regress);
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "compare: all %zu benchmarks within %.1f%% of "
+                 "baseline\n",
+                 common, max_regress);
+    return 0;
 }
 
 } // namespace rnr::bench

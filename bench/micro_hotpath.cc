@@ -12,18 +12,30 @@
  * accepted optimisation live in the checked-in copy of that file.
  *
  * Variants:
- *  - none:   no prefetcher — the floor every other config builds on.
- *  - stream: stream prefetcher attached — adds the Prefetcher::onAccess
- *            and issuePrefetch counter paths to the measurement.
+ *  - none:    no prefetcher — the floor every other config builds on.
+ *  - stream:  stream prefetcher attached — adds the Prefetcher::onAccess
+ *             and issuePrefetch counter paths to the measurement.
+ *  - sampled: like none but with a live TelemetrySampler attached and
+ *             offered the clock per op — the *enabled* sampling cost
+ *             (the disabled cost is what none measures, since the
+ *             telemetry hooks are always compiled in; the A/B lives in
+ *             BENCH_telemetry.json).
+ *
+ * Run `micro_hotpath compare <baseline.json> <current.json>` to use the
+ * binary as a regression gate instead (bench_util.h, benchCompareMain);
+ * any other arguments go to google-benchmark as usual.
  */
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
+#include "bench_util.h"
 #include "mem/memory_system.h"
 #include "prefetch/factory.h"
 #include "sim/config.h"
+#include "sim/timeseries.h"
 #include "workloads/graph_gen.h"
 #include "workloads/pagerank.h"
 
@@ -76,12 +88,58 @@ BM_DemandAccess(benchmark::State &state, PrefetcherKind kind)
     state.SetItemsProcessed(static_cast<std::int64_t>(ops));
 }
 
+void
+BM_DemandAccessSampled(benchmark::State &state)
+{
+    const std::vector<TraceRecord> &trace = hotTrace();
+    MachineConfig mcfg = MachineConfig::scaledDefault();
+    mcfg.cores = 1;
+    MemorySystem ms(mcfg);
+    std::unique_ptr<Prefetcher> pf =
+        createPrefetcher(PrefetcherKind::None);
+    ms.setPrefetcher(0, pf.get());
+
+    // The core model normally drives sampling from step(); here the
+    // bench plays that role, offering the clock once per op like a
+    // one-op cycle batch would.
+    TelemetrySampler tm(kDefaultSampleCycles);
+    ms.attachTelemetry(&tm);
+
+    Tick now = 0;
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        for (const TraceRecord &rec : trace) {
+            now += 1 + rec.gap / 4;
+            tm.maybeSample(now);
+            const DemandResult res = ms.demandAccess(
+                0, rec.addr, rec.kind == RecordKind::Store, rec.pc, now);
+            benchmark::DoNotOptimize(res.done);
+        }
+        ops += trace.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+
 BENCHMARK_CAPTURE(BM_DemandAccess, none, PrefetcherKind::None)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_DemandAccess, stream, PrefetcherKind::Stream)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DemandAccessSampled)->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace rnr
 
-BENCHMARK_MAIN();
+// Hand-rolled main so the same binary doubles as the regression gate:
+// `micro_hotpath compare <base.json> <cur.json> [--max-regress <pct>]`.
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && std::strcmp(argv[1], "compare") == 0)
+        return rnr::bench::benchCompareMain(argc - 1, argv + 1);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

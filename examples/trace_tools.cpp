@@ -36,6 +36,17 @@
  *       tracing enabled, prints the per-window replay diagnostics
  *       report and writes a Perfetto-loadable Chrome trace JSON.
  *       Honours --trace-buf <n> (ring capacity) anywhere in the args.
+ *
+ *   trace_tools report [app] [input] [out-prefix]
+ *       Simulates the no-prefetch baseline and RnR for one workload
+ *       with telemetry sampling on and writes <prefix>.json
+ *       (rnr-report-v1) plus a self-contained <prefix>.html dashboard
+ *       (harness/report.h).  Prefix defaults to $RNR_REPORT_OUT or
+ *       "rnr_report"; honours --sample-cycles/--iterations/--cores.
+ *
+ *   trace_tools help [mode]
+ *       This text, or one mode's usage.  Every mode also accepts
+ *       --help/-h.  Unknown modes print usage and exit 2.
  */
 #include <cstdio>
 #include <cstring>
@@ -43,7 +54,9 @@
 #include <vector>
 
 #include "harness/metrics.h"
+#include "harness/report.h"
 #include "harness/runner.h"
+#include "sim/timeseries.h"
 #include "sim/trace_event.h"
 #include "trace/trace_io.h"
 #include "tracestore/champsim_import.h"
@@ -352,11 +365,136 @@ rnrTrace(const std::string &app, const std::string &input,
     return reconciled ? 0 : 1;
 }
 
+int
+report(const std::string &app, const std::string &input,
+       const std::string &prefix, Tick sample_cycles, unsigned iterations,
+       unsigned cores)
+{
+    ExperimentConfig base;
+    base.app = app;
+    base.input = input;
+    base.prefetcher = PrefetcherKind::None;
+    if (iterations)
+        base.iterations = iterations;
+    if (cores)
+        base.cores = cores;
+    ExperimentConfig rnr_cfg = base;
+    rnr_cfg.prefetcher = PrefetcherKind::Rnr;
+
+    std::printf("building report for %s/%s (baseline + rnr)...\n",
+                app.c_str(), input.c_str());
+    const SweepReport rep = buildSweepReport(
+        {base, rnr_cfg}, app + "/" + input, sample_cycles);
+
+    if (!writeReport(prefix, rep)) {
+        std::fprintf(stderr, "failed to write %s.{json,html}\n",
+                     prefix.c_str());
+        return 1;
+    }
+    std::size_t series = 0, hists = 0;
+    for (const ReportCell &c : rep.cells)
+        if (c.result.telemetry) {
+            series += c.result.telemetry->series.size();
+            hists += c.result.telemetry->histograms.size();
+        }
+    std::printf("wrote %s.json and %s.html (%zu cells, %zu series, "
+                "%zu histograms, sampled every %llu cycles)\n",
+                prefix.c_str(), prefix.c_str(), rep.cells.size(), series,
+                hists,
+                static_cast<unsigned long long>(rep.sample_cycles));
+    return 0;
+}
+
+// ---- Mode registry: one row per mode, shared by usage and `help` ----
+
+struct ModeHelp {
+    const char *name;
+    const char *usage; ///< Arguments, without the program/mode prefix.
+    const char *what;  ///< One-line description.
+};
+
+constexpr ModeHelp kModes[] = {
+    {"capture", "<app> <input> <iter> <prefix> [--v1]",
+     "record one algorithm iteration as per-core .rnrt trace files"},
+    {"convert", "<champsim.trace> <out.rnrt>",
+     "import a raw ChampSim instruction trace as a v2 trace file"},
+    {"simulate", "<file-or-prefix> [prefetcher] [iters]",
+     "replay a trace file through the simulator and print counters"},
+    {"stats", "<file.rnrt>",
+     "decode-free trace file summary and compression ratio"},
+    {"corpus", "",
+     "list the trace store's entries ($RNR_TRACE_DIR)"},
+    {"inspect", "<file.rnrt>",
+     "full decode: record counts, access sites, RnR control calls"},
+    {"rnr-trace", "[app] [input] [trace.json] [--trace-buf <events>]",
+     "traced RnR run: replay diagnostics + Chrome trace JSON"},
+    {"report", "[app] [input] [out-prefix] [--sample-cycles <n>] "
+               "[--iterations <n>] [--cores <n>]",
+     "telemetry report: <prefix>.json + self-contained <prefix>.html"},
+    {"help", "[mode]",
+     "print this overview, or one mode's usage"},
+};
+
+const ModeHelp *
+findMode(const char *name)
+{
+    for (const ModeHelp &m : kModes)
+        if (std::strcmp(m.name, name) == 0)
+            return &m;
+    return nullptr;
+}
+
+int
+printUsage(std::FILE *to, const char *prog)
+{
+    std::fprintf(to, "usage:\n");
+    for (const ModeHelp &m : kModes)
+        std::fprintf(to, "  %s %s %s\n", prog, m.name, m.usage);
+    std::fprintf(to, "run '%s help <mode>' for what each mode does\n",
+                 prog);
+    return to == stderr ? 2 : 0;
+}
+
+int
+printModeHelp(const char *prog, const ModeHelp &m)
+{
+    std::printf("usage: %s %s %s\n%s\n", prog, m.name, m.usage, m.what);
+    return 0;
+}
+
+bool
+wantsHelp(int argc, char **argv)
+{
+    for (int i = 2; i < argc; ++i)
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0)
+            return true;
+    return false;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc >= 2) {
+        // `help [mode]`, `--help` and `-h` all land here; a known mode
+        // followed by --help/-h prints that mode's usage below.
+        if (std::strcmp(argv[1], "help") == 0 ||
+            std::strcmp(argv[1], "--help") == 0 ||
+            std::strcmp(argv[1], "-h") == 0) {
+            if (argc >= 3)
+                if (const ModeHelp *m = findMode(argv[2]))
+                    return printModeHelp(argv[0], *m);
+            return printUsage(stdout, argv[0]);
+        }
+        if (const ModeHelp *m = findMode(argv[1])) {
+            if (wantsHelp(argc, argv))
+                return printModeHelp(argv[0], *m);
+        } else {
+            return printUsage(stderr, argv[0]);
+        }
+    }
     if (argc >= 6 && std::strcmp(argv[1], "capture") == 0) {
         bool v1 = false;
         std::vector<std::string> pos;
@@ -405,17 +543,38 @@ main(int argc, char **argv)
             out = pos[2];
         return rnrTrace(app, input, out, buf);
     }
-    std::fprintf(stderr,
-                 "usage:\n"
-                 "  %s capture <app> <input> <iter> <prefix> [--v1]\n"
-                 "  %s convert <champsim.trace> <out.rnrt>\n"
-                 "  %s simulate <file-or-prefix> [prefetcher] [iters]\n"
-                 "  %s stats <file.rnrt>\n"
-                 "  %s corpus\n"
-                 "  %s inspect <file.rnrt>\n"
-                 "  %s rnr-trace [app] [input] [trace.json] "
-                 "[--trace-buf <events>]\n",
-                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0],
-                 argv[0]);
-    return 2;
+    if (argc >= 2 && std::strcmp(argv[1], "report") == 0) {
+        std::string app = "pagerank", input = "urand";
+        std::string prefix = reportEnvOutPrefix();
+        if (prefix.empty())
+            prefix = "rnr_report";
+        Tick sample_cycles = 0;
+        unsigned iterations = 0, cores = 0;
+        std::vector<std::string> pos;
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--sample-cycles") == 0 &&
+                i + 1 < argc)
+                sample_cycles =
+                    static_cast<Tick>(std::atoll(argv[++i]));
+            else if (std::strcmp(argv[i], "--iterations") == 0 &&
+                     i + 1 < argc)
+                iterations =
+                    static_cast<unsigned>(std::atoi(argv[++i]));
+            else if (std::strcmp(argv[i], "--cores") == 0 &&
+                     i + 1 < argc)
+                cores = static_cast<unsigned>(std::atoi(argv[++i]));
+            else
+                pos.emplace_back(argv[i]);
+        }
+        if (pos.size() > 0)
+            app = pos[0];
+        if (pos.size() > 1)
+            input = pos[1];
+        if (pos.size() > 2)
+            prefix = pos[2];
+        return report(app, input, prefix, sample_cycles, iterations,
+                      cores);
+    }
+    // A known mode with the wrong arity falls through to here.
+    return printUsage(stderr, argv[0]);
 }

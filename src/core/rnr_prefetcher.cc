@@ -1,9 +1,11 @@
 #include "core/rnr_prefetcher.h"
 
 #include <algorithm>
+#include <string>
 
 #include "core/rnr_hw_model.h"
 #include "mem/memory_system.h"
+#include "sim/timeseries.h"
 
 namespace rnr {
 
@@ -38,6 +40,47 @@ RnrPrefetcher::setTrace(TraceCollector *tr, std::uint16_t track)
     tr_rnr_track_ = tr ? tr->rnrTrack() : 0;
     controller_.setTrace(tr, tr_rnr_track_,
                          static_cast<std::uint16_t>(core_));
+}
+
+void
+RnrPrefetcher::setTelemetry(TelemetrySampler *tm, unsigned core)
+{
+    if (!tm)
+        return;
+    const std::string p = "rnr.core" + std::to_string(core) + ".";
+    tm->addSeries(p + "n_pace",
+                  [this] { return controller_.pace(); });
+    tm->addSeries(p + "seq_buffer_bytes",
+                  [this] { return seqBufferFillBytes(); });
+    tm->addSeries(p + "div_buffer_bytes",
+                  [this] { return divBufferFillBytes(); });
+}
+
+std::uint64_t
+RnrPrefetcher::seqBufferFillBytes() const
+{
+    if (arch_.state == RnrState::Record) {
+        return (seq_store_.size() - seq_flushed_) * kSeqEntryBytes;
+    } else if (arch_.state == RnrState::Replay) {
+        return seq_streamed_ > issue_cursor_
+                   ? (seq_streamed_ - issue_cursor_) * kSeqEntryBytes
+                   : 0;
+    }
+    return 0;
+}
+
+std::uint64_t
+RnrPrefetcher::divBufferFillBytes() const
+{
+    if (arch_.state == RnrState::Record) {
+        return (div_store_.size() - div_flushed_) * kDivEntryBytes;
+    } else if (arch_.state == RnrState::Replay) {
+        const std::uint64_t consumed = controller_.currentWindow();
+        return div_streamed_ > consumed
+                   ? (div_streamed_ - consumed) * kDivEntryBytes
+                   : 0;
+    }
+    return 0;
 }
 
 std::uint64_t

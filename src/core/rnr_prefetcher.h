@@ -76,6 +76,17 @@ class RnrPrefetcher : public Prefetcher
      *  the replay controller's window/pace events. */
     void setTrace(TraceCollector *tr, std::uint16_t track) override;
 
+    /** Registers the replay-lane series: N_pace over time plus the
+     *  Sequence/Division-Table staging-buffer fill levels (bytes). */
+    void setTelemetry(TelemetrySampler *tm, unsigned core) override;
+
+    /** Bytes of sequence metadata currently resident in the staging /
+     *  double buffers: staged-but-unflushed entries while recording,
+     *  streamed-but-unissued entries while replaying, 0 otherwise. */
+    std::uint64_t seqBufferFillBytes() const;
+    /** Division-Table counterpart of seqBufferFillBytes(). */
+    std::uint64_t divBufferFillBytes() const;
+
     // ---- Introspection (tests, benches, Fig 11/13) ----
     const Counters &ctr() const { return ctr_; }
     const RnrArchState &arch() const { return arch_; }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "sim/timeseries.h"
 
 namespace rnr {
 
@@ -29,6 +32,15 @@ void
 CoreModel::setSource(TraceSource *src)
 {
     src_ = src;
+}
+
+void
+CoreModel::attachTelemetry(TelemetrySampler *tm)
+{
+    tm_ = tm;
+    if (tm)
+        tm->addRate("core" + std::to_string(id_) + ".ipc_milli",
+                    [this] { return instrs_; });
 }
 
 bool
@@ -107,6 +119,8 @@ void
 CoreModel::step()
 {
     assert(!done());
+    if (tm_)
+        tm_->maybeSample(issue_clock_);
     const TraceRecord rec = src_->take();
 
     if (rec.gap) {

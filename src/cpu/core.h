@@ -46,6 +46,14 @@ class CoreModel
     /** Routes this core's ControlRecord events to @p tr (null = off). */
     void attachTrace(TraceCollector *tr) { tr_ = tr; }
 
+    /**
+     * Registers this core's milli-IPC rate series with @p tm (null =
+     * detach) and makes step() offer the local clock to the sampler —
+     * the cores collectively drive the whole machine's sampling, since
+     * System::drive() interleaves them in local-time order.
+     */
+    void attachTelemetry(TelemetrySampler *tm);
+
     /** True when the feed is exhausted (may decode the next block). */
     bool done();
 
@@ -90,6 +98,7 @@ class CoreModel
     TraceSource *src_ = nullptr;
     BufferSource buffer_source_; ///< Backs setTrace(); src_ points here.
     TraceCollector *tr_ = nullptr; ///< Null unless tracing is enabled.
+    TelemetrySampler *tm_ = nullptr; ///< Null unless sampling is enabled.
 
     Tick issue_clock_ = 0;
     unsigned issued_this_cycle_ = 0;

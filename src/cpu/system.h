@@ -69,6 +69,17 @@ class System
             c->attachTrace(tr);
     }
 
+    /** Fans @p tm out the same way (null = detach): the hierarchy and
+     *  the prefetchers register their probes, the cores drive the
+     *  sampling from their step() clocks. */
+    void
+    attachTelemetry(TelemetrySampler *tm)
+    {
+        mem_.attachTelemetry(tm);
+        for (auto &c : cores_)
+            c->attachTelemetry(tm);
+    }
+
   private:
     /** Shared interleaving driver; feeds were set by the run() overload. */
     IterationResult drive();

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,8 @@
 #include "sim/types.h"
 
 namespace rnr {
+
+struct TelemetryBlob;
 
 /**
  * Observability knobs (sim/trace_event.h), carried by ExperimentConfig.
@@ -37,6 +40,20 @@ struct TraceOptions {
     std::size_t ring_capacity = 0; ///< Events/track; 0 = env or default.
 };
 
+/**
+ * Time-series sampling knobs (sim/timeseries.h), carried by
+ * ExperimentConfig.  Excluded from key()/workloadKey() for the same
+ * reason as TraceOptions: sampling is observation-only (a sampled run's
+ * IterStats are bit-identical to an unsampled run's), so results are
+ * cache-interchangeable.  A cache hit carries no telemetry blob — run
+ * with the cache disabled (or via harness/report.h) when the series are
+ * the point.
+ */
+struct TelemetryOptions {
+    bool enabled = false;    ///< Sample counters (or RNR_SAMPLE_CYCLES).
+    Tick sample_cycles = 0;  ///< Sampling period; 0 = env or default.
+};
+
 /** One cell of the evaluation matrix. */
 struct ExperimentConfig {
     std::string app = "pagerank";   ///< pagerank | hyperanf | spcg.
@@ -48,6 +65,7 @@ struct ExperimentConfig {
     unsigned cores = 4;
     bool ideal_llc = false;         ///< Fig 6's "ideal" bar.
     TraceOptions trace;             ///< Observation-only; not in key().
+    TelemetryOptions telemetry;     ///< Observation-only; not in key().
 
     /**
      * Workload half of the key: every field that shapes the *emitted
@@ -117,6 +135,11 @@ struct ExperimentResult {
     std::uint64_t target_bytes = 0;   ///< irregular structure footprint
     std::uint64_t seq_table_bytes = 0; ///< peak RnR metadata (Fig 13)
     std::uint64_t div_table_bytes = 0;
+
+    /** Harvested time-series/histograms when sampling was on; null
+     *  otherwise (and always null on result-cache hits — the cache
+     *  codec stores counters only). */
+    std::shared_ptr<const TelemetryBlob> telemetry;
 
     const IterStats &first() const { return iterations.front(); }
     /** Steady-state iteration (the last simulated one). */

@@ -1,0 +1,313 @@
+#include "harness/json_parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace rnr {
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &m : members)
+        if (m.first == key)
+            return &m.second;
+    return nullptr;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind != Kind::Number && kind != Kind::String)
+        return 0.0;
+    return std::strtod(text.c_str(), nullptr);
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    if (kind != Kind::Number && kind != Kind::String)
+        return 0;
+    if (!text.empty() && text[0] == '-')
+        return 0;
+    // Exact path for integer tokens; fall back through double for
+    // scientific notation ("1e6") that a foreign writer might emit.
+    if (text.find_first_of(".eE") == std::string::npos) {
+        errno = 0;
+        const std::uint64_t v = std::strtoull(text.c_str(), nullptr, 10);
+        if (errno == 0)
+            return v;
+    }
+    const double d = asDouble();
+    return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
+
+namespace {
+
+/** Recursive-descent parser over an in-memory buffer. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : s_(text), err_(error)
+    {
+    }
+
+    bool
+    run(JsonValue &out)
+    {
+        skipWs();
+        if (!value(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != s_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err_ && err_->empty()) {
+            std::ostringstream os;
+            os << what << " at byte " << pos_;
+            *err_ = os.str();
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (s_.compare(pos_, len, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        ++pos_; // opening quote
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ + 1 >= s_.size())
+                    return fail("truncated escape");
+                const char e = s_[pos_ + 1];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    // Harness strings are keys and labels; \u escapes
+                    // only matter for exotic input, so decode the BMP
+                    // code point as UTF-8 and skip surrogate pairing.
+                    if (pos_ + 5 >= s_.size())
+                        return fail("truncated \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = s_[pos_ + 2 + i];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    if (cp < 0x80) {
+                        out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        out += static_cast<char>(0xC0 | (cp >> 6));
+                        out += static_cast<char>(0x80 | (cp & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (cp >> 12));
+                        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (cp & 0x3F));
+                    }
+                    pos_ += 4;
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+                pos_ += 2;
+                continue;
+            }
+            out += c;
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        bool digits = false;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                ((s_[pos_] == '-' || s_[pos_] == '+') &&
+                 (s_[pos_ - 1] == 'e' || s_[pos_ - 1] == 'E')))) {
+            digits |= std::isdigit(static_cast<unsigned char>(s_[pos_]));
+            ++pos_;
+        }
+        if (!digits)
+            return fail("malformed number");
+        out.kind = JsonValue::Kind::Number;
+        out.text = s_.substr(start, pos_ - start);
+        return true;
+    }
+
+    bool
+    value(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= s_.size())
+            return fail("unexpected end of input");
+        const char c = s_[pos_];
+        switch (c) {
+          case '{': {
+            out.kind = JsonValue::Kind::Object;
+            ++pos_;
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                if (pos_ >= s_.size() || s_[pos_] != '"')
+                    return fail("expected object key");
+                std::string key;
+                if (!string(key))
+                    return false;
+                skipWs();
+                if (pos_ >= s_.size() || s_[pos_] != ':')
+                    return fail("expected ':'");
+                ++pos_;
+                skipWs();
+                JsonValue v;
+                if (!value(v, depth + 1))
+                    return false;
+                out.members.emplace_back(std::move(key), std::move(v));
+                skipWs();
+                if (pos_ < s_.size() && s_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (pos_ < s_.size() && s_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            out.kind = JsonValue::Kind::Array;
+            ++pos_;
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                JsonValue v;
+                if (!value(v, depth + 1))
+                    return false;
+                out.items.push_back(std::move(v));
+                skipWs();
+                if (pos_ < s_.size() && s_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (pos_ < s_.size() && s_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return string(out.text);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+          default:
+            return number(out);
+        }
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+    std::string *err_;
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string *error)
+{
+    if (error)
+        error->clear();
+    out = JsonValue{};
+    return Parser(text, error).run(out);
+}
+
+bool
+parseJsonFile(const std::string &path, JsonValue &out, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseJson(buf.str(), out, error);
+}
+
+} // namespace rnr

@@ -22,7 +22,10 @@ double
 speedup(const ExperimentResult &r, const ExperimentResult &baseline,
         unsigned n)
 {
-    return amortizedCycles(baseline, n) / amortizedCycles(r, n);
+    const double own = amortizedCycles(r, n);
+    if (own == 0.0)
+        return 0.0;
+    return amortizedCycles(baseline, n) / own;
 }
 
 double

@@ -13,8 +13,16 @@
  *
  * Every function here is a pure function of ExperimentResult fields, so
  * figures can equally be regenerated offline from a sweep's JSON export
- * (harness/sweep.h, schema rnr-sweep-v1) — see docs/HARNESS.md for the
+ * (harness/sweep.h, schema rnr-sweep-v2) — see docs/HARNESS.md for the
  * field-by-field mapping.
+ *
+ * Degenerate inputs: every ratio whose denominator can legitimately be
+ * zero (no baseline misses, no instructions, no prefetches issued, zero
+ * cycles, empty input) returns the defined sentinel **0.0** instead of
+ * inf/NaN, so JSON exports stay parseable and table printers never see
+ * a non-finite value.  0.0 is unambiguous for every metric here: a real
+ * run always has non-zero cycles/instructions, so a 0.0 speedup or MPKI
+ * can only mean "undefined".  Pinned by tests/harness/metrics_test.cc.
  */
 #ifndef RNR_HARNESS_METRICS_H
 #define RNR_HARNESS_METRICS_H
@@ -33,28 +41,34 @@ std::uint64_t usefulPrefetches(const IterStats &it);
 double amortizedCycles(const ExperimentResult &r,
                        unsigned n = kAmortizedIterations);
 
-/** Speedup of @p r over @p baseline (both amortised). */
+/** Speedup of @p r over @p baseline (both amortised); 0.0 when @p r
+ *  has zero amortised cycles (degenerate result). */
 double speedup(const ExperimentResult &r, const ExperimentResult &baseline,
                unsigned n = kAmortizedIterations);
 
-/** Steady-state L2 demand MPKI. */
+/** Steady-state L2 demand MPKI; 0.0 when no instructions retired. */
 double mpki(const ExperimentResult &r);
 
-/** Miss coverage vs the baseline's steady iteration. */
+/** Miss coverage vs the baseline's steady iteration; 0.0 when the
+ *  baseline had no misses (nothing to cover). */
 double coverage(const ExperimentResult &r,
                 const ExperimentResult &baseline);
 
-/** Prefetch accuracy of the steady iteration. */
+/** Prefetch accuracy of the steady iteration; 0.0 when no prefetches
+ *  were issued. */
 double accuracy(const ExperimentResult &r);
 
-/** Extra off-chip traffic fraction vs baseline (steady iteration). */
+/** Extra off-chip traffic fraction vs baseline (steady iteration);
+ *  0.0 when the baseline moved no DRAM bytes. */
 double trafficOverhead(const ExperimentResult &r,
                        const ExperimentResult &baseline);
 
-/** Metadata storage as a fraction of the input size. */
+/** Metadata storage as a fraction of the input size; 0.0 for an empty
+ *  input. */
 double storageOverhead(const ExperimentResult &r);
 
-/** Record-iteration slowdown vs the baseline's first iteration. */
+/** Record-iteration slowdown vs the baseline's first iteration; 0.0
+ *  when the baseline's first iteration took zero cycles. */
 double recordOverhead(const ExperimentResult &r,
                       const ExperimentResult &baseline);
 

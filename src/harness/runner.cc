@@ -11,6 +11,7 @@
 #include "cpu/system.h"
 #include "harness/result_cache.h"
 #include "harness/system_counters.h"
+#include "sim/timeseries.h"
 #include "tracestore/trace_reader.h"
 #include "tracestore/trace_store.h"
 #include "workloads/graph_gen.h"
@@ -58,7 +59,8 @@ struct Sim {
     ExperimentResult result;
     SystemCounters before;
 
-    Sim(const ExperimentConfig &cfg, TraceCollector *tr)
+    Sim(const ExperimentConfig &cfg, TraceCollector *tr,
+        TelemetrySampler *tm)
         : sys(machineFor(cfg)), wl(makeWorkload(cfg))
     {
         RnrPrefetcher::Options rnr_opts;
@@ -73,6 +75,8 @@ struct Sim {
         }
         if (tr)
             sys.attachTrace(tr);
+        if (tm)
+            sys.attachTelemetry(tm);
 
         result.config = cfg;
         result.input_bytes = wl->inputBytes();
@@ -123,10 +127,10 @@ struct Sim {
  */
 ExperimentResult
 runMaterialized(const ExperimentConfig &cfg, TraceCollector *tr,
-                TraceStore::Capture *cap)
+                TelemetrySampler *tm, TraceStore::Capture *cap)
 {
     g_simulated.fetch_add(1);
-    Sim sim(cfg, tr);
+    Sim sim(cfg, tr, tm);
 
     std::vector<TraceBuffer> bufs(cfg.cores);
     for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
@@ -162,10 +166,10 @@ runMaterialized(const ExperimentConfig &cfg, TraceCollector *tr,
  */
 ExperimentResult
 runFromStore(const ExperimentConfig &cfg, TraceCollector *tr,
-             const TraceStore::Entry &entry)
+             TelemetrySampler *tm, const TraceStore::Entry &entry)
 {
     g_simulated.fetch_add(1);
-    Sim sim(cfg, tr);
+    Sim sim(cfg, tr, tm);
 
     for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
         // Advance workload-held replay state (e.g. PageRank's p_curr
@@ -197,7 +201,8 @@ runFromStore(const ExperimentConfig &cfg, TraceCollector *tr,
  * quarantined and recaptured once before giving up on the store.
  */
 ExperimentResult
-runWithTraceStore(const ExperimentConfig &cfg, TraceCollector *tr)
+runWithTraceStore(const ExperimentConfig &cfg, TraceCollector *tr,
+                  TelemetrySampler *tm)
 {
     TraceStore &store = TraceStore::instance();
     const std::string wkey = cfg.workloadKey();
@@ -206,7 +211,7 @@ runWithTraceStore(const ExperimentConfig &cfg, TraceCollector *tr)
         TraceStore::Entry entry;
         if (store.acquire(wkey, entry) == TraceStore::Acquire::Hit) {
             try {
-                return runFromStore(cfg, tr, entry);
+                return runFromStore(cfg, tr, tm, entry);
             } catch (const CorruptTraceEntry &e) {
                 if (progressEnabled())
                     std::fprintf(
@@ -221,13 +226,13 @@ runWithTraceStore(const ExperimentConfig &cfg, TraceCollector *tr)
         // Owner: run natively, encoding each iteration as it finishes.
         TraceStore::Capture cap =
             store.beginCapture(wkey, cfg.iterations, cfg.cores);
-        ExperimentResult r = runMaterialized(cfg, tr, &cap);
+        ExperimentResult r = runMaterialized(cfg, tr, tm, &cap);
         cap.publish(r.input_bytes, r.target_bytes);
         return r;
     }
     // Two corrupt replays in a row: something is systematically wrong
     // with this entry's environment; simulate without the store.
-    return runMaterialized(cfg, tr, nullptr);
+    return runMaterialized(cfg, tr, tm, nullptr);
 }
 
 } // namespace
@@ -261,23 +266,45 @@ makeWorkload(const ExperimentConfig &cfg)
 }
 
 ExperimentResult
-runExperimentTraced(const ExperimentConfig &cfg, TraceCollector *tr)
+runExperimentInstrumented(const ExperimentConfig &cfg, TraceCollector *tr,
+                          TelemetrySampler *tm)
 {
     // The tracefile app already replays from disk; storing it again
     // would only duplicate the file.
-    if (TraceStore::enabled() && cfg.app != "tracefile")
-        return runWithTraceStore(cfg, tr);
-    return runMaterialized(cfg, tr, nullptr);
+    ExperimentResult r =
+        (TraceStore::enabled() && cfg.app != "tracefile")
+            ? runWithTraceStore(cfg, tr, tm)
+            : runMaterialized(cfg, tr, tm, nullptr);
+    if (tm)
+        r.telemetry = std::make_shared<TelemetryBlob>(tm->harvest());
+    return r;
+}
+
+ExperimentResult
+runExperimentTraced(const ExperimentConfig &cfg, TraceCollector *tr)
+{
+    return runExperimentInstrumented(cfg, tr, nullptr);
 }
 
 ExperimentResult
 runExperimentUncached(const ExperimentConfig &cfg)
 {
-    if (!cfg.trace.enabled && !traceEnvEnabled())
-        return runExperimentTraced(cfg, nullptr);
+    const bool want_trace = cfg.trace.enabled || traceEnvEnabled();
+    const bool want_samples =
+        cfg.telemetry.enabled || telemetryEnvSampleCycles() > 0;
+    if (!want_trace && !want_samples)
+        return runExperimentInstrumented(cfg, nullptr, nullptr);
+
+    std::unique_ptr<TelemetrySampler> tm;
+    if (want_samples)
+        tm = std::make_unique<TelemetrySampler>(
+            telemetrySampleCycles(cfg.telemetry.sample_cycles));
+    if (!want_trace)
+        return runExperimentInstrumented(cfg, nullptr, tm.get());
 
     TraceCollector tr(cfg.cores, cfg.trace.ring_capacity);
-    ExperimentResult result = runExperimentTraced(cfg, &tr);
+    ExperimentResult result =
+        runExperimentInstrumented(cfg, &tr, tm.get());
 
     // Sinks.  Caveat for parallel sweeps: every traced cell writes the
     // same RNR_TRACE_OUT path (atomically; last writer wins) — tracing

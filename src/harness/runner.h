@@ -34,6 +34,8 @@
 
 namespace rnr {
 
+class TelemetrySampler;
+
 /** Instantiates the workload named by @p cfg (app + input). */
 std::unique_ptr<Workload> makeWorkload(const ExperimentConfig &cfg);
 
@@ -55,6 +57,19 @@ ExperimentResult runExperimentUncached(const ExperimentConfig &cfg);
  */
 ExperimentResult runExperimentTraced(const ExperimentConfig &cfg,
                                      TraceCollector *tr);
+
+/**
+ * Fully instrumented variant: events into @p tr and periodic counter
+ * samples into @p tm (both caller-owned, either may be null).  Like
+ * runExperimentTraced it always simulates — a cache hit would produce
+ * neither events nor samples.  The harvested series additionally land on
+ * the returned result as ExperimentResult::telemetry when @p tm is
+ * non-null.  Neither instrument changes the returned counters
+ * (tests/harness/report_test.cc asserts bit-equality for sampling).
+ */
+ExperimentResult runExperimentInstrumented(const ExperimentConfig &cfg,
+                                           TraceCollector *tr,
+                                           TelemetrySampler *tm);
 
 /**
  * Simulates @p cfg, consulting the in-process cache and the file cache

@@ -25,6 +25,7 @@
 #define rnr_getpid getpid
 #endif
 
+#include "harness/json_parse.h"
 #include "harness/runner.h"
 #include "tracestore/trace_store.h"
 
@@ -55,6 +56,25 @@ controlName(ReplayControlMode mode)
 }
 
 } // namespace
+
+std::uint64_t
+hostPeakRssBytes()
+{
+#ifdef __linux__
+    // VmHWM ("high water mark") is the peak resident set; the line looks
+    // like "VmHWM:     12345 kB".
+    std::ifstream in("/proc/self/status");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("VmHWM:", 0) == 0) {
+            const std::uint64_t kb =
+                std::strtoull(line.c_str() + 6, nullptr, 10);
+            return kb * 1024;
+        }
+    }
+#endif
+    return 0;
+}
 
 std::string
 formatSweepEta(std::size_t done, std::size_t total, std::size_t simulated,
@@ -147,7 +167,7 @@ class ProgressReporter
     }
 
     void
-    finish(const SweepStats &stats)
+    finish(const SweepStats &stats, const SweepHostInfo &host)
     {
         if (!enabled_ || total_ == 0)
             return;
@@ -169,6 +189,18 @@ class ProgressReporter
                          static_cast<unsigned long long>(ts.captures()),
                          static_cast<unsigned long long>(ts.hits()),
                          TraceStore::rootPath().c_str());
+        // And one of host accounting: what the batch cost this process.
+        // Peak RSS is cumulative (a high-water mark), so it bounds, not
+        // measures, this sweep; "n/a" on hosts without procfs.
+        if (host.peak_rss_bytes > 0)
+            std::fprintf(stderr,
+                         "[%s] host: %.1fs wall, peak RSS %.1f MiB\n",
+                         label_.c_str(), host.wall_sec,
+                         static_cast<double>(host.peak_rss_bytes) /
+                             (1024.0 * 1024.0));
+        else
+            std::fprintf(stderr, "[%s] host: %.1fs wall, peak RSS n/a\n",
+                         label_.c_str(), host.wall_sec);
     }
 
   private:
@@ -295,10 +327,15 @@ SweepRunner::run()
     stats_.elapsed_sec = secondsSince(start);
     if (first_error)
         std::rethrow_exception(first_error);
-    reporter.finish(stats_);
+
+    SweepHostInfo host;
+    host.wall_sec = stats_.elapsed_sec;
+    host.peak_rss_bytes = hostPeakRssBytes();
+    reporter.finish(stats_, host);
 
     const std::string json = jsonOutPath(opts_);
-    if (!json.empty() && !writeResultsJson(json, results, opts_.label))
+    if (!json.empty() &&
+        !writeResultsJson(json, results, opts_.label, &host))
         std::fprintf(stderr, "[%s] warning: could not write JSON to %s\n",
                      opts_.label.c_str(), json.c_str());
     return results;
@@ -315,11 +352,18 @@ runSweep(const std::vector<ExperimentConfig> &cfgs, SweepOptions opts)
 bool
 writeResultsJson(const std::string &path,
                  const std::vector<ExperimentResult> &results,
-                 const std::string &label)
+                 const std::string &label, const SweepHostInfo *host)
 {
     std::ostringstream os;
-    os << "{\n  \"schema\": \"rnr-sweep-v1\",\n  \"label\": \"" << label
-       << "\",\n  \"cells\": [\n";
+    os << "{\n  \"schema\": \"rnr-sweep-v2\",\n  \"label\": \"" << label
+       << "\",\n";
+    if (host) {
+        char wall[32];
+        std::snprintf(wall, sizeof(wall), "%.3f", host->wall_sec);
+        os << "  \"host\": {\"wall_sec\": " << wall
+           << ", \"peak_rss_bytes\": " << host->peak_rss_bytes << "},\n";
+    }
+    os << "  \"cells\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         appendResultJson(os, results[i], "    ");
         os << (i + 1 < results.size() ? "," : "") << "\n";
@@ -339,6 +383,120 @@ writeResultsJson(const std::string &path,
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
         return false;
+    }
+    return true;
+}
+
+namespace {
+
+bool
+controlFromName(const std::string &name, ReplayControlMode &out)
+{
+    if (name == "none")
+        out = ReplayControlMode::None;
+    else if (name == "window")
+        out = ReplayControlMode::Window;
+    else if (name == "window+pace")
+        out = ReplayControlMode::WindowPace;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+bool
+readResultsJson(const std::string &path, std::vector<ExperimentResult> &out,
+                std::string *label, SweepHostInfo *host, std::string *error)
+{
+    out.clear();
+    if (label)
+        label->clear();
+    if (host)
+        *host = SweepHostInfo{};
+
+    JsonValue doc;
+    if (!parseJsonFile(path, doc, error))
+        return false;
+
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = path + ": " + what;
+        return false;
+    };
+
+    const JsonValue *schema = doc.find("schema");
+    if (!schema || schema->kind != JsonValue::Kind::String)
+        return fail("missing schema");
+    if (schema->text != "rnr-sweep-v1" && schema->text != "rnr-sweep-v2")
+        return fail("unknown schema '" + schema->text + "'");
+
+    if (label)
+        if (const JsonValue *l = doc.find("label"))
+            *label = l->text;
+    if (host)
+        if (const JsonValue *h = doc.find("host")) {
+            if (const JsonValue *w = h->find("wall_sec"))
+                host->wall_sec = w->asDouble();
+            if (const JsonValue *r = h->find("peak_rss_bytes"))
+                host->peak_rss_bytes = r->asU64();
+        }
+
+    const JsonValue *cells = doc.find("cells");
+    if (!cells || !cells->isArray())
+        return fail("missing cells array");
+
+    for (const JsonValue &cell : cells->items) {
+        ExperimentResult r;
+        const JsonValue *cfg = cell.find("config");
+        if (!cfg || !cfg->isObject())
+            return fail("cell without config");
+        ExperimentConfig &c = r.config;
+        if (const JsonValue *v = cfg->find("app"))
+            c.app = v->text;
+        if (const JsonValue *v = cfg->find("input"))
+            c.input = v->text;
+        if (const JsonValue *v = cfg->find("prefetcher")) {
+            try {
+                c.prefetcher = prefetcherKindFromString(v->text);
+            } catch (const std::exception &) {
+                return fail("unknown prefetcher '" + v->text + "'");
+            }
+        }
+        if (const JsonValue *v = cfg->find("control"))
+            if (!controlFromName(v->text, c.control))
+                return fail("unknown control '" + v->text + "'");
+        if (const JsonValue *v = cfg->find("window_size"))
+            c.window_size = static_cast<std::uint32_t>(v->asU64());
+        if (const JsonValue *v = cfg->find("iterations"))
+            c.iterations = static_cast<unsigned>(v->asU64());
+        if (const JsonValue *v = cfg->find("cores"))
+            c.cores = static_cast<unsigned>(v->asU64());
+        if (const JsonValue *v = cfg->find("ideal_llc"))
+            c.ideal_llc = v->boolean;
+
+        if (const JsonValue *v = cell.find("input_bytes"))
+            r.input_bytes = v->asU64();
+        if (const JsonValue *v = cell.find("target_bytes"))
+            r.target_bytes = v->asU64();
+        if (const JsonValue *v = cell.find("seq_table_bytes"))
+            r.seq_table_bytes = v->asU64();
+        if (const JsonValue *v = cell.find("div_table_bytes"))
+            r.div_table_bytes = v->asU64();
+
+        const JsonValue *iters = cell.find("iterations");
+        if (!iters || !iters->isArray())
+            return fail("cell without iterations array");
+        for (const JsonValue &itv : iters->items) {
+            IterStats it;
+#define RNR_READ_FIELD(type, name)                                          \
+            if (const JsonValue *v = itv.find(#name))                       \
+                it.name = static_cast<type>(v->asU64());
+            RNR_ITER_STAT_FIELDS(RNR_READ_FIELD)
+#undef RNR_READ_FIELD
+            r.iterations.push_back(it);
+        }
+        out.push_back(std::move(r));
     }
     return true;
 }

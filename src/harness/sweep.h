@@ -31,6 +31,7 @@
 #define RNR_HARNESS_SWEEP_H
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,24 @@ struct SweepStats {
     std::size_t simulated = 0;  ///< actually simulated this run
     double elapsed_sec = 0;
 };
+
+/**
+ * Host-side cost of producing a batch of results: wall clock and the
+ * process's peak resident set.  Printed on the sweep accounting line and
+ * exported in the JSON "host" object (rnr-sweep-v2) so regressions in
+ * simulation cost are visible from archived sweep files.
+ */
+struct SweepHostInfo {
+    double wall_sec = 0;
+    std::uint64_t peak_rss_bytes = 0; ///< 0 = unknown (non-Linux host)
+};
+
+/**
+ * The process's peak resident set size in bytes (VmHWM from
+ * /proc/self/status).  Returns 0 on platforms without procfs — callers
+ * treat 0 as "unknown", never as a measurement.
+ */
+std::uint64_t hostPeakRssBytes();
 
 /** Executes a deduplicated batch of experiments on a thread pool. */
 class SweepRunner
@@ -98,10 +117,31 @@ runSweep(const std::vector<ExperimentConfig> &cfgs, SweepOptions opts = {});
  * Writes @p results as structured JSON to @p path (atomically, via a
  * temporary + rename).  Used by SweepRunner for RNR_JSON_OUT / --json;
  * callable directly for ad-hoc exports.  Returns false on I/O failure.
+ *
+ * Schema "rnr-sweep-v2": v1 plus an optional top-level "host" object
+ * ({"wall_sec", "peak_rss_bytes"}, emitted when @p host is non-null)
+ * recording what the batch cost to produce.  readResultsJson() accepts
+ * both versions.
  */
 bool writeResultsJson(const std::string &path,
                       const std::vector<ExperimentResult> &results,
-                      const std::string &label = "sweep");
+                      const std::string &label = "sweep",
+                      const SweepHostInfo *host = nullptr);
+
+/**
+ * Loads a sweep export written by writeResultsJson() — schema
+ * rnr-sweep-v1 or rnr-sweep-v2 — back into ExperimentResult form (the
+ * config, footprint fields and per-iteration counters; telemetry blobs
+ * are not part of the format).  @p label and @p host receive the
+ * file-level fields when non-null (host is zeroed for v1 files).
+ * Returns false and sets @p error on malformed input or an unknown
+ * schema string.
+ */
+bool readResultsJson(const std::string &path,
+                     std::vector<ExperimentResult> &out,
+                     std::string *label = nullptr,
+                     SweepHostInfo *host = nullptr,
+                     std::string *error = nullptr);
 
 /**
  * Formats the progress reporter's ETA ("12s"), or "--" when the data

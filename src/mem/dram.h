@@ -89,6 +89,8 @@ class Dram
     const StatGroup &stats() const { return stats_; }
     const DramCounters &ctr() const { return ctr_; }
     std::size_t writeQueueDepth() const { return write_queue_.size(); }
+    /** Reads currently occupying the read queue (telemetry probe). */
+    std::size_t readQueueDepth() const { return read_inflight_.size(); }
 
   private:
     struct Bank {

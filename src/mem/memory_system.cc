@@ -1,6 +1,9 @@
 #include "mem/memory_system.h"
 
 #include <algorithm>
+#include <string>
+
+#include "sim/timeseries.h"
 
 namespace rnr {
 
@@ -27,6 +30,8 @@ MemorySystem::setPrefetcher(unsigned core, Prefetcher *pf)
         pf->attach(this, core);
         if (tr_)
             pf->setTrace(tr_, static_cast<std::uint16_t>(core));
+        if (tm_)
+            pf->setTelemetry(tm_, core);
     }
 }
 
@@ -43,6 +48,35 @@ MemorySystem::attachTrace(TraceCollector *tr)
     }
     llc_->setTrace(tr, mem_track, 2);
     dram_.setTrace(tr, mem_track);
+}
+
+void
+MemorySystem::attachTelemetry(TelemetrySampler *tm)
+{
+    tm_ = tm;
+    h_miss_latency_ = tm ? &tm->histogram("l2.demand_miss_latency") : nullptr;
+    h_pf_latency_ = tm ? &tm->histogram("l2.prefetch_fill_latency") : nullptr;
+    if (tm) {
+        for (unsigned c = 0; c < cfg_.cores; ++c) {
+            const std::string p = "core" + std::to_string(c) + ".";
+            Cache *l2 = l2_[c].get();
+            tm->addSeries(p + "l2_mshr_occupancy", [l2] {
+                return static_cast<std::uint64_t>(l2->mshr().inFlight());
+            });
+            tm->addSeries(p + "l2_pf_queue_depth", [l2] {
+                return static_cast<std::uint64_t>(
+                    l2->prefetchQueue().inFlight());
+            });
+        }
+        tm->addSeries("dram.read_queue_depth", [this] {
+            return static_cast<std::uint64_t>(dram_.readQueueDepth());
+        });
+        tm->addSeries("dram.write_queue_depth", [this] {
+            return static_cast<std::uint64_t>(dram_.writeQueueDepth());
+        });
+    }
+    for (unsigned c = 0; c < cfg_.cores; ++c)
+        prefetchers_[c]->setTelemetry(tm, c);
 }
 
 void
@@ -196,6 +230,8 @@ MemorySystem::demandAccess(unsigned core, Addr vaddr, bool is_write,
         }
         fill = accessShared(block, t2b + l2.config().latency,
                             ReqOrigin::Demand);
+        if (h_miss_latency_)
+            h_miss_latency_->record(fill - t2);
         l2.mshr().insert(block, fill, false);
         EvictResult ev = l2.insert(block, fill, false, is_write);
         handleL2Evict(core, ev, t2b);
@@ -249,6 +285,8 @@ MemorySystem::prefetchIntoL2(unsigned core, Addr vaddr, Tick now)
 
     const Tick fill = accessShared(block, now + l2.config().latency,
                                    ReqOrigin::Prefetch);
+    if (h_pf_latency_)
+        h_pf_latency_->record(fill - now);
     l2.prefetchQueue().insert(block, fill, true);
     EvictResult ev = l2.insert(block, fill, true, false);
     handleL2Evict(core, ev, now);

@@ -23,6 +23,9 @@
 
 namespace rnr {
 
+class TelemetrySampler;
+class Log2Histogram;
+
 /** Result of a demand access, as seen by the core model. */
 struct DemandResult {
     Tick done = 0;       ///< Tick at which the load's data is available.
@@ -87,6 +90,17 @@ class MemorySystem
     void attachTrace(TraceCollector *tr);
     TraceCollector *trace() { return tr_; }
 
+    /**
+     * Registers this hierarchy's telemetry sources with @p tm (null =
+     * detach): per-core L2 MSHR occupancy and prefetch-queue depth
+     * probes, DRAM read/write-queue depth probes, and the L2 demand-
+     * miss and prefetch-to-fill latency histograms.  Forwards to the
+     * attached prefetchers (Prefetcher::setTelemetry); prefetchers
+     * installed later (setPrefetcher) inherit it.
+     */
+    void attachTelemetry(TelemetrySampler *tm);
+    TelemetrySampler *telemetry() { return tm_; }
+
   private:
     /** Shared LLC + DRAM access; returns fill-complete tick. */
     Tick accessShared(Addr block, Tick now, ReqOrigin origin);
@@ -103,6 +117,10 @@ class MemorySystem
     std::vector<Prefetcher *> prefetchers_;
     NullPrefetcher null_pf_;
     TraceCollector *tr_ = nullptr; ///< Null unless tracing is enabled.
+    TelemetrySampler *tm_ = nullptr; ///< Null unless sampling is enabled.
+    /** Latency sinks, non-null only while telemetry is attached. */
+    Log2Histogram *h_miss_latency_ = nullptr;
+    Log2Histogram *h_pf_latency_ = nullptr;
 };
 
 } // namespace rnr

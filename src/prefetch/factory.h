@@ -70,6 +70,13 @@ class CombinedPrefetcher : public Prefetcher
         stream_->setTrace(tr, track);
     }
 
+    void
+    setTelemetry(TelemetrySampler *tm, unsigned core) override
+    {
+        rnr_->setTelemetry(tm, core);
+        stream_->setTelemetry(tm, core);
+    }
+
     RnrPrefetcher &rnr() { return *rnr_; }
 
   private:

@@ -23,6 +23,7 @@
 namespace rnr {
 
 class MemorySystem;
+class TelemetrySampler;
 class Workload;
 
 /** Everything the L2 tells its prefetcher about one demand access. */
@@ -115,6 +116,22 @@ class Prefetcher
     {
         tr_ = tr;
         tr_track_ = track;
+    }
+
+    /**
+     * Lets a prefetcher register time-series probes with @p tm (null =
+     * sampling off; sim/timeseries.h).  The default registers nothing:
+     * baseline prefetchers are covered by the memory system's queue
+     * probes.  RnR overrides this to expose its replay lane (N_pace,
+     * metadata buffer fill).  Called by MemorySystem::attachTelemetry
+     * and re-applied to late setPrefetcher() installs, mirroring
+     * setTrace.
+     */
+    virtual void
+    setTelemetry(TelemetrySampler *tm, unsigned core)
+    {
+        (void)tm;
+        (void)core;
     }
 
     StatGroup &stats() { return stats_; }

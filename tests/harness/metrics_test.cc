@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "harness/metrics.h"
 
 namespace rnr {
@@ -155,6 +157,57 @@ TEST(MetricsTest, TimelinessReadsTheSteadyIteration)
     const TimelinessBreakdown b = timeliness(r);
     EXPECT_DOUBLE_EQ(b.ontime, 0.25);
     EXPECT_DOUBLE_EQ(b.early, 0.75);
+}
+
+// ---- Divide-by-zero audit: every ratio with a legitimately-zero
+// denominator returns the documented 0.0 sentinel, never inf/NaN
+// (metrics.h "Degenerate inputs"). ----
+
+TEST(MetricsTest, CoverageZeroWhenBaselineHadNoMisses)
+{
+    ExperimentResult base = makeResult(100, 100); // zero misses
+    ExperimentResult r = makeResult(100, 100);
+    r.iterations.back().pf_useful = 500;
+    EXPECT_DOUBLE_EQ(coverage(r, base), 0.0);
+}
+
+TEST(MetricsTest, TrafficOverheadZeroWhenBaselineMovedNoBytes)
+{
+    ExperimentResult base = makeResult(100, 100); // zero DRAM bytes
+    ExperimentResult r = makeResult(100, 100);
+    r.iterations.back().dram_bytes_total = 4096;
+    EXPECT_DOUBLE_EQ(trafficOverhead(r, base), 0.0);
+}
+
+TEST(MetricsTest, MpkiZeroWhenNoInstructionsRetired)
+{
+    ExperimentResult r = makeResult(100, 100);
+    r.iterations.back().instructions = 0;
+    r.iterations.back().l2_demand_misses = 5000;
+    EXPECT_DOUBLE_EQ(mpki(r), 0.0);
+}
+
+TEST(MetricsTest, SpeedupZeroWhenConfigHasZeroCycles)
+{
+    ExperimentResult base = makeResult(1000, 1000);
+    ExperimentResult degenerate = makeResult(0, 0);
+    const double s = speedup(degenerate, base);
+    EXPECT_DOUBLE_EQ(s, 0.0);
+    EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(MetricsTest, StorageOverheadZeroForEmptyInput)
+{
+    ExperimentResult r = makeResult(100, 100);
+    r.seq_table_bytes = 64; // metadata but no input to relate it to
+    EXPECT_DOUBLE_EQ(storageOverhead(r), 0.0);
+}
+
+TEST(MetricsTest, RecordOverheadZeroWhenBaselineFirstIterIsEmpty)
+{
+    ExperimentResult base = makeResult(0, 500);
+    ExperimentResult r = makeResult(1000, 500);
+    EXPECT_DOUBLE_EQ(recordOverhead(r, base), 0.0);
 }
 
 TEST(MetricsTest, GeomeanOfKnownValues)

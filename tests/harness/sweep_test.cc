@@ -239,14 +239,123 @@ TEST_F(SweepFixture, JsonExportWritesTheWholeBatch)
     std::stringstream buf;
     buf << in.rdbuf();
     const std::string body = buf.str();
-    EXPECT_NE(body.find("\"schema\": \"rnr-sweep-v1\""),
+    EXPECT_NE(body.find("\"schema\": \"rnr-sweep-v2\""),
               std::string::npos);
     EXPECT_NE(body.find("\"label\": \"unit\""), std::string::npos);
+    EXPECT_NE(body.find("\"host\""), std::string::npos);
+    EXPECT_NE(body.find("\"wall_sec\""), std::string::npos);
     for (const ExperimentConfig &cfg : cells)
         EXPECT_NE(body.find(cfg.key()), std::string::npos)
             << cfg.key();
     EXPECT_NE(body.find("\"cycles\""), std::string::npos);
     std::remove(json_path.c_str());
+}
+
+TEST_F(SweepFixture, JsonExportRoundTripsThroughTheLoader)
+{
+    const std::string json_path =
+        ::testing::TempDir() + "sweep_test_roundtrip.json";
+    std::remove(json_path.c_str());
+
+    SweepOptions opts;
+    opts.progress = 0;
+    opts.json_out = json_path;
+    opts.label = "roundtrip";
+    const std::vector<ExperimentConfig> cells = {
+        tinyConfig(PrefetcherKind::None),
+        tinyConfig(PrefetcherKind::Rnr, 64)};
+    const std::vector<ExperimentResult> written = runSweep(cells, opts);
+
+    std::vector<ExperimentResult> loaded;
+    std::string label, error;
+    SweepHostInfo host;
+    ASSERT_TRUE(readResultsJson(json_path, loaded, &label, &host, &error))
+        << error;
+    EXPECT_EQ(label, "roundtrip");
+    EXPECT_GT(host.wall_sec, 0.0);
+    ASSERT_EQ(loaded.size(), written.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_EQ(loaded[i].config.key(), written[i].config.key());
+        // The full iteration payload survives: serialization through
+        // the cache codec is the strongest equality we have.
+        EXPECT_EQ(ResultCache::serialize(loaded[i]),
+                  ResultCache::serialize(written[i]))
+            << loaded[i].config.key();
+    }
+    std::remove(json_path.c_str());
+}
+
+TEST(SweepJsonLoaderTest, AcceptsLegacyV1Documents)
+{
+    // Hand-written rnr-sweep-v1 document: no "host" object, old schema
+    // string.  The loader must stay backward compatible.
+    const std::string json_path =
+        ::testing::TempDir() + "sweep_test_legacy_v1.json";
+    {
+        std::ofstream out(json_path);
+        out << R"({
+  "schema": "rnr-sweep-v1",
+  "label": "legacy",
+  "cells": [
+    {
+      "key": "pagerank:amazon:i1:c1:pf=none:w0:ctl=none",
+      "config": {
+        "app": "pagerank", "input": "amazon",
+        "iterations": 1, "cores": 1,
+        "prefetcher": "none", "window_size": 0, "control": "none"
+      },
+      "input_bytes": 4096,
+      "seq_table_bytes": 0,
+      "div_table_bytes": 0,
+      "iterations": [
+        {"cycles": 1234, "instructions": 1000}
+      ]
+    }
+  ]
+})";
+    }
+
+    std::vector<ExperimentResult> loaded;
+    std::string label, error;
+    SweepHostInfo host;
+    ASSERT_TRUE(readResultsJson(json_path, loaded, &label, &host, &error))
+        << error;
+    EXPECT_EQ(label, "legacy");
+    EXPECT_DOUBLE_EQ(host.wall_sec, 0.0); // v1 carries no host info
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].config.app, "pagerank");
+    EXPECT_EQ(loaded[0].config.prefetcher, PrefetcherKind::None);
+    EXPECT_EQ(loaded[0].input_bytes, 4096u);
+    ASSERT_EQ(loaded[0].iterations.size(), 1u);
+    EXPECT_EQ(loaded[0].iterations[0].cycles, 1234u);
+    EXPECT_EQ(loaded[0].iterations[0].instructions, 1000u);
+    std::remove(json_path.c_str());
+}
+
+TEST(SweepJsonLoaderTest, RejectsUnknownSchema)
+{
+    const std::string json_path =
+        ::testing::TempDir() + "sweep_test_bad_schema.json";
+    {
+        std::ofstream out(json_path);
+        out << R"({"schema": "rnr-sweep-v99", "cells": []})";
+    }
+    std::vector<ExperimentResult> loaded;
+    std::string error;
+    EXPECT_FALSE(readResultsJson(json_path, loaded, nullptr, nullptr,
+                                 &error));
+    EXPECT_FALSE(error.empty());
+    std::remove(json_path.c_str());
+}
+
+TEST(SweepHostInfoTest, PeakRssIsReportedOnLinux)
+{
+#ifdef __linux__
+    // A live gtest process has certainly touched more than a MiB.
+    EXPECT_GT(hostPeakRssBytes(), std::uint64_t{1} << 20);
+#else
+    EXPECT_EQ(hostPeakRssBytes(), 0u); // documented "unknown" fallback
+#endif
 }
 
 TEST(SweepEtaTest, ExtrapolatesFromFinishedCells)

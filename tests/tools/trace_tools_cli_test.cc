@@ -1,0 +1,141 @@
+/**
+ * @file
+ * End-to-end CLI tests for the trace_tools binary, driven over popen.
+ * The binary path is injected by CMake as RNR_TRACE_TOOLS_BIN
+ * ($<TARGET_FILE:trace_tools>), so these tests exercise the real
+ * executable exactly as a user would:
+ *
+ *  - `help` lists every mode and exits 0;
+ *  - `help <mode>` and `<mode> --help` work for every registered mode;
+ *  - unknown modes print usage to stderr and exit 2, as does no mode;
+ *  - `report` writes a parseable rnr-report-v1 JSON plus an HTML page
+ *    with inline SVG (the full telemetry pipeline, out of process).
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef RNR_TRACE_TOOLS_BIN
+#error "RNR_TRACE_TOOLS_BIN must point at the trace_tools binary"
+#endif
+
+namespace {
+
+struct CliResult {
+    int exit_code = -1;
+    std::string output; ///< stdout + stderr, interleaved.
+};
+
+/** Runs @p args under the trace_tools binary with quiet harness env. */
+CliResult
+runTool(const std::string &args)
+{
+    const std::string cmd =
+        "RNR_CACHE=0 RNR_TRACE_STORE=0 RNR_PROGRESS=0 " +
+        std::string(RNR_TRACE_TOOLS_BIN) + " " + args + " 2>&1";
+    CliResult r;
+    std::FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe)
+        return r;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0)
+        r.output.append(buf, n);
+    const int status = pclose(pipe);
+    if (WIFEXITED(status))
+        r.exit_code = WEXITSTATUS(status);
+    return r;
+}
+
+const char *const kModes[] = {"capture",  "convert",   "simulate",
+                              "stats",    "corpus",    "inspect",
+                              "rnr-trace", "report",   "help"};
+
+TEST(TraceToolsCli, HelpListsEveryMode)
+{
+    const CliResult r = runTool("help");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    for (const char *mode : kModes)
+        EXPECT_NE(r.output.find(mode), std::string::npos) << mode;
+}
+
+TEST(TraceToolsCli, EveryModeHasHelpText)
+{
+    for (const char *mode : kModes) {
+        const CliResult byword = runTool(std::string("help ") + mode);
+        EXPECT_EQ(byword.exit_code, 0) << mode << ": " << byword.output;
+        EXPECT_NE(byword.output.find("usage:"), std::string::npos)
+            << mode;
+        EXPECT_NE(byword.output.find(mode), std::string::npos) << mode;
+
+        const CliResult byflag = runTool(std::string(mode) + " --help");
+        EXPECT_EQ(byflag.exit_code, 0) << mode << ": " << byflag.output;
+        EXPECT_NE(byflag.output.find("usage:"), std::string::npos)
+            << mode;
+    }
+}
+
+TEST(TraceToolsCli, DashDashHelpAtTopLevel)
+{
+    EXPECT_EQ(runTool("--help").exit_code, 0);
+    EXPECT_EQ(runTool("-h").exit_code, 0);
+}
+
+TEST(TraceToolsCli, UnknownModeExitsTwoWithUsage)
+{
+    const CliResult r = runTool("frobnicate");
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(TraceToolsCli, NoModeExitsTwoWithUsage)
+{
+    const CliResult r = runTool("");
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(TraceToolsCli, KnownModeWithWrongArityExitsTwo)
+{
+    EXPECT_EQ(runTool("convert").exit_code, 2);      // needs 2 args
+    EXPECT_EQ(runTool("stats").exit_code, 2);        // needs a file
+    EXPECT_EQ(runTool("capture onlyone").exit_code, 2);
+}
+
+TEST(TraceToolsCli, ReportModeWritesJsonAndHtml)
+{
+    const std::string prefix =
+        ::testing::TempDir() + "trace_tools_cli_report";
+    std::remove((prefix + ".json").c_str());
+    std::remove((prefix + ".html").c_str());
+
+    const CliResult r = runTool(
+        "report pagerank urand " + prefix +
+        " --sample-cycles 4096 --iterations 2 --cores 2");
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("wrote"), std::string::npos);
+
+    std::ifstream json(prefix + ".json");
+    ASSERT_TRUE(json.good()) << prefix << ".json missing";
+    std::stringstream jbuf;
+    jbuf << json.rdbuf();
+    const std::string jbody = jbuf.str();
+    EXPECT_NE(jbody.find("rnr-report-v1"), std::string::npos);
+    EXPECT_NE(jbody.find("n_pace"), std::string::npos);
+    EXPECT_NE(jbody.find("seq_buffer_bytes"), std::string::npos);
+
+    std::ifstream html(prefix + ".html");
+    ASSERT_TRUE(html.good()) << prefix << ".html missing";
+    std::stringstream hbuf;
+    hbuf << html.rdbuf();
+    EXPECT_NE(hbuf.str().find("<svg"), std::string::npos);
+
+    std::remove((prefix + ".json").c_str());
+    std::remove((prefix + ".html").c_str());
+}
+
+} // namespace
