@@ -21,6 +21,11 @@
  *             telemetry hooks are always compiled in; the A/B lives in
  *             BENCH_telemetry.json).
  *
+ * BM_Kernel/{batched,legacy} measure the full stack instead — trace
+ * feed, CoreModel inner loop, memory system — under each simulation
+ * kernel (sim/kernel.h), so the batched-vs-legacy speedup is the
+ * headline number of docs/PERF.md and the pair CI gates together.
+ *
  * Run `micro_hotpath compare <baseline.json> <current.json>` to use the
  * binary as a regression gate instead (bench_util.h, benchCompareMain);
  * any other arguments go to google-benchmark as usual.
@@ -32,9 +37,11 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "cpu/system.h"
 #include "mem/memory_system.h"
 #include "prefetch/factory.h"
 #include "sim/config.h"
+#include "sim/kernel.h"
 #include "sim/timeseries.h"
 #include "workloads/graph_gen.h"
 #include "workloads/pagerank.h"
@@ -120,11 +127,46 @@ BM_DemandAccessSampled(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(ops));
 }
 
+/**
+ * Whole-kernel A/B: a one-core System consumes the hot trace through
+ * CoreModel under the requested kernel mode.  Items are trace records
+ * (mem ops), so the rate is directly comparable to BM_DemandAccess —
+ * the delta between them is what the core-side loop costs.
+ */
+void
+BM_Kernel(benchmark::State &state, KernelMode mode)
+{
+    static const TraceBuffer &buf = *[] {
+        static TraceBuffer b;
+        for (const TraceRecord &rec : hotTrace())
+            b.push(rec);
+        return &b;
+    }();
+    MachineConfig mcfg = MachineConfig::scaledDefault();
+    mcfg.cores = 1;
+    System sys(mcfg, mode);
+    std::unique_ptr<Prefetcher> pf =
+        createPrefetcher(PrefetcherKind::None);
+    sys.mem().setPrefetcher(0, pf.get());
+
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        const IterationResult res = sys.run({&buf});
+        benchmark::DoNotOptimize(res.end);
+        ops += buf.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+
 BENCHMARK_CAPTURE(BM_DemandAccess, none, PrefetcherKind::None)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_DemandAccess, stream, PrefetcherKind::Stream)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DemandAccessSampled)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Kernel, batched, rnr::KernelMode::Batched)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Kernel, legacy, rnr::KernelMode::Legacy)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace rnr

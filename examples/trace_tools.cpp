@@ -47,6 +47,10 @@
  *   trace_tools help [mode]
  *       This text, or one mode's usage.  Every mode also accepts
  *       --help/-h.  Unknown modes print usage and exit 2.
+ *       `help --markdown` prints the mode table as GitHub markdown —
+ *       README.md embeds that output verbatim between its
+ *       trace_tools-modes markers, and a CI diff test keeps the two
+ *       in sync (tests/tools/trace_tools_cli_test.cc).
  */
 #include <cstdio>
 #include <cstring>
@@ -462,6 +466,21 @@ printModeHelp(const char *prog, const ModeHelp &m)
     return 0;
 }
 
+/** `help --markdown`: the mode table as GitHub markdown, generated
+ *  from kModes so README.md's copy can never drift from the registry
+ *  (the CLI diff test compares the two byte-for-byte). */
+int
+printMarkdownTable()
+{
+    std::printf("| Mode | Arguments | Description |\n");
+    std::printf("|---|---|---|\n");
+    for (const ModeHelp &m : kModes)
+        std::printf("| `%s` | %s%s%s | %s |\n", m.name,
+                    m.usage[0] ? "`" : "", m.usage,
+                    m.usage[0] ? "`" : "", m.what);
+    return 0;
+}
+
 bool
 wantsHelp(int argc, char **argv)
 {
@@ -483,9 +502,12 @@ main(int argc, char **argv)
         if (std::strcmp(argv[1], "help") == 0 ||
             std::strcmp(argv[1], "--help") == 0 ||
             std::strcmp(argv[1], "-h") == 0) {
-            if (argc >= 3)
+            if (argc >= 3) {
+                if (std::strcmp(argv[2], "--markdown") == 0)
+                    return printMarkdownTable();
                 if (const ModeHelp *m = findMode(argv[2]))
                     return printModeHelp(argv[0], *m);
+            }
             return printUsage(stdout, argv[0]);
         }
         if (const ModeHelp *m = findMode(argv[1])) {

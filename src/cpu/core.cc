@@ -8,8 +8,10 @@
 
 namespace rnr {
 
-CoreModel::CoreModel(unsigned id, const CoreConfig &cfg, MemorySystem *ms)
-    : id_(id), cfg_(cfg), ms_(ms),
+CoreModel::CoreModel(unsigned id, const CoreConfig &cfg, MemorySystem *ms,
+                     KernelMode kernel)
+    : id_(id), cfg_(cfg), ms_(ms), kernel_(kernel),
+      rob_(cfg.rob_size), lsq_(cfg.lsq_size),
       stats_("core" + std::to_string(id)),
       c_loads_(stats_.declare("loads")),
       c_stores_(stats_.declare("stores")),
@@ -26,12 +28,16 @@ CoreModel::setTrace(const TraceBuffer *trace)
 {
     buffer_source_ = BufferSource(trace);
     src_ = trace ? &buffer_source_ : nullptr;
+    run_ = nullptr;
+    run_pos_ = run_len_ = 0;
 }
 
 void
 CoreModel::setSource(TraceSource *src)
 {
     src_ = src;
+    run_ = nullptr;
+    run_pos_ = run_len_ = 0;
 }
 
 void
@@ -44,9 +50,28 @@ CoreModel::attachTelemetry(TelemetrySampler *tm)
 }
 
 bool
-CoreModel::done()
+CoreModel::refillRun()
 {
-    return !src_ || src_->done();
+    if (!src_)
+        return false;
+    std::size_t n = 0;
+    const TraceRecord *run = src_->takeBlock(n);
+    if (!run || n == 0)
+        return false;
+    run_ = run;
+    run_pos_ = 0;
+    run_len_ = n;
+    return true;
+}
+
+bool
+CoreModel::doneSlow()
+{
+    if (!src_)
+        return true;
+    if (kernel_ == KernelMode::Legacy)
+        return src_->done();
+    return !refillRun();
 }
 
 Tick
@@ -54,8 +79,8 @@ CoreModel::finishTime() const
 {
     Tick t = std::max(issue_clock_, retire_clock_);
     t = std::max(t, last_completion_);
-    for (const auto &e : rob_)
-        t = std::max(t, e.completion);
+    for (std::size_t i = 0, n = rob_.size(); i < n; ++i)
+        t = std::max(t, rob_.at(i).completion);
     return t;
 }
 
@@ -116,13 +141,8 @@ CoreModel::reserveLsqSlot()
 }
 
 void
-CoreModel::step()
+CoreModel::execute(const TraceRecord &rec)
 {
-    assert(!done());
-    if (tm_)
-        tm_->maybeSample(issue_clock_);
-    const TraceRecord rec = src_->take();
-
     if (rec.gap) {
         // Plain instructions: charge issue bandwidth and ROB slots; they
         // complete quickly so they are folded into the next memory op's
@@ -172,10 +192,55 @@ CoreModel::step()
 }
 
 void
+CoreModel::step()
+{
+    assert(!done());
+    if (kernel_ == KernelMode::Legacy) {
+        if (tm_)
+            tm_->maybeSample(issue_clock_);
+        execute(src_->take());
+        return;
+    }
+    if (run_pos_ >= run_len_ && !refillRun())
+        return; // contract violation (step() past done()); be inert
+    if (tm_)
+        tm_->maybeSample(issue_clock_);
+    execute(run_[run_pos_++]);
+}
+
+std::size_t
+CoreModel::stepRun(std::size_t max_records)
+{
+    if (kernel_ == KernelMode::Legacy) {
+        std::size_t i = 0;
+        for (; i < max_records && !done(); ++i)
+            step();
+        return i;
+    }
+    if (run_pos_ >= run_len_ && !refillRun())
+        return 0;
+    const std::size_t n = std::min(max_records, run_len_ - run_pos_);
+    const TraceRecord *rec = run_ + run_pos_;
+    run_pos_ += n;
+    if (tm_) {
+        // Sampling stays at the same logical point as step(): once per
+        // record, before it executes, at the pre-record clock.
+        for (std::size_t i = 0; i < n; ++i) {
+            tm_->maybeSample(issue_clock_);
+            execute(rec[i]);
+        }
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            execute(rec[i]);
+    }
+    return n;
+}
+
+void
 CoreModel::runToCompletion()
 {
-    while (!done())
-        step();
+    while (stepRun(static_cast<std::size_t>(-1)) != 0) {
+    }
 }
 
 } // namespace rnr

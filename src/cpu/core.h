@@ -7,18 +7,29 @@
  * entries; issue stalls when the ROB or LSQ is full; loads overlap freely
  * inside the window (memory-level parallelism is then bounded by the L2
  * MSHR file and the DRAM queues, exactly the resources ChampSim bounds it
- * with).  Retirement is in order.  This runs at tens of millions of trace
+ * with).  Retirement is in order.
+ *
+ * Two inner loops exist (sim/kernel.h).  The batched kernel stages a
+ * whole trace block via TraceSource::takeBlock() and executes it as a
+ * tight run — one virtual call per ~4096 records instead of two per
+ * record (done() + take()), with the ROB/LSQ on masked rings instead of
+ * deques.  The legacy kernel is the seed per-record path, kept behind
+ * RNR_KERNEL=legacy as the bit-identical reference.  Both funnel every
+ * record through the same execute() body, so the timing model itself
+ * has exactly one definition.  This runs at tens of millions of trace
  * records per second, which is what lets the benches sweep the paper's
  * full prefetcher x input matrix.
  */
 #ifndef RNR_CPU_CORE_H
 #define RNR_CPU_CORE_H
 
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 
 #include "mem/memory_system.h"
 #include "sim/config.h"
+#include "sim/kernel.h"
+#include "sim/ring.h"
 #include "sim/stats.h"
 #include "trace/trace_buffer.h"
 #include "trace/trace_source.h"
@@ -29,7 +40,8 @@ namespace rnr {
 class CoreModel
 {
   public:
-    CoreModel(unsigned id, const CoreConfig &cfg, MemorySystem *ms);
+    CoreModel(unsigned id, const CoreConfig &cfg, MemorySystem *ms,
+              KernelMode kernel = kernelModeFromEnv());
 
     /** Points the core at a materialised trace (wrapped in an internal
      *  BufferSource); position resets, the clock does not. */
@@ -55,7 +67,13 @@ class CoreModel
     void attachTelemetry(TelemetrySampler *tm);
 
     /** True when the feed is exhausted (may decode the next block). */
-    bool done();
+    bool
+    done()
+    {
+        if (run_pos_ < run_len_)
+            return false; // staged records remain (batched kernel)
+        return doneSlow();
+    }
 
     /** Current issue-stage time; the System schedules on this. */
     Tick time() const { return issue_clock_; }
@@ -69,11 +87,23 @@ class CoreModel
     /** Processes the next trace record. */
     void step();
 
+    /**
+     * Batched entry point: processes up to @p max_records records from
+     * the staged run (refilling it from the source at block boundaries)
+     * and returns how many were executed — 0 means the feed is
+     * exhausted.  One call touches at most one staged run, so a driver
+     * that wants exactly N records loops until its quota is consumed;
+     * System::drive() relies on this to keep the multi-core interleave
+     * identical to the legacy kernel's.
+     */
+    std::size_t stepRun(std::size_t max_records);
+
     /** Runs this core alone to completion (single-core tests). */
     void runToCompletion();
 
     std::uint64_t instructionsRetired() const { return instrs_; }
     unsigned id() const { return id_; }
+    KernelMode kernel() const { return kernel_; }
     StatGroup &stats() { return stats_; }
 
     /**
@@ -84,9 +114,17 @@ class CoreModel
 
   private:
     struct RobEntry {
-        Tick completion;
-        std::uint32_t slots;
+        Tick completion = 0;
+        std::uint32_t slots = 0;
     };
+
+    /** The timing model for one record; shared by both kernels. */
+    void execute(const TraceRecord &rec);
+
+    /** Stages the source's next run; false when the feed is dry. */
+    bool refillRun();
+
+    bool doneSlow();
 
     void advanceIssue(std::uint64_t instr_count);
     void reserveRobSlots(std::uint32_t slots);
@@ -95,18 +133,25 @@ class CoreModel
     unsigned id_;
     CoreConfig cfg_;
     MemorySystem *ms_;
+    KernelMode kernel_;
     TraceSource *src_ = nullptr;
     BufferSource buffer_source_; ///< Backs setTrace(); src_ points here.
     TraceCollector *tr_ = nullptr; ///< Null unless tracing is enabled.
     TelemetrySampler *tm_ = nullptr; ///< Null unless sampling is enabled.
 
+    /** Staged run (batched kernel): a view into the source's storage,
+     *  valid until the next takeBlock() on that source. */
+    const TraceRecord *run_ = nullptr;
+    std::size_t run_pos_ = 0;
+    std::size_t run_len_ = 0;
+
     Tick issue_clock_ = 0;
     unsigned issued_this_cycle_ = 0;
     Tick retire_clock_ = 0;
 
-    std::deque<RobEntry> rob_;
+    Ring<RobEntry> rob_;
     std::uint64_t rob_slots_ = 0;
-    std::deque<Tick> lsq_;
+    Ring<Tick> lsq_;
 
     std::uint64_t instrs_ = 0;
     Tick last_completion_ = 0;

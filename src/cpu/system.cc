@@ -5,10 +5,12 @@
 
 namespace rnr {
 
-System::System(const MachineConfig &cfg) : cfg_(cfg), mem_(cfg)
+System::System(const MachineConfig &cfg, KernelMode kernel)
+    : cfg_(cfg), mem_(cfg)
 {
     for (unsigned c = 0; c < cfg.cores; ++c)
-        cores_.push_back(std::make_unique<CoreModel>(c, cfg.core, &mem_));
+        cores_.push_back(
+            std::make_unique<CoreModel>(c, cfg.core, &mem_, kernel));
 }
 
 IterationResult
@@ -46,21 +48,39 @@ System::drive()
     for (auto &core : cores_)
         instrs_before += core->instructionsRetired();
 
-    // Interleave by local time.  Batching a few records per pick keeps
-    // scheduling overhead low without letting any core run far ahead.
-    constexpr int kBatch = 8;
-    for (;;) {
-        CoreModel *next = nullptr;
-        for (auto &core : cores_) {
-            if (core->done())
-                continue;
-            if (!next || core->time() < next->time())
-                next = core.get();
+    if (cores_.size() == 1) {
+        // One core needs no interleaving: drain it run by run.  Under
+        // the batched kernel each stepRun() call executes a whole
+        // staged block with no scheduling checks in between.
+        CoreModel &core = *cores_[0];
+        while (core.stepRun(static_cast<std::size_t>(-1)) != 0) {
         }
-        if (!next)
-            break;
-        for (int i = 0; i < kBatch && !next->done(); ++i)
-            next->step();
+    } else {
+        // Interleave by local time.  Batching a few records per pick
+        // keeps scheduling overhead low without letting any core run
+        // far ahead.  The quota loop below consumes exactly kBatch
+        // records per pick even when a staged run ends mid-quantum, so
+        // the interleave — and therefore the shared LLC/DRAM request
+        // order — is identical under both kernels.
+        constexpr std::size_t kBatch = 8;
+        for (;;) {
+            CoreModel *next = nullptr;
+            for (auto &core : cores_) {
+                if (core->done())
+                    continue;
+                if (!next || core->time() < next->time())
+                    next = core.get();
+            }
+            if (!next)
+                break;
+            std::size_t left = kBatch;
+            while (left != 0) {
+                const std::size_t did = next->stepRun(left);
+                if (did == 0)
+                    break;
+                left -= did;
+            }
+        }
     }
 
     Tick end = barrier;

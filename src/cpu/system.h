@@ -16,6 +16,7 @@
 #include "cpu/core.h"
 #include "mem/memory_system.h"
 #include "sim/config.h"
+#include "sim/kernel.h"
 #include "trace/trace_buffer.h"
 
 namespace rnr {
@@ -33,7 +34,11 @@ struct IterationResult {
 class System
 {
   public:
-    explicit System(const MachineConfig &cfg);
+    /** @p kernel picks the core inner loop (default: RNR_KERNEL env);
+     *  see sim/kernel.h.  Both kernels are bit-identical by contract —
+     *  the legacy one exists as the verification reference. */
+    explicit System(const MachineConfig &cfg,
+                    KernelMode kernel = kernelModeFromEnv());
 
     MemorySystem &mem() { return mem_; }
     CoreModel &core(unsigned i) { return *cores_[i]; }

@@ -51,124 +51,6 @@ Cache::Cache(const CacheConfig &cfg)
     assert(isPow2(cfg.sets()) && "cache set count must be a power of two");
 }
 
-CacheLine *
-Cache::access(Addr block, Tick now)
-{
-    ++ctr_.accesses;
-    CacheLine *set = &lines_[setIndex(block) * cfg_.ways];
-    for (unsigned w = 0; w < cfg_.ways; ++w) {
-        CacheLine &line = set[w];
-        if (line.valid && line.tag == block) {
-            line.lru = ++lru_clock_;
-            line.rrpv = 0; // SRRIP: proven reuse -> near re-reference
-            if (line.prefetched && !line.referenced)
-                ++ctr_.prefetch_useful;
-            line.referenced = true;
-            if (line.fill_time > now)
-                ++ctr_.hits_on_inflight_fill;
-            ++ctr_.hits;
-            return &line;
-        }
-    }
-    ++ctr_.misses;
-    if (tr_)
-        tr_->emit(tr_track_, TraceEventType::CacheMiss, now, block,
-                  tr_level_);
-    return nullptr;
-}
-
-const CacheLine *
-Cache::peek(Addr block) const
-{
-    const CacheLine *set = &lines_[setIndex(block) * cfg_.ways];
-    for (unsigned w = 0; w < cfg_.ways; ++w) {
-        if (set[w].valid && set[w].tag == block)
-            return &set[w];
-    }
-    return nullptr;
-}
-
-EvictResult
-Cache::insert(Addr block, Tick fill_time, bool prefetched, bool dirty)
-{
-    CacheLine *set = &lines_[setIndex(block) * cfg_.ways];
-    for (unsigned w = 0; w < cfg_.ways; ++w) {
-        CacheLine &line = set[w];
-        if (line.valid && line.tag == block) {
-            // Re-insert of a resident block (e.g. prefetch raced a demand
-            // fill): refresh the fill time only if it arrives earlier.
-            if (fill_time < line.fill_time)
-                line.fill_time = fill_time;
-            line.dirty = line.dirty || dirty;
-            return {};
-        }
-    }
-
-    // Victim selection: prefer an invalid way; otherwise the LRU line,
-    // or under SRRIP the first line predicted "distant" (rrpv == 3),
-    // ageing the set until one exists.
-    CacheLine *victim = nullptr;
-    for (unsigned w = 0; w < cfg_.ways; ++w) {
-        if (!set[w].valid) {
-            victim = &set[w];
-            break;
-        }
-    }
-    if (!victim && cfg_.replacement == ReplacementPolicy::Srrip) {
-        for (;;) {
-            for (unsigned w = 0; w < cfg_.ways && !victim; ++w) {
-                if (set[w].rrpv >= 3)
-                    victim = &set[w];
-            }
-            if (victim)
-                break;
-            for (unsigned w = 0; w < cfg_.ways; ++w)
-                ++set[w].rrpv;
-        }
-    } else if (!victim) {
-        victim = &set[0];
-        for (unsigned w = 0; w < cfg_.ways; ++w) {
-            if (set[w].lru < victim->lru)
-                victim = &set[w];
-        }
-    }
-
-    EvictResult ev;
-    if (victim->valid) {
-        ev.valid = true;
-        ev.block = victim->tag;
-        ev.dirty = victim->dirty;
-        ev.prefetched_unused = victim->prefetched && !victim->referenced;
-        ++ctr_.evictions;
-        if (ev.dirty)
-            ++ctr_.writebacks;
-        if (ev.prefetched_unused)
-            ++ctr_.prefetch_evicted_unused;
-    }
-
-    victim->tag = block;
-    victim->valid = true;
-    victim->dirty = dirty;
-    victim->prefetched = prefetched;
-    victim->referenced = false;
-    victim->fill_time = fill_time;
-    victim->lru = ++lru_clock_;
-    victim->rrpv = 2; // SRRIP insertion: "long" re-reference interval
-    ++(prefetched ? ctr_.fills_prefetch : ctr_.fills_demand);
-    if (tr_)
-        tr_->emit(tr_track_, TraceEventType::CacheFill, fill_time, block,
-                  tr_level_ + (prefetched ? 4u : 0u));
-    return ev;
-}
-
-void
-Cache::markDirty(Addr block, Tick now)
-{
-    CacheLine *line = access(block, now);
-    if (line)
-        line->dirty = true;
-}
-
 void
 Cache::reset()
 {

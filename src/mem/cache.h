@@ -80,7 +80,12 @@ struct CacheCounters {
     Counter &prefetch_mshr_full;
 };
 
-/** A set-associative, LRU-replacement cache level. */
+/** A set-associative, LRU-replacement cache level.
+ *
+ * The lookup/insert methods are defined inline: they run up to three
+ * times per demand access (L1, L2, LLC) and are the memory system's
+ * hottest leaves, so keeping them visible to MemorySystem's translation
+ * unit removes a cross-TU call per probe (docs/PERF.md section 3). */
 class Cache
 {
   public:
@@ -90,10 +95,43 @@ class Cache
      * Demand lookup: updates LRU and reference bits.
      * @return the resident line, or nullptr on miss.
      */
-    CacheLine *access(Addr block, Tick now);
+    CacheLine *
+    access(Addr block, Tick now)
+    {
+        ++ctr_.accesses;
+        CacheLine *set = &lines_[setIndex(block) * cfg_.ways];
+        for (unsigned w = 0; w < cfg_.ways; ++w) {
+            CacheLine &line = set[w];
+            if (line.valid && line.tag == block) {
+                line.lru = ++lru_clock_;
+                line.rrpv = 0; // SRRIP: proven reuse -> near re-reference
+                if (line.prefetched && !line.referenced)
+                    ++ctr_.prefetch_useful;
+                line.referenced = true;
+                if (line.fill_time > now)
+                    ++ctr_.hits_on_inflight_fill;
+                ++ctr_.hits;
+                return &line;
+            }
+        }
+        ++ctr_.misses;
+        if (tr_)
+            tr_->emit(tr_track_, TraceEventType::CacheMiss, now, block,
+                      tr_level_);
+        return nullptr;
+    }
 
     /** Lookup without side effects (no LRU update). */
-    const CacheLine *peek(Addr block) const;
+    const CacheLine *
+    peek(Addr block) const
+    {
+        const CacheLine *set = &lines_[setIndex(block) * cfg_.ways];
+        for (unsigned w = 0; w < cfg_.ways; ++w) {
+            if (set[w].valid && set[w].tag == block)
+                return &set[w];
+        }
+        return nullptr;
+    }
 
     /**
      * Installs @p block, evicting the set's LRU victim.
@@ -101,11 +139,89 @@ class Cache
      * @param prefetched the fill was triggered by a prefetch.
      * @return description of the displaced victim.
      */
-    EvictResult insert(Addr block, Tick fill_time, bool prefetched,
-                       bool dirty);
+    EvictResult
+    insert(Addr block, Tick fill_time, bool prefetched, bool dirty)
+    {
+        CacheLine *set = &lines_[setIndex(block) * cfg_.ways];
+        for (unsigned w = 0; w < cfg_.ways; ++w) {
+            CacheLine &line = set[w];
+            if (line.valid && line.tag == block) {
+                // Re-insert of a resident block (e.g. prefetch raced a
+                // demand fill): refresh the fill time only if it
+                // arrives earlier.
+                if (fill_time < line.fill_time)
+                    line.fill_time = fill_time;
+                line.dirty = line.dirty || dirty;
+                return {};
+            }
+        }
+
+        // Victim selection: prefer an invalid way; otherwise the LRU
+        // line, or under SRRIP the first line predicted "distant"
+        // (rrpv == 3), ageing the set until one exists.
+        CacheLine *victim = nullptr;
+        for (unsigned w = 0; w < cfg_.ways; ++w) {
+            if (!set[w].valid) {
+                victim = &set[w];
+                break;
+            }
+        }
+        if (!victim && cfg_.replacement == ReplacementPolicy::Srrip) {
+            for (;;) {
+                for (unsigned w = 0; w < cfg_.ways && !victim; ++w) {
+                    if (set[w].rrpv >= 3)
+                        victim = &set[w];
+                }
+                if (victim)
+                    break;
+                for (unsigned w = 0; w < cfg_.ways; ++w)
+                    ++set[w].rrpv;
+            }
+        } else if (!victim) {
+            victim = &set[0];
+            for (unsigned w = 0; w < cfg_.ways; ++w) {
+                if (set[w].lru < victim->lru)
+                    victim = &set[w];
+            }
+        }
+
+        EvictResult ev;
+        if (victim->valid) {
+            ev.valid = true;
+            ev.block = victim->tag;
+            ev.dirty = victim->dirty;
+            ev.prefetched_unused =
+                victim->prefetched && !victim->referenced;
+            ++ctr_.evictions;
+            if (ev.dirty)
+                ++ctr_.writebacks;
+            if (ev.prefetched_unused)
+                ++ctr_.prefetch_evicted_unused;
+        }
+
+        victim->tag = block;
+        victim->valid = true;
+        victim->dirty = dirty;
+        victim->prefetched = prefetched;
+        victim->referenced = false;
+        victim->fill_time = fill_time;
+        victim->lru = ++lru_clock_;
+        victim->rrpv = 2; // SRRIP insertion: "long" re-reference interval
+        ++(prefetched ? ctr_.fills_prefetch : ctr_.fills_demand);
+        if (tr_)
+            tr_->emit(tr_track_, TraceEventType::CacheFill, fill_time,
+                      block, tr_level_ + (prefetched ? 4u : 0u));
+        return ev;
+    }
 
     /** Marks a resident block dirty (store hit); no-op when absent. */
-    void markDirty(Addr block, Tick now);
+    void
+    markDirty(Addr block, Tick now)
+    {
+        CacheLine *line = access(block, now);
+        if (line)
+            line->dirty = true;
+    }
 
     /** Invalidates every line and clears the MSHR file. */
     void reset();

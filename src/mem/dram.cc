@@ -72,6 +72,16 @@ Dram::countBytes(ReqOrigin origin, std::uint64_t n)
     ctr_.bytes_total += n;
 }
 
+void
+Dram::popCompletedReads(Tick t)
+{
+    while (!read_inflight_.empty() && read_inflight_.front() <= t) {
+        std::pop_heap(read_inflight_.begin(), read_inflight_.end(),
+                      std::greater<>());
+        read_inflight_.pop_back();
+    }
+}
+
 Tick
 Dram::read(Addr addr, Tick now, ReqOrigin origin)
 {
@@ -80,19 +90,14 @@ Dram::read(Addr addr, Tick now, ReqOrigin origin)
     const Tick arrival = now;
 
     // FCFS read-queue occupancy: a new read waits until the queue has a
-    // free slot, i.e. until the earliest in-flight read completes.
-    auto pop_completed = [this](Tick t) {
-        while (!read_inflight_.empty() && read_inflight_.front() <= t) {
-            std::pop_heap(read_inflight_.begin(), read_inflight_.end(),
-                          std::greater<>());
-            read_inflight_.pop_back();
-        }
-    };
-    pop_completed(now);
+    // free slot, i.e. until the earliest in-flight read completes.  The
+    // heap top doubles as the next-event cursor (nextReadCompletion()):
+    // when now hasn't reached it, the pop is a single compare.
+    popCompletedReads(now);
     if (read_inflight_.size() >= cfg_.read_queue) {
         ++ctr_.read_queue_full_stalls;
         now = std::max(now, read_inflight_.front());
-        pop_completed(now);
+        popCompletedReads(now);
     }
 
     Bank &bank = banks_[bankOf(addr)];

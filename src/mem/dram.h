@@ -92,6 +92,19 @@ class Dram
     /** Reads currently occupying the read queue (telemetry probe). */
     std::size_t readQueueDepth() const { return read_inflight_.size(); }
 
+    /**
+     * Next-event cursor: the tick at which the earliest in-flight read
+     * completes, or kTickMax when the read queue is empty.  Like
+     * Mshr::nextFill(), this is what makes quiet periods cost nothing —
+     * a caller (or test) can see in O(1) that nothing happens before
+     * this tick instead of scanning queues.
+     */
+    Tick
+    nextReadCompletion() const
+    {
+        return read_inflight_.empty() ? kTickMax : read_inflight_.front();
+    }
+
   private:
     struct Bank {
         Tick next_free = 0;
@@ -108,6 +121,7 @@ class Dram
     std::uint64_t rowOf(Addr addr) const;
     void drainWrites(Tick now, std::size_t target_depth);
     void countBytes(ReqOrigin origin, std::uint64_t n);
+    void popCompletedReads(Tick t);
 
     DramConfig cfg_;
     std::vector<Bank> banks_;          ///< channels x banks, row-major.

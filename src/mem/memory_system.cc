@@ -19,6 +19,7 @@ MemorySystem::MemorySystem(const MachineConfig &cfg)
         l2_.push_back(std::make_unique<Cache>(l2));
         tlb_.push_back(std::make_unique<Tlb>(cfg.tlb));
         prefetchers_.push_back(&null_pf_);
+        pf_dispatch_.push_back({}); // NullPrefetcher: both hooks off
     }
 }
 
@@ -26,6 +27,8 @@ void
 MemorySystem::setPrefetcher(unsigned core, Prefetcher *pf)
 {
     prefetchers_[core] = pf ? pf : &null_pf_;
+    pf_dispatch_[core] = {prefetchers_[core]->wantsAccess(),
+                          prefetchers_[core]->hasTargetRegions()};
     if (pf) {
         pf->attach(this, core);
         if (tr_)
@@ -171,7 +174,9 @@ MemorySystem::demandAccess(unsigned core, Addr vaddr, bool is_write,
     // ---- L2 ----
     l2.mshr().purge(t2);
     l2.prefetchQueue().purge(t2);
-    const bool target = prefetchers_[core]->inTargetRegion(vaddr);
+    const PfDispatch pfd = pf_dispatch_[core];
+    const bool target =
+        pfd.has_targets && prefetchers_[core]->inTargetRegion(vaddr);
     L2AccessInfo info;
     info.core = core;
     info.vaddr = vaddr;
@@ -240,7 +245,8 @@ MemorySystem::demandAccess(unsigned core, Addr vaddr, bool is_write,
             ++l2.ctr().target_misses;
         }
     }
-    prefetchers_[core]->onAccess(info);
+    if (pfd.wants_access)
+        prefetchers_[core]->onAccess(info);
 
     // ---- L1 fill ----
     if (!l1.mshr().full()) {

@@ -108,6 +108,18 @@ class MemorySystem
     /** Handles an L2 eviction: writeback + prefetcher notification. */
     void handleL2Evict(unsigned core, const EvictResult &ev, Tick now);
 
+    /**
+     * Per-core snapshot of Prefetcher::wantsAccess()/hasTargetRegions(),
+     * taken at setPrefetcher(): demandAccess() consults the flags
+     * instead of making the two per-access virtual calls when they are
+     * declared no-ops (the batched kernel's prefetcher devirtualisation;
+     * docs/PERF.md section 3).
+     */
+    struct PfDispatch {
+        bool wants_access = false;
+        bool has_targets = false;
+    };
+
     MachineConfig cfg_;
     std::vector<std::unique_ptr<Cache>> l1d_;
     std::vector<std::unique_ptr<Cache>> l2_;
@@ -115,6 +127,7 @@ class MemorySystem
     std::unique_ptr<Cache> llc_;
     Dram dram_;
     std::vector<Prefetcher *> prefetchers_;
+    std::vector<PfDispatch> pf_dispatch_; ///< Parallel to prefetchers_.
     NullPrefetcher null_pf_;
     TraceCollector *tr_ = nullptr; ///< Null unless tracing is enabled.
     TelemetrySampler *tm_ = nullptr; ///< Null unless sampling is enabled.

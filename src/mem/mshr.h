@@ -7,6 +7,13 @@
  * simulator computes a miss's completion time at issue, an MSHR entry is
  * "free" again as soon as simulated time passes its fill tick; purge()
  * drops such entries lazily.
+ *
+ * purge() is the hottest call in the memory system (three files are
+ * purged per demand access), so the file keeps a next-event cursor: the
+ * minimum outstanding fill tick.  While now < next_fill_ a purge is a
+ * single compare — the "quiet cycles cost nothing" half of the batched
+ * kernel (docs/PERF.md) — and the O(n) compaction runs only when a fill
+ * actually completes.
  */
 #ifndef RNR_MEM_MSHR_H
 #define RNR_MEM_MSHR_H
@@ -46,9 +53,18 @@ class Mshr
     void
     purge(Tick now)
     {
-        std::erase_if(entries_, [now](const Entry &e) {
-            return e.fill <= now;
-        });
+        if (now < next_fill_)
+            return; // nothing can have completed yet
+        Tick next = kTickMax;
+        std::size_t kept = 0;
+        for (const Entry &e : entries_) {
+            if (e.fill > now) {
+                next = std::min(next, e.fill);
+                entries_[kept++] = e;
+            }
+        }
+        entries_.resize(kept);
+        next_fill_ = next;
     }
 
     /** Returns the in-flight entry for @p block, or nullptr. */
@@ -74,11 +90,16 @@ class Mshr
     earliestFill() const
     {
         assert(!entries_.empty());
-        Tick t = kTickMax;
-        for (const auto &e : entries_)
-            t = std::min(t, e.fill);
-        return t;
+        return next_fill_;
     }
+
+    /**
+     * The next-event cursor itself: the tick at which the earliest
+     * outstanding fill lands, or kTickMax when the file is empty.
+     * Unlike earliestFill() this is valid on an empty file, so batch
+     * drivers can ask "when does anything change?" unconditionally.
+     */
+    Tick nextFill() const { return next_fill_; }
 
     /** Allocates an entry; the caller must have ensured capacity. */
     void
@@ -86,16 +107,23 @@ class Mshr
     {
         assert(!full());
         entries_.push_back({block, fill, prefetch});
+        next_fill_ = std::min(next_fill_, fill);
         if (tr_)
             tr_->emit(tr_track_, TraceEventType::MshrAlloc, fill, block,
                       tr_pq_ ? 1 : 0);
     }
 
-    void clear() { entries_.clear(); }
+    void
+    clear()
+    {
+        entries_.clear();
+        next_fill_ = kTickMax;
+    }
 
   private:
     unsigned capacity_;
     std::vector<Entry> entries_;
+    Tick next_fill_ = kTickMax; ///< Min outstanding fill; kTickMax = none.
     TraceCollector *tr_ = nullptr; ///< Null unless tracing is enabled.
     std::uint16_t tr_track_ = 0;
     bool tr_pq_ = false;

@@ -2,40 +2,28 @@
 
 namespace rnr {
 
+namespace {
+
+/** size-1 when @p n is a power of two (mask indexing), else 0. */
+std::size_t
+maskFor(std::size_t n)
+{
+    return (n != 0 && (n & (n - 1)) == 0) ? n - 1 : 0;
+}
+
+} // namespace
+
 Tlb::Tlb(const TlbConfig &cfg)
     : cfg_(cfg),
       dtlb_(cfg.dtlb_entries, 0),
       stlb_(cfg.stlb_entries, 0),
+      dtlb_mask_(maskFor(dtlb_.size())),
+      stlb_mask_(maskFor(stlb_.size())),
       stats_("TLB"),
       c_dtlb_hits_(stats_.declare("dtlb_hits")),
       c_stlb_hits_(stats_.declare("stlb_hits")),
       c_walks_(stats_.declare("walks"))
 {
-}
-
-Tick
-Tlb::translate(Addr vaddr)
-{
-    const Addr page = pageNumber(vaddr);
-    const Addr tag = page + 1;
-
-    Addr &d = dtlb_[page % dtlb_.size()];
-    if (d == tag) {
-        ++c_dtlb_hits_;
-        return 0;
-    }
-
-    Addr &s = stlb_[page % stlb_.size()];
-    if (s == tag) {
-        ++c_stlb_hits_;
-        d = tag;
-        return cfg_.stlb_latency;
-    }
-
-    ++c_walks_;
-    d = tag;
-    s = tag;
-    return cfg_.walk_latency;
 }
 
 void

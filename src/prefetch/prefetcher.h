@@ -85,13 +85,6 @@ class Prefetcher
     }
 
     /**
-     * Invoked once per core "cycle batch" with the current core time so
-     * rate-controlled prefetchers (RnR pace control) can issue work that
-     * is not directly triggered by an access.
-     */
-    virtual void onTick(Tick now) { (void)now; }
-
-    /**
      * True when @p vaddr falls in a software-declared target region.
      * Only RnR overrides this; the memory system uses it to set
      * L2AccessInfo::target_struct and to let a companion stream
@@ -102,6 +95,20 @@ class Prefetcher
         (void)vaddr;
         return false;
     }
+
+    /**
+     * Install-time dispatch descriptors for the batched kernel: the
+     * memory system caches these at setPrefetcher() and skips the
+     * per-access onAccess()/inTargetRegion() virtual calls when a flag
+     * says they cannot matter.  Defaults are conservative (call me);
+     * only a prefetcher whose hooks are provably no-ops should opt out
+     * — NullPrefetcher is the one that does, which is what makes the
+     * no-prefetch baseline's hot loop virtual-dispatch-free.
+     */
+    virtual bool wantsAccess() const { return true; }
+
+    /** False promises inTargetRegion() is identically false. */
+    virtual bool hasTargetRegions() const { return true; }
 
     virtual std::string name() const = 0;
 
@@ -158,6 +165,8 @@ class NullPrefetcher : public Prefetcher
 {
   public:
     void onAccess(const L2AccessInfo &) override {}
+    bool wantsAccess() const override { return false; }
+    bool hasTargetRegions() const override { return false; }
     std::string name() const override { return "none"; }
 };
 

@@ -1,0 +1,23 @@
+#include "sim/kernel.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rnr {
+
+KernelMode
+kernelModeFromEnv()
+{
+    const char *env = std::getenv("RNR_KERNEL");
+    if (env && std::strcmp(env, "legacy") == 0)
+        return KernelMode::Legacy;
+    return KernelMode::Batched;
+}
+
+const char *
+kernelModeName(KernelMode mode)
+{
+    return mode == KernelMode::Legacy ? "legacy" : "batched";
+}
+
+} // namespace rnr

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Simulation-kernel mode selection.
+ *
+ * The batched kernel (the default) stages whole 4096-record trace
+ * blocks via TraceSource::takeBlock() and simulates them in tight runs
+ * with no per-record virtual dispatch; the legacy kernel is the seed
+ * per-record done()/take() path, kept behind RNR_KERNEL=legacy for one
+ * release as the bit-identical reference the parity tests compare
+ * against (docs/PERF.md section 4).
+ */
+#ifndef RNR_SIM_KERNEL_H
+#define RNR_SIM_KERNEL_H
+
+namespace rnr {
+
+/** Which inner loop CoreModel runs; see file docs. */
+enum class KernelMode {
+    Batched, ///< Block-at-a-time staging (default).
+    Legacy,  ///< Seed per-record virtual-dispatch path.
+};
+
+/**
+ * Mode selected by the RNR_KERNEL environment variable: "legacy" picks
+ * the seed path, anything else (including unset) the batched kernel.
+ * Read once per System/CoreModel construction, not per record.
+ */
+KernelMode kernelModeFromEnv();
+
+/** Stable display name ("batched" / "legacy"). */
+const char *kernelModeName(KernelMode mode);
+
+} // namespace rnr
+
+#endif // RNR_SIM_KERNEL_H

@@ -152,4 +152,18 @@ StreamingTraceReader::take()
     return block_[pos_++];
 }
 
+const TraceRecord *
+StreamingTraceReader::takeBlock(std::size_t &n)
+{
+    if (pos_ >= block_.size() && (exhausted_ || !refill())) {
+        n = 0;
+        return nullptr;
+    }
+    const TraceRecord *run = block_.data() + pos_;
+    n = block_.size() - pos_;
+    pos_ = block_.size();
+    delivered_ += n;
+    return run;
+}
+
 } // namespace rnr

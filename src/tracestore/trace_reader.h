@@ -43,6 +43,9 @@ class StreamingTraceReader final : public TraceSource
     bool done() override;
     TraceRecord take() override;
 
+    /** Zero-copy: the rest of the decoded block is one run. */
+    const TraceRecord *takeBlock(std::size_t &n) override;
+
     /** Set when a block failed to decode mid-stream (see file docs). */
     bool error() const { return error_; }
 

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Batched-vs-legacy kernel parity: the block-at-a-time kernel
+ * (sim/kernel.h) must be bit-identical to the seed per-record path on
+ * every observable — cycle accounting, instruction counts and every
+ * counter of RNR_ITER_STAT_FIELDS — because the legacy kernel is the
+ * reference the RNR_KERNEL=legacy escape hatch preserves for one
+ * release.  The scenarios deliberately cover the cases where the two
+ * loops could diverge: multi-core interleaving through the shared
+ * LLC/DRAM, control records mid-run, traces longer than one staging
+ * block, and RnR record/replay with window closes and pace recomputes
+ * straddling block boundaries.
+ */
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cpu/system.h"
+#include "harness/system_counters.h"
+#include "prefetch/factory.h"
+#include "sim/kernel.h"
+#include "test_util.h"
+#include "workloads/graph_gen.h"
+#include "workloads/pagerank.h"
+
+namespace rnr {
+namespace {
+
+/** Every counter of both systems must agree exactly. */
+void
+expectCountersEqual(System &batched, System &legacy)
+{
+    const SystemCounters a = SystemCounters::capture(batched);
+    const SystemCounters b = SystemCounters::capture(legacy);
+#define RNR_CHECK_FIELD(type, name) EXPECT_EQ(a.name, b.name) << #name;
+    RNR_ITER_STAT_FIELDS(RNR_CHECK_FIELD)
+#undef RNR_CHECK_FIELD
+}
+
+void
+expectIterationEqual(const IterationResult &a, const IterationResult &b)
+{
+    EXPECT_EQ(a.start, b.start);
+    EXPECT_EQ(a.end, b.end);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+/** Two cores contending in the shared LLC/DRAC address range, with
+ *  loads, stores, gaps and control records mixed in. */
+std::vector<TraceBuffer>
+contendedTraces(std::size_t records_per_core)
+{
+    std::vector<TraceBuffer> bufs(2);
+    bufs[0].push(TraceRecord::control(RnrOp::Init));
+    bufs[0].push(TraceRecord::control(RnrOp::AddrBaseSet, 0x100000, 1 << 20));
+    for (std::size_t i = 0; i < records_per_core; ++i) {
+        // Both cores walk overlapping sets so LLC/DRAM contention makes
+        // the drive() interleave observable in the counters.
+        const Addr a0 = 0x100000 + Addr(i * 37 % 8192) * 64;
+        const Addr a1 = 0x100000 + Addr(i * 53 % 8192) * 64;
+        const std::uint16_t gap = static_cast<std::uint16_t>(i % 5);
+        if (i % 7 == 0)
+            bufs[0].push(TraceRecord::store(a0, 1 + i % 11, gap));
+        else
+            bufs[0].push(TraceRecord::load(a0, 1 + i % 11, gap));
+        if (i % 9 == 0)
+            bufs[1].push(TraceRecord::store(a1, 100 + i % 13, gap));
+        else
+            bufs[1].push(TraceRecord::load(a1, 100 + i % 13, gap));
+        if (i == records_per_core / 2) {
+            bufs[0].push(TraceRecord::control(RnrOp::Pause));
+            bufs[1].push(TraceRecord::control(RnrOp::Resume));
+        }
+    }
+    bufs[0].push(TraceRecord::control(RnrOp::EndState));
+    return bufs;
+}
+
+TEST(KernelParityTest, ModeIsSelectedPerSystem)
+{
+    const MachineConfig m = test::tinyMachine();
+    System batched(m, KernelMode::Batched);
+    System legacy(m, KernelMode::Legacy);
+    EXPECT_EQ(batched.core(0).kernel(), KernelMode::Batched);
+    EXPECT_EQ(legacy.core(0).kernel(), KernelMode::Legacy);
+}
+
+TEST(KernelParityTest, TwoCoreContentionBitIdentical)
+{
+    MachineConfig m = test::tinyMachine();
+    m.cores = 2;
+    System batched(m, KernelMode::Batched);
+    System legacy(m, KernelMode::Legacy);
+    auto pfs_b = test::attachPrefetchers(batched, PrefetcherKind::Stream);
+    auto pfs_l = test::attachPrefetchers(legacy, PrefetcherKind::Stream);
+
+    // 6000 records per core: longer than one 4096-record staging block,
+    // so runs straddle block boundaries under the batched kernel.
+    const std::vector<TraceBuffer> bufs = contendedTraces(6000);
+    const std::vector<const TraceBuffer *> ptrs = {&bufs[0], &bufs[1]};
+    const IterationResult rb = batched.run(ptrs);
+    const IterationResult rl = legacy.run(ptrs);
+
+    expectIterationEqual(rb, rl);
+    for (unsigned c = 0; c < 2; ++c) {
+        EXPECT_EQ(batched.core(c).time(), legacy.core(c).time());
+        EXPECT_EQ(batched.core(c).finishTime(), legacy.core(c).finishTime());
+        EXPECT_EQ(batched.core(c).instructionsRetired(),
+                  legacy.core(c).instructionsRetired());
+    }
+    expectCountersEqual(batched, legacy);
+}
+
+TEST(KernelParityTest, MultiIterationBarrierBitIdentical)
+{
+    MachineConfig m = test::tinyMachine();
+    m.cores = 2;
+    System batched(m, KernelMode::Batched);
+    System legacy(m, KernelMode::Legacy);
+
+    const std::vector<TraceBuffer> bufs = contendedTraces(1500);
+    const std::vector<const TraceBuffer *> ptrs = {&bufs[0], &bufs[1]};
+    for (int iter = 0; iter < 3; ++iter) {
+        const IterationResult rb = batched.run(ptrs);
+        const IterationResult rl = legacy.run(ptrs);
+        expectIterationEqual(rb, rl);
+    }
+    expectCountersEqual(batched, legacy);
+}
+
+TEST(KernelParityTest, UnevenCoreLengthsBitIdentical)
+{
+    // One core's trace is a tiny fraction of the other's, so the
+    // pick-min-time scheduler runs long stretches single-core after the
+    // short core drains — including the drain happening mid-block.
+    MachineConfig m = test::tinyMachine();
+    m.cores = 2;
+    System batched(m, KernelMode::Batched);
+    System legacy(m, KernelMode::Legacy);
+
+    std::vector<TraceBuffer> bufs(2);
+    for (int i = 0; i < 5000; ++i)
+        bufs[0].push(TraceRecord::load(0x10000 + Addr(i % 4096) * 64, 1,
+                                       static_cast<std::uint16_t>(i % 3)));
+    for (int i = 0; i < 37; ++i)
+        bufs[1].push(TraceRecord::load(0x90000 + Addr(i) * 64, 2, 1));
+
+    const std::vector<const TraceBuffer *> ptrs = {&bufs[0], &bufs[1]};
+    expectIterationEqual(batched.run(ptrs), legacy.run(ptrs));
+    expectCountersEqual(batched, legacy);
+}
+
+/**
+ * Full RnR record/replay parity: iteration 0 records misses, the
+ * replay iterations issue paced prefetches whose windows open and
+ * close from record positions anywhere inside a staging block, and the
+ * pace recompute spans block boundaries.  Both systems consume the
+ * *same* emitted trace buffers so any divergence is the kernel's.
+ */
+TEST(KernelParityTest, RnrRecordReplayBitIdentical)
+{
+    MachineConfig m = test::tinyMachine();
+    m.cores = 2;
+    System batched(m, KernelMode::Batched);
+    System legacy(m, KernelMode::Legacy);
+
+    WorkloadOptions opts;
+    opts.cores = 2;
+    opts.use_rnr = true;
+    opts.window_size = 512; // small windows: frequent closes mid-block
+    PageRankWorkload wl(makeUrandGraph(3000, 8), opts);
+
+    auto pfs_b =
+        test::attachPrefetchers(batched, PrefetcherKind::Rnr, {}, &wl);
+    auto pfs_l =
+        test::attachPrefetchers(legacy, PrefetcherKind::Rnr, {}, &wl);
+    for (unsigned c = 0; c < 2; ++c) {
+        pfs_b[c]->configureFor(wl, c);
+        pfs_l[c]->configureFor(wl, c);
+    }
+
+    const unsigned iterations = 3;
+    std::vector<TraceBuffer> bufs(2);
+    std::uint64_t total_records = 0;
+    for (unsigned iter = 0; iter < iterations; ++iter) {
+        for (auto &b : bufs)
+            b.clear();
+        wl.emitIteration(iter, iter + 1 == iterations, bufs);
+        for (const auto &b : bufs)
+            total_records += b.size();
+        const std::vector<const TraceBuffer *> ptrs = {&bufs[0], &bufs[1]};
+        const IterationResult rb = batched.run(ptrs);
+        const IterationResult rl = legacy.run(ptrs);
+        expectIterationEqual(rb, rl);
+        expectCountersEqual(batched, legacy);
+    }
+
+    // The scenario must actually exercise the straddling cases: more
+    // records than one staging block, and real replay prefetching.
+    EXPECT_GT(total_records, 2u * TraceSource::kMaxBlockRecords);
+    const SystemCounters c = SystemCounters::capture(batched);
+    EXPECT_GT(c.rnr_recorded, 0u);
+    EXPECT_GT(c.pf_issued, 0u);
+}
+
+} // namespace
+} // namespace rnr

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Cross-config kernel parity sweep: every cell of a small evaluation
+ * matrix must produce bit-identical IterStats under the batched kernel
+ * (the default) and the RNR_KERNEL=legacy seed path.  This is the
+ * harness-level counterpart of tests/cpu/kernel_parity_test.cc — it
+ * goes through runExperimentUncached(), so the workload emission, the
+ * four-core machine, the prefetcher wiring and the metadata accounting
+ * are all the real thing.
+ *
+ * The file cache and trace store are disabled: a cache hit would
+ * compare one simulation against itself and prove nothing.
+ */
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+
+namespace rnr {
+namespace {
+
+struct KernelSweepFixture : ::testing::Test {
+    void
+    SetUp() override
+    {
+        setenv("RNR_CACHE", "0", 1);
+        setenv("RNR_TRACE_STORE", "0", 1);
+        unsetenv("RNR_KERNEL");
+    }
+
+    void TearDown() override { unsetenv("RNR_KERNEL"); }
+
+    /** Runs @p cfg under both kernels and compares field-by-field. */
+    static void
+    expectKernelParity(const ExperimentConfig &cfg)
+    {
+        setenv("RNR_KERNEL", "legacy", 1);
+        const ExperimentResult legacy = runExperimentUncached(cfg);
+        unsetenv("RNR_KERNEL");
+        const ExperimentResult batched = runExperimentUncached(cfg);
+
+        ASSERT_EQ(batched.iterations.size(), legacy.iterations.size())
+            << cfg.key();
+        for (std::size_t i = 0; i < batched.iterations.size(); ++i) {
+            const IterStats &a = batched.iterations[i];
+            const IterStats &b = legacy.iterations[i];
+#define RNR_CHECK_FIELD(type, name)                                         \
+    EXPECT_EQ(a.name, b.name) << cfg.key() << " iter " << i << " " << #name;
+            RNR_ITER_STAT_FIELDS(RNR_CHECK_FIELD)
+#undef RNR_CHECK_FIELD
+        }
+        EXPECT_EQ(batched.seq_table_bytes, legacy.seq_table_bytes)
+            << cfg.key();
+        EXPECT_EQ(batched.div_table_bytes, legacy.div_table_bytes)
+            << cfg.key();
+    }
+};
+
+TEST_F(KernelSweepFixture, PagerankNoPrefetcher)
+{
+    ExperimentConfig cfg;
+    cfg.app = "pagerank";
+    cfg.input = "amazon";
+    cfg.iterations = 2;
+    expectKernelParity(cfg);
+}
+
+TEST_F(KernelSweepFixture, PagerankStream)
+{
+    ExperimentConfig cfg;
+    cfg.app = "pagerank";
+    cfg.input = "amazon";
+    cfg.iterations = 2;
+    cfg.prefetcher = PrefetcherKind::Stream;
+    expectKernelParity(cfg);
+}
+
+TEST_F(KernelSweepFixture, PagerankRnr)
+{
+    ExperimentConfig cfg;
+    cfg.app = "pagerank";
+    cfg.input = "amazon";
+    cfg.iterations = 2;
+    cfg.prefetcher = PrefetcherKind::Rnr;
+    expectKernelParity(cfg);
+}
+
+TEST_F(KernelSweepFixture, SpcgRnrSmallWindow)
+{
+    // Sparse CG with a non-default window size: window closes and pace
+    // recomputes land at different trace positions than PageRank's.
+    ExperimentConfig cfg;
+    cfg.app = "spcg";
+    cfg.input = "pdb1HYS";
+    cfg.iterations = 2;
+    cfg.prefetcher = PrefetcherKind::Rnr;
+    cfg.window_size = 1024;
+    expectKernelParity(cfg);
+}
+
+TEST_F(KernelSweepFixture, HyperanfRnrIdealLlc)
+{
+    ExperimentConfig cfg;
+    cfg.app = "hyperanf";
+    cfg.input = "amazon";
+    cfg.iterations = 2;
+    cfg.prefetcher = PrefetcherKind::Rnr;
+    cfg.ideal_llc = true;
+    expectKernelParity(cfg);
+}
+
+} // namespace
+} // namespace rnr

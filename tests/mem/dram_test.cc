@@ -115,6 +115,45 @@ TEST(DramTest, ResetTimingKeepsStatistics)
     EXPECT_EQ(t, 20u * 3 + 2); // row was closed by the reset
 }
 
+// --- next-event cursor (the batched kernel's quiet-cycle skip) ------
+
+TEST(DramTest, NextReadCompletionIsMaxWhenQueueEmpty)
+{
+    Dram d(cfg());
+    EXPECT_EQ(d.nextReadCompletion(), kTickMax);
+}
+
+TEST(DramTest, NextReadCompletionIsEarliestInFlight)
+{
+    Dram d(cfg());
+    const Tick t1 = d.read(0, 0, ReqOrigin::Demand);
+    EXPECT_EQ(d.nextReadCompletion(), t1);
+    // A second read on another bank completes later; the cursor keeps
+    // pointing at the earliest outstanding completion.
+    const Tick t2 = d.read(kBlockSize, 0, ReqOrigin::Demand);
+    EXPECT_EQ(d.nextReadCompletion(), std::min(t1, t2));
+}
+
+TEST(DramTest, NextReadCompletionAdvancesAsReadsRetire)
+{
+    Dram d(cfg());
+    const Tick t1 = d.read(0, 0, ReqOrigin::Demand);
+    // Issuing a read long after t1 retires the first entry, so the
+    // cursor must move past it rather than report a stale completion.
+    const Tick t2 = d.read(kBlockSize, t1 + 1000, ReqOrigin::Demand);
+    EXPECT_EQ(d.nextReadCompletion(), t2);
+    EXPECT_GT(t2, t1);
+}
+
+TEST(DramTest, ResetTimingEmptiesTheCompletionQueue)
+{
+    Dram d(cfg());
+    d.read(0, 0, ReqOrigin::Demand);
+    ASSERT_NE(d.nextReadCompletion(), kTickMax);
+    d.resetTiming();
+    EXPECT_EQ(d.nextReadCompletion(), kTickMax);
+}
+
 /** Property: completion is never before arrival + minimum service. */
 class DramLatencyTest : public ::testing::TestWithParam<int>
 {

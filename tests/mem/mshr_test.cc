@@ -51,5 +51,84 @@ TEST(MshrTest, ClearEmpties)
     EXPECT_EQ(m.find(1), nullptr);
 }
 
+// --- next-event cursor (the batched kernel's quiet-cycle skip) ------
+
+TEST(MshrTest, NextFillIsMaxOnEmptyFile)
+{
+    Mshr m(4);
+    EXPECT_EQ(m.nextFill(), kTickMax);
+}
+
+TEST(MshrTest, NextFillTracksMinimumAcrossInserts)
+{
+    Mshr m(4);
+    m.insert(1, 300, false);
+    EXPECT_EQ(m.nextFill(), 300u);
+    m.insert(2, 100, true);
+    EXPECT_EQ(m.nextFill(), 100u);
+    m.insert(3, 200, false);
+    EXPECT_EQ(m.nextFill(), 100u); // later fills don't lower the min
+}
+
+TEST(MshrTest, PurgeBeforeCursorIsANoOp)
+{
+    Mshr m(4);
+    m.insert(1, 100, false);
+    m.insert(2, 200, false);
+    // Strictly before the earliest fill: nothing can have completed,
+    // so the purge must not drop entries or move the cursor.
+    m.purge(99);
+    EXPECT_EQ(m.inFlight(), 2u);
+    EXPECT_EQ(m.nextFill(), 100u);
+}
+
+TEST(MshrTest, PurgeAtExactBoundaryDropsAndRecomputes)
+{
+    Mshr m(4);
+    m.insert(1, 100, false);
+    m.insert(2, 250, false);
+    m.insert(3, 250, true);
+    // now == fill counts as completed (fill <= now drops).
+    m.purge(100);
+    EXPECT_EQ(m.find(1), nullptr);
+    EXPECT_EQ(m.inFlight(), 2u);
+    EXPECT_EQ(m.nextFill(), 250u); // recomputed to the surviving min
+    // Draining the rest resets the cursor to "no event".
+    m.purge(250);
+    EXPECT_EQ(m.inFlight(), 0u);
+    EXPECT_EQ(m.nextFill(), kTickMax);
+}
+
+TEST(MshrTest, DrainThenRefillRestartsCursor)
+{
+    // A fully drained file (the MSHR-drain-at-block-boundary case) must
+    // accept new entries with a fresh cursor, not a stale one.
+    Mshr m(2);
+    m.insert(1, 50, false);
+    m.purge(1000);
+    EXPECT_EQ(m.nextFill(), kTickMax);
+    m.insert(2, 2000, false);
+    EXPECT_EQ(m.nextFill(), 2000u);
+    m.purge(1500); // before the new fill: still a no-op
+    EXPECT_EQ(m.inFlight(), 1u);
+}
+
+TEST(MshrTest, ClearResetsCursor)
+{
+    Mshr m(2);
+    m.insert(1, 10, false);
+    m.clear();
+    EXPECT_EQ(m.nextFill(), kTickMax);
+}
+
+TEST(MshrTest, EarliestFillAgreesWithCursorWhenNonEmpty)
+{
+    Mshr m(4);
+    m.insert(7, 400, false);
+    m.insert(8, 150, false);
+    EXPECT_EQ(m.earliestFill(), m.nextFill());
+    EXPECT_EQ(m.earliestFill(), 150u);
+}
+
 } // namespace
 } // namespace rnr

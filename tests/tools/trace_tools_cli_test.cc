@@ -8,6 +8,9 @@
  *  - `help` lists every mode and exits 0;
  *  - `help <mode>` and `<mode> --help` work for every registered mode;
  *  - unknown modes print usage to stderr and exit 2, as does no mode;
+ *  - `help --markdown` emits the registry-generated mode table and the
+ *    copy embedded in README.md matches it byte-for-byte (README path
+ *    injected as RNR_README_PATH);
  *  - `report` writes a parseable rnr-report-v1 JSON plus an HTML page
  *    with inline SVG (the full telemetry pipeline, out of process).
  */
@@ -104,6 +107,48 @@ TEST(TraceToolsCli, KnownModeWithWrongArityExitsTwo)
     EXPECT_EQ(runTool("convert").exit_code, 2);      // needs 2 args
     EXPECT_EQ(runTool("stats").exit_code, 2);        // needs a file
     EXPECT_EQ(runTool("capture onlyone").exit_code, 2);
+}
+
+TEST(TraceToolsCli, HelpMarkdownEmitsTheModeTable)
+{
+    const CliResult r = runTool("help --markdown");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_EQ(r.output.rfind("| Mode | Arguments | Description |", 0), 0u)
+        << r.output;
+    for (const char *mode : kModes)
+        EXPECT_NE(r.output.find(std::string("| `") + mode + "` |"),
+                  std::string::npos)
+            << mode;
+}
+
+TEST(TraceToolsCli, HelpMarkdownMatchesReadme)
+{
+    // README.md embeds the generated table between these markers; if
+    // the registry changes, regenerate with:
+    //   trace_tools help --markdown
+    const std::string begin_marker = "<!-- trace_tools-modes:begin -->\n";
+    const std::string end_marker = "<!-- trace_tools-modes:end -->";
+
+    std::ifstream readme(RNR_README_PATH);
+    ASSERT_TRUE(readme.good()) << RNR_README_PATH;
+    std::stringstream buf;
+    buf << readme.rdbuf();
+    const std::string body = buf.str();
+
+    const std::size_t begin = body.find(begin_marker);
+    ASSERT_NE(begin, std::string::npos)
+        << "README.md lost its trace_tools-modes:begin marker";
+    const std::size_t start = begin + begin_marker.size();
+    const std::size_t end = body.find(end_marker, start);
+    ASSERT_NE(end, std::string::npos)
+        << "README.md lost its trace_tools-modes:end marker";
+    const std::string embedded = body.substr(start, end - start);
+
+    const CliResult r = runTool("help --markdown");
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_EQ(embedded, r.output)
+        << "README.md mode table is stale; re-run "
+           "`trace_tools help --markdown` and paste between the markers";
 }
 
 TEST(TraceToolsCli, ReportModeWritesJsonAndHtml)
