@@ -44,6 +44,14 @@
  *       (harness/report.h).  Prefix defaults to $RNR_REPORT_OUT or
  *       "rnr_report"; honours --sample-cycles/--iterations/--cores.
  *
+ *   trace_tools farm serve|submit|status|drain
+ *       Client and daemon of the simulation farm (docs/HARNESS.md
+ *       section 15).  `serve` runs rnr_farmd's loop in this binary;
+ *       `submit` runs a small experiment batch on the daemon (or
+ *       in-process with --local) and writes rnr-sweep JSON; `status`
+ *       prints daemon-side queue depth and worker occupancy; `drain`
+ *       asks the daemon to finish in-flight work and exit.
+ *
  *   trace_tools help [mode]
  *       This text, or one mode's usage.  Every mode also accepts
  *       --help/-h.  Unknown modes print usage and exit 2.
@@ -53,13 +61,19 @@
  *       in sync (tests/tools/trace_tools_cli_test.cc).
  */
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <sstream>
 #include <vector>
 
+#include "farm/farm_client.h"
+#include "farm/farm_server.h"
+#include "farm/farm_worker.h"
 #include "harness/metrics.h"
 #include "harness/report.h"
 #include "harness/runner.h"
+#include "harness/sweep.h"
 #include "sim/timeseries.h"
 #include "sim/trace_event.h"
 #include "trace/trace_io.h"
@@ -409,6 +423,197 @@ report(const std::string &app, const std::string &input,
     return 0;
 }
 
+// ---- farm: client and daemon of the simulation farm ----
+
+int
+farmServe(int argc, char **argv)
+{
+    FarmOptions opts = FarmOptions::fromEnv();
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *v = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (arg == "--socket" && v) {
+            opts.socket_path = v;
+            ++i;
+        } else if (arg == "--workers" && v && std::atoi(v) > 0) {
+            opts.workers = static_cast<unsigned>(std::atoi(v));
+            ++i;
+        } else if (arg == "--timeout-sec" && v && std::atof(v) > 0) {
+            opts.timeout_sec = std::atof(v);
+            ++i;
+        } else {
+            std::fprintf(stderr, "farm serve: bad argument '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    FarmServer server(opts);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "farm serve: %s\n", error.c_str());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "farm serve: listening on %s (%u workers, %.0fs cell "
+                 "timeout)\n",
+                 server.options().socket_path.c_str(),
+                 server.options().workers,
+                 server.options().timeout_sec);
+    return server.serve();
+}
+
+int
+farmSubmit(int argc, char **argv)
+{
+    std::string socket = FarmOptions::fromEnv().socket_path;
+    std::string json, label = "farm-submit";
+    std::string app = "pagerank", input = "urand";
+    std::string prefetchers = "none,nextline,stride,rnr";
+    unsigned iterations = 0, cores = 0;
+    bool local = false;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *v = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (arg == "--local") {
+            local = true;
+        } else if (arg == "--socket" && v) {
+            socket = v;
+            ++i;
+        } else if (arg == "--json" && v) {
+            json = v;
+            ++i;
+        } else if (arg == "--label" && v) {
+            label = v;
+            ++i;
+        } else if (arg == "--app" && v) {
+            app = v;
+            ++i;
+        } else if (arg == "--input" && v) {
+            input = v;
+            ++i;
+        } else if (arg == "--prefetchers" && v) {
+            prefetchers = v;
+            ++i;
+        } else if (arg == "--iterations" && v && std::atoi(v) > 0) {
+            iterations = static_cast<unsigned>(std::atoi(v));
+            ++i;
+        } else if (arg == "--cores" && v && std::atoi(v) > 0) {
+            cores = static_cast<unsigned>(std::atoi(v));
+            ++i;
+        } else {
+            std::fprintf(stderr, "farm submit: bad argument '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    std::vector<ExperimentConfig> cells;
+    std::stringstream ss(prefetchers);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+        if (name.empty())
+            continue;
+        ExperimentConfig cfg;
+        cfg.app = app;
+        cfg.input = input;
+        try {
+            cfg.prefetcher = prefetcherKindFromString(name);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "farm submit: %s\n", e.what());
+            return 2;
+        }
+        if (iterations)
+            cfg.iterations = iterations;
+        if (cores)
+            cfg.cores = cores;
+        cells.push_back(cfg);
+    }
+    if (cells.empty()) {
+        std::fprintf(stderr, "farm submit: no cells\n");
+        return 2;
+    }
+
+    SweepOptions opts;
+    opts.label = label;
+    opts.json_out = json;
+    opts.farm = local ? "" : socket;
+#ifndef _WIN32
+    if (local) // --local means in-process even if $RNR_FARM is set
+        unsetenv("RNR_FARM");
+#endif
+
+    SweepRunner runner(opts);
+    runner.add(cells);
+    try {
+        runner.run();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "farm submit: %s\n", e.what());
+        return 1;
+    }
+    const SweepStats &st = runner.stats();
+    std::printf("farm submit: %zu cells, %zu simulated, %zu cached, "
+                "%zu poisoned\n",
+                st.cells, st.simulated, st.cache_hits, st.poisoned);
+    return st.poisoned > 0 ? 3 : 0;
+}
+
+int
+farmStatusOrDrain(int argc, char **argv, bool drain)
+{
+    std::string socket = FarmOptions::fromEnv().socket_path;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *v = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (arg == "--socket" && v) {
+            socket = v;
+            ++i;
+        } else {
+            std::fprintf(stderr, "farm %s: bad argument '%s'\n",
+                         drain ? "drain" : "status", arg.c_str());
+            return 2;
+        }
+    }
+    FarmClient client;
+    std::string error;
+    if (!client.connect(socket, &error)) {
+        std::fprintf(stderr, "farm: %s\n", error.c_str());
+        return 1;
+    }
+    if (drain) {
+        if (!client.drain(&error)) {
+            std::fprintf(stderr, "farm drain: %s\n", error.c_str());
+            return 1;
+        }
+        std::printf("farm drain: daemon drained and exiting\n");
+        return 0;
+    }
+    FarmStatus st;
+    if (!client.status(st, &error)) {
+        std::fprintf(stderr, "farm status: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("%s\n", formatFarmStatus(st).c_str());
+    return 0;
+}
+
+int
+farmMain(int argc, char **argv)
+{
+    const std::string sub = argc >= 3 ? argv[2] : "";
+    if (sub == "serve")
+        return farmServe(argc, argv);
+    if (sub == "submit")
+        return farmSubmit(argc, argv);
+    if (sub == "status")
+        return farmStatusOrDrain(argc, argv, false);
+    if (sub == "drain")
+        return farmStatusOrDrain(argc, argv, true);
+    std::fprintf(stderr,
+                 "usage: %s farm serve|submit|status|drain [options]\n",
+                 argv[0]);
+    return 2;
+}
+
 // ---- Mode registry: one row per mode, shared by usage and `help` ----
 
 struct ModeHelp {
@@ -435,6 +640,8 @@ constexpr ModeHelp kModes[] = {
     {"report", "[app] [input] [out-prefix] [--sample-cycles <n>] "
                "[--iterations <n>] [--cores <n>]",
      "telemetry report: <prefix>.json + self-contained <prefix>.html"},
+    {"farm", "serve|submit|status|drain [--socket <path>] [options]",
+     "simulation farm: run the daemon, submit a batch, query or drain"},
     {"help", "[mode]",
      "print this overview, or one mode's usage"},
 };
@@ -496,6 +703,9 @@ wantsHelp(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
+    // The farm daemon execs this binary as a worker process; the hook
+    // is a no-op for every normal invocation (farm/farm_worker.h).
+    farmWorkerMaybeExec(argc, argv);
     if (argc >= 2) {
         // `help [mode]`, `--help` and `-h` all land here; a known mode
         // followed by --help/-h prints that mode's usage below.
@@ -542,6 +752,8 @@ main(int argc, char **argv)
     }
     if (argc >= 3 && std::strcmp(argv[1], "stats") == 0)
         return stats(argv[2]);
+    if (argc >= 2 && std::strcmp(argv[1], "farm") == 0)
+        return farmMain(argc, argv);
     if (argc >= 2 && std::strcmp(argv[1], "corpus") == 0)
         return corpus();
     if (argc >= 3 && std::strcmp(argv[1], "inspect") == 0)

@@ -1,0 +1,313 @@
+#include "farm/farm_client.h"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#ifndef _WIN32
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "farm/farm_protocol.h"
+#include "harness/json_write.h"
+#include "harness/result_cache.h"
+
+namespace rnr {
+
+std::string
+formatFarmStatus(const FarmStatus &s)
+{
+    std::ostringstream os;
+    os << "workers " << s.busy << "/" << s.workers << " busy | queued "
+       << s.queued << ", in-flight " << s.inflight << " | done "
+       << s.done << " (" << s.simulated << " simulated, " << s.cached
+       << " cached, " << s.poisoned << " poisoned)";
+    if (s.retried > 0 || s.worker_deaths > 0)
+        os << " | " << s.worker_deaths << " worker death(s), "
+           << s.retried << " retried";
+    if (s.draining)
+        os << " | draining";
+    return os.str();
+}
+
+FarmClient::~FarmClient()
+{
+    close();
+}
+
+void
+FarmClient::close()
+{
+#ifndef _WIN32
+    if (fd_ >= 0)
+        ::close(fd_);
+#endif
+    fd_ = -1;
+}
+
+bool
+FarmClient::connect(const std::string &socket_path, std::string *error)
+{
+#ifdef _WIN32
+    (void)socket_path;
+    if (error)
+        *error = "the simulation farm is not supported on this platform";
+    return false;
+#else
+    close();
+    std::signal(SIGPIPE, SIG_IGN);
+    sockaddr_un addr{};
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "socket path too long: " + socket_path;
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error)
+            *error = "connect " + socket_path + ": " +
+                     std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+
+    std::ostringstream hello;
+    hello << "{\"type\": \"hello\", \"protocol\": \"" << kFarmProtocol
+          << "\"}";
+    std::string reply, err;
+    if (!farmWriteFrame(fd_, hello.str()) ||
+        !farmReadFrame(fd_, reply, &err)) {
+        if (error)
+            *error = "handshake failed: " +
+                     (err.empty() ? "connection closed" : err);
+        close();
+        return false;
+    }
+    JsonValue msg;
+    const JsonValue *type = nullptr;
+    if (!parseJson(reply, msg, &err) ||
+        !(type = msg.find("type")) || type->text != "hello") {
+        if (error)
+            *error = "unexpected handshake reply";
+        close();
+        return false;
+    }
+    return true;
+#endif
+}
+
+bool
+FarmClient::submit(const std::vector<ExperimentConfig> &cells,
+                   const std::vector<int> &priorities, std::string *error)
+{
+    if (!connected()) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    std::ostringstream os;
+    os << "{\"type\": \"submit\", \"cells\": [";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        std::string cfg = farmConfigJson(cells[i]);
+        if (i < priorities.size() && priorities[i] != 0) {
+            // Graft the priority into the config object.
+            cfg.insert(cfg.size() - 1, ", \"priority\": " +
+                                           std::to_string(priorities[i]));
+        }
+        os << cfg;
+    }
+    os << "]}";
+    if (!farmWriteFrame(fd_, os.str())) {
+        if (error)
+            *error = "submit failed (daemon gone?)";
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+FarmClient::next(Reply &out, std::string *error)
+{
+    out = Reply();
+    std::string payload, err;
+    if (!farmReadFrame(fd_, payload, &err)) {
+        if (error)
+            *error = err.empty() ? "connection closed by daemon" : err;
+        close();
+        return false;
+    }
+    JsonValue msg;
+    if (!parseJson(payload, msg, &err)) {
+        if (error)
+            *error = "bad frame from daemon: " + err;
+        close();
+        return false;
+    }
+    const JsonValue *type = msg.find("type");
+    const std::string t = type ? type->text : "";
+    if (t == "batch-done") {
+        out.batch_done = true;
+        return true;
+    }
+    if (t == "error") {
+        const JsonValue *m = msg.find("message");
+        if (error)
+            *error = "daemon error: " +
+                     (m ? m->text : std::string("(no message)"));
+        return false;
+    }
+    if (t != "result") {
+        if (error)
+            *error = "unexpected message '" + t + "'";
+        return false;
+    }
+    if (const JsonValue *v = msg.find("index"))
+        out.index = static_cast<std::size_t>(v->asU64());
+    if (const JsonValue *v = msg.find("attempts"))
+        out.outcome.attempts = static_cast<int>(v->asU64());
+    if (const JsonValue *v = msg.find("cached"))
+        out.outcome.was_cached = v->boolean;
+    const JsonValue *status = msg.find("status");
+    if (status && status->text == "poisoned") {
+        out.outcome.status = CellOutcome::Status::Poisoned;
+        if (const JsonValue *v = msg.find("error"))
+            out.outcome.error = v->text;
+        return true;
+    }
+    const JsonValue *data = msg.find("data");
+    if (!data || !farmParseResultData(data->text, out.outcome.result)) {
+        if (error)
+            *error = "result with unparseable data field";
+        return false;
+    }
+    return true;
+}
+
+bool
+FarmClient::status(FarmStatus &out, std::string *error)
+{
+    out = FarmStatus();
+    if (!connected()) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    std::string payload, err;
+    if (!farmWriteFrame(fd_, "{\"type\": \"status\"}") ||
+        !farmReadFrame(fd_, payload, &err)) {
+        if (error)
+            *error = err.empty() ? "daemon closed the connection" : err;
+        close();
+        return false;
+    }
+    JsonValue msg;
+    const JsonValue *type = nullptr;
+    if (!parseJson(payload, msg, &err) || !(type = msg.find("type")) ||
+        type->text != "status-reply") {
+        if (error)
+            *error = "unexpected status reply";
+        return false;
+    }
+    if (const JsonValue *v = msg.find("workers"))
+        out.workers = static_cast<unsigned>(v->asU64());
+    if (const JsonValue *v = msg.find("busy"))
+        out.busy = static_cast<unsigned>(v->asU64());
+    if (const JsonValue *v = msg.find("queued"))
+        out.queued = v->asU64();
+    if (const JsonValue *v = msg.find("inflight"))
+        out.inflight = v->asU64();
+    if (const JsonValue *v = msg.find("done"))
+        out.done = v->asU64();
+    if (const JsonValue *v = msg.find("simulated"))
+        out.simulated = v->asU64();
+    if (const JsonValue *v = msg.find("cached"))
+        out.cached = v->asU64();
+    if (const JsonValue *v = msg.find("poisoned"))
+        out.poisoned = v->asU64();
+    if (const JsonValue *v = msg.find("retried"))
+        out.retried = v->asU64();
+    if (const JsonValue *v = msg.find("worker_deaths"))
+        out.worker_deaths = v->asU64();
+    if (const JsonValue *v = msg.find("draining"))
+        out.draining = v->boolean;
+    return true;
+}
+
+bool
+FarmClient::drain(std::string *error)
+{
+    if (!connected()) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    std::string payload, err;
+    if (!farmWriteFrame(fd_, "{\"type\": \"drain\"}") ||
+        !farmReadFrame(fd_, payload, &err)) {
+        if (error)
+            *error = err.empty() ? "daemon closed the connection" : err;
+        close();
+        return false;
+    }
+    JsonValue msg;
+    const JsonValue *type = nullptr;
+    if (!parseJson(payload, msg, &err) || !(type = msg.find("type")) ||
+        type->text != "drain-ok") {
+        if (error)
+            *error = "unexpected drain reply";
+        return false;
+    }
+    return true;
+}
+
+void
+FarmClientBackend::run(const std::vector<ExperimentConfig> &cells,
+                       const std::vector<int> &priorities,
+                       const CellDoneFn &done)
+{
+    FarmClient client;
+    std::string error;
+    if (!client.connect(socket_, &error))
+        throw std::runtime_error("farm backend: " + error);
+    if (!client.submit(cells, priorities, &error))
+        throw std::runtime_error("farm backend: " + error);
+
+    std::size_t received = 0;
+    while (received < cells.size()) {
+        FarmClient::Reply reply;
+        if (!client.next(reply, &error))
+            throw std::runtime_error("farm backend: " + error);
+        if (reply.batch_done)
+            continue; // e.g. after an all-cached sub-batch
+        if (reply.index >= cells.size())
+            throw std::runtime_error(
+                "farm backend: result index out of range");
+        ++received;
+        if (reply.outcome.status == CellOutcome::Status::Done) {
+            reply.outcome.result.config = cells[reply.index];
+            // Warm this process's memo so the bench's print-phase
+            // runExperiment() calls never touch the socket.
+            ResultCache::instance().noteExternal(
+                cells[reply.index].key(), reply.outcome.result);
+        }
+        done(reply.index, std::move(reply.outcome));
+    }
+}
+
+} // namespace rnr

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Client side of the simulation farm.
+ *
+ * FarmClient is a thin blocking wrapper over one unix-socket
+ * connection to rnr_farmd (protocol: farm/farm_protocol.h, spec:
+ * docs/HARNESS.md §15): connect, submit a batch, stream results back,
+ * ask for status, or drain the daemon.  FarmClientBackend adapts it to
+ * the harness/scheduler.h ExperimentBackend interface, which is how a
+ * sweep (and therefore every bench's --farm flag / $RNR_FARM) runs its
+ * cells remotely with no other code change.
+ *
+ * Results streamed back are memoized into this process's ResultCache
+ * (noteExternal), so the idiomatic bench pattern — precompute via a
+ * sweep, then re-run cells warm while printing — stays free: the warm
+ * calls hit the local memo instead of a socket.
+ */
+#ifndef RNR_FARM_FARM_CLIENT_H
+#define RNR_FARM_FARM_CLIENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/scheduler.h"
+
+namespace rnr {
+
+/** Daemon-side progress snapshot (the "status" reply). */
+struct FarmStatus {
+    unsigned workers = 0;  ///< live worker processes
+    unsigned busy = 0;     ///< workers executing a cell right now
+    std::uint64_t queued = 0;   ///< cells waiting for a worker
+    std::uint64_t inflight = 0; ///< cells dispatched, not yet done
+    std::uint64_t done = 0;
+    std::uint64_t simulated = 0;
+    std::uint64_t cached = 0;
+    std::uint64_t poisoned = 0;
+    std::uint64_t retried = 0;
+    std::uint64_t worker_deaths = 0;
+    bool draining = false;
+};
+
+/** One line of human-readable status ("trace_tools farm status"). */
+std::string formatFarmStatus(const FarmStatus &s);
+
+/** Blocking farm connection; one request pattern at a time. */
+class FarmClient
+{
+  public:
+    FarmClient() = default;
+    ~FarmClient();
+
+    FarmClient(const FarmClient &) = delete;
+    FarmClient &operator=(const FarmClient &) = delete;
+
+    /** Connects and completes the hello handshake. */
+    bool connect(const std::string &socket_path, std::string *error);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /** Sends one batch; results then arrive via next(). */
+    bool submit(const std::vector<ExperimentConfig> &cells,
+                const std::vector<int> &priorities, std::string *error);
+
+    /** One streamed reply. */
+    struct Reply {
+        bool batch_done = false; ///< end of batch; index/outcome unset
+        std::size_t index = 0;   ///< batch index of this result
+        CellOutcome outcome;
+    };
+
+    /** Blocks for the next result or batch-done frame. */
+    bool next(Reply &out, std::string *error);
+
+    bool status(FarmStatus &out, std::string *error);
+
+    /** Asks the daemon to finish in-flight work and exit; blocks for
+     *  the drain-ok acknowledgement. */
+    bool drain(std::string *error);
+
+  private:
+    int fd_ = -1;
+};
+
+/** Runs a sweep's cells on a farm daemon (SweepOptions::farm). */
+class FarmClientBackend final : public ExperimentBackend
+{
+  public:
+    explicit FarmClientBackend(std::string socket_path)
+        : socket_(std::move(socket_path))
+    {
+    }
+
+    std::string name() const override
+    {
+        return "farm(" + socket_ + ")";
+    }
+
+    /** Throws std::runtime_error on connection/protocol failure. */
+    void run(const std::vector<ExperimentConfig> &cells,
+             const std::vector<int> &priorities,
+             const CellDoneFn &done) override;
+
+  private:
+    std::string socket_;
+};
+
+} // namespace rnr
+
+#endif // RNR_FARM_FARM_CLIENT_H

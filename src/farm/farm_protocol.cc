@@ -1,0 +1,229 @@
+#include "farm/farm_protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "harness/json_write.h"
+#include "harness/result_cache.h"
+#include "prefetch/factory.h"
+
+namespace rnr {
+
+#ifndef _WIN32
+
+namespace {
+
+bool
+writeAll(int fd, const char *data, std::size_t n)
+{
+    while (n > 0) {
+        const ssize_t w = ::write(fd, data, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+/** Returns 1 on success, 0 on clean EOF at the first byte, -1 on error
+ *  or a mid-read EOF. */
+int
+readAll(int fd, char *data, std::size_t n)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, data + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (r == 0)
+            return got == 0 ? 0 : -1;
+        got += static_cast<std::size_t>(r);
+    }
+    return 1;
+}
+
+void
+encodeLen(std::uint32_t n, char out[4])
+{
+    out[0] = static_cast<char>(n & 0xff);
+    out[1] = static_cast<char>((n >> 8) & 0xff);
+    out[2] = static_cast<char>((n >> 16) & 0xff);
+    out[3] = static_cast<char>((n >> 24) & 0xff);
+}
+
+std::uint32_t
+decodeLen(const char in[4])
+{
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(in[0])) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(in[1]))
+            << 8) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(in[2]))
+            << 16) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(in[3]))
+            << 24);
+}
+
+} // namespace
+
+bool
+farmWriteFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > kFarmMaxFrame)
+        return false;
+    char len[4];
+    encodeLen(static_cast<std::uint32_t>(payload.size()), len);
+    return writeAll(fd, len, 4) &&
+           writeAll(fd, payload.data(), payload.size());
+}
+
+bool
+farmReadFrame(int fd, std::string &payload, std::string *error)
+{
+    char len[4];
+    const int rc = readAll(fd, len, 4);
+    if (rc <= 0) {
+        if (error)
+            *error = rc == 0 ? "" : "truncated frame header";
+        return false;
+    }
+    const std::uint32_t n = decodeLen(len);
+    if (n > kFarmMaxFrame) {
+        if (error)
+            *error = "oversized frame (" + std::to_string(n) + " bytes)";
+        return false;
+    }
+    payload.resize(n);
+    if (n > 0 && readAll(fd, &payload[0], n) != 1) {
+        if (error)
+            *error = "truncated frame body";
+        return false;
+    }
+    return true;
+}
+
+#else // _WIN32: the farm transport is POSIX-only.
+
+bool
+farmWriteFrame(int, const std::string &)
+{
+    return false;
+}
+
+bool
+farmReadFrame(int, std::string &, std::string *error)
+{
+    if (error)
+        *error = "farm transport unsupported on this platform";
+    return false;
+}
+
+#endif
+
+void
+FrameBuffer::feed(const char *data, std::size_t n)
+{
+    if (error_.empty())
+        buf_.append(data, n);
+}
+
+bool
+FrameBuffer::next(std::string &payload)
+{
+    if (!error_.empty() || buf_.size() < 4)
+        return false;
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(static_cast<unsigned char>(buf_[0])) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(buf_[1]))
+         << 8) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(buf_[2]))
+         << 16) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(buf_[3]))
+         << 24);
+    if (n > kFarmMaxFrame) {
+        error_ = "oversized frame (" + std::to_string(n) + " bytes)";
+        buf_.clear();
+        return false;
+    }
+    if (buf_.size() < 4u + n)
+        return false;
+    payload.assign(buf_, 4, n);
+    buf_.erase(0, 4u + n);
+    return true;
+}
+
+std::string
+farmConfigJson(const ExperimentConfig &cfg)
+{
+    std::ostringstream os;
+    os << "{\"app\": " << jsonQuote(cfg.app) << ", \"input\": "
+       << jsonQuote(cfg.input) << ", \"prefetcher\": "
+       << jsonQuote(toString(cfg.prefetcher)) << ", \"control\": "
+       << jsonQuote(replayControlName(cfg.control))
+       << ", \"window_size\": " << cfg.window_size
+       << ", \"iterations\": " << cfg.iterations
+       << ", \"cores\": " << cfg.cores << ", \"ideal_llc\": "
+       << jsonBool(cfg.ideal_llc) << "}";
+    return os.str();
+}
+
+bool
+farmParseConfig(const JsonValue &v, ExperimentConfig &out,
+                std::string *error)
+{
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what;
+        return false;
+    };
+    if (!v.isObject())
+        return fail("config is not an object");
+    if (const JsonValue *f = v.find("app"))
+        out.app = f->text;
+    if (const JsonValue *f = v.find("input"))
+        out.input = f->text;
+    if (const JsonValue *f = v.find("prefetcher")) {
+        try {
+            out.prefetcher = prefetcherKindFromString(f->text);
+        } catch (const std::exception &) {
+            return fail("unknown prefetcher '" + f->text + "'");
+        }
+    }
+    if (const JsonValue *f = v.find("control"))
+        if (!replayControlFromName(f->text, out.control))
+            return fail("unknown control '" + f->text + "'");
+    if (const JsonValue *f = v.find("window_size"))
+        out.window_size = static_cast<std::uint32_t>(f->asU64());
+    if (const JsonValue *f = v.find("iterations"))
+        out.iterations = static_cast<unsigned>(f->asU64());
+    if (const JsonValue *f = v.find("cores"))
+        out.cores = static_cast<unsigned>(f->asU64());
+    if (const JsonValue *f = v.find("ideal_llc"))
+        out.ideal_llc = f->boolean;
+    return true;
+}
+
+std::string
+farmResultData(const ExperimentResult &r)
+{
+    return ResultCache::serialize(r);
+}
+
+bool
+farmParseResultData(const std::string &data, ExperimentResult &out)
+{
+    return ResultCache::deserialize(data, out);
+}
+
+} // namespace rnr

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Wire protocol of the simulation farm ("rnr-farm-v1").
+ *
+ * Every connection — bench/trace_tools client to rnr_farmd, and daemon
+ * to its worker processes — speaks the same framing: a 4-byte
+ * little-endian unsigned length followed by that many bytes of UTF-8
+ * JSON (one message object per frame).  Frames larger than
+ * kFarmMaxFrame are a protocol error: the reader fails instead of
+ * allocating attacker- or bug-sized buffers.
+ *
+ * Message schemas, error codes and the worker lifecycle are specified
+ * in docs/HARNESS.md §15; this header only fixes the mechanics:
+ *
+ *  - farmWriteFrame()/farmReadFrame(): blocking, EINTR-safe frame I/O
+ *    for clients and workers (one in-flight request at a time);
+ *  - FrameBuffer: incremental reassembly for the daemon's non-blocking
+ *    poll loop, which receives partial frames;
+ *  - config and result codecs shared by both directions.  Result
+ *    counters travel as the result cache's serialized text
+ *    (ResultCache::serialize) inside a JSON string field — exact u64
+ *    round-trip for free, one codec instead of two.
+ *
+ * Everything here is transport-only and deterministic: no message
+ * carries timestamps or host identity, so a replayed conversation is
+ * byte-identical.
+ */
+#ifndef RNR_FARM_FARM_PROTOCOL_H
+#define RNR_FARM_FARM_PROTOCOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/json_parse.h"
+
+namespace rnr {
+
+/** Hard cap on one frame's payload (64 MiB). */
+constexpr std::size_t kFarmMaxFrame = 64u << 20;
+
+/** Protocol identifier carried in "hello" messages. */
+constexpr const char *kFarmProtocol = "rnr-farm-v1";
+
+/**
+ * Writes one length-prefixed frame, retrying short writes and EINTR.
+ * Returns false on EOF/error (including payloads over kFarmMaxFrame).
+ */
+bool farmWriteFrame(int fd, const std::string &payload);
+
+/**
+ * Reads one full frame (blocking).  Returns false on clean EOF before
+ * any byte, on a truncated frame, or on an oversized length; @p error
+ * (optional) distinguishes the cases.
+ */
+bool farmReadFrame(int fd, std::string &payload,
+                   std::string *error = nullptr);
+
+/**
+ * Incremental frame reassembly for non-blocking readers.  feed() bytes
+ * as they arrive; next() yields complete payloads in order.  An
+ * oversized frame poisons the buffer: next() returns false with a
+ * non-empty error() forever after (the stream cannot be resynced).
+ */
+class FrameBuffer
+{
+  public:
+    void feed(const char *data, std::size_t n);
+
+    /** True when a complete frame was extracted into @p payload. */
+    bool next(std::string &payload);
+
+    /** Non-empty once the stream is unrecoverable. */
+    const std::string &error() const { return error_; }
+
+  private:
+    std::string buf_;
+    std::string error_;
+};
+
+/** Serialises the key()-relevant fields of @p cfg as one JSON object
+ *  (same field names as the rnr-sweep JSON export). */
+std::string farmConfigJson(const ExperimentConfig &cfg);
+
+/** Inverse of farmConfigJson(); false + @p error on unknown names. */
+bool farmParseConfig(const JsonValue &v, ExperimentConfig &out,
+                     std::string *error = nullptr);
+
+/** Counter payload of @p r as a JSON string value (see file header). */
+std::string farmResultData(const ExperimentResult &r);
+
+/** Inverse of farmResultData(); @p out.config is left untouched. */
+bool farmParseResultData(const std::string &data, ExperimentResult &out);
+
+} // namespace rnr
+
+#endif // RNR_FARM_FARM_PROTOCOL_H

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * rnr_farmd: the simulation-farm daemon.
+ *
+ * The daemon owns the shared result cache and trace corpus for a
+ * working directory and executes experiment batches submitted over a
+ * unix socket (protocol: farm/farm_protocol.h, spec: docs/HARNESS.md
+ * §15).  Cells are sharded across worker *processes* — fork/exec'd
+ * copies of the daemon's own binary (farm/farm_worker.h) — so a cell
+ * that segfaults or hangs is quarantined: the daemon SIGKILLs the
+ * worker, respawns it, retries the cell once on another attempt, and
+ * records a poison entry if it fails again.  The batch always
+ * completes; poisoned cells come back as explicit "poisoned" results,
+ * never as a wedged client.
+ *
+ * Scheduling reuses harness/scheduler.h's ShardedWorkQueue (one shard
+ * per worker, idle workers steal), and deduplication mirrors
+ * SweepRunner: concurrent submissions of the same ExperimentConfig
+ * key — within one batch or across clients — run once, with every
+ * subscriber receiving the result.  Results a worker streams back are
+ * memoized in the daemon's ResultCache (noteExternal), so a warm
+ * resubmission performs zero simulations and a daemon restarted after
+ * a kill resumes from the persisted cache file mid-sweep.
+ *
+ * Single-threaded: one poll(2) loop owns every fd (listen socket,
+ * clients, worker sockets, a self-pipe for requestStop()).  Workers
+ * are where the parallelism lives.
+ *
+ * Environment (all overridable through FarmOptions):
+ *   RNR_FARM_SOCKET=<path>   listen socket (default "rnr_farm.sock")
+ *   RNR_FARM_WORKERS=<n>     worker processes (default 2)
+ *   RNR_FARM_TIMEOUT_SEC=<s> per-cell deadline before the worker is
+ *                            presumed hung and SIGKILLed (default 300)
+ */
+#ifndef RNR_FARM_FARM_SERVER_H
+#define RNR_FARM_FARM_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rnr {
+
+/** Daemon knobs; every default defers to the environment. */
+struct FarmOptions {
+    std::string socket_path; ///< "" = $RNR_FARM_SOCKET or rnr_farm.sock
+    unsigned workers = 0;    ///< 0 = $RNR_FARM_WORKERS or 2
+    double timeout_sec = 0;  ///< 0 = $RNR_FARM_TIMEOUT_SEC or 300
+
+    /** Resolves every defaulted field against the environment. */
+    static FarmOptions fromEnv();
+};
+
+/** Lifetime counters, exposed over "status" and for tests. */
+struct FarmTotals {
+    std::uint64_t done = 0;      ///< results delivered (incl. cached)
+    std::uint64_t simulated = 0; ///< executed by a worker, cache-cold
+    std::uint64_t cached = 0;    ///< served from a cache layer
+    std::uint64_t poisoned = 0;  ///< quarantined after retry
+    std::uint64_t retried = 0;   ///< re-dispatches after a worker death
+    std::uint64_t worker_deaths = 0;
+};
+
+/**
+ * The daemon.  start() binds and spawns workers; serve() runs the poll
+ * loop until drained or requestStop().  Tests run serve() on a thread
+ * and drive it through a FarmClient.  POSIX-only: on Windows start()
+ * fails cleanly.
+ */
+class FarmServer
+{
+  public:
+    explicit FarmServer(FarmOptions opts = FarmOptions::fromEnv());
+    ~FarmServer();
+
+    FarmServer(const FarmServer &) = delete;
+    FarmServer &operator=(const FarmServer &) = delete;
+
+    /** Binds the socket (replacing a stale one; refusing a live one)
+     *  and spawns the workers.  False + @p error on failure. */
+    bool start(std::string *error);
+
+    /** Poll loop; returns 0 on a clean drain/stop. */
+    int serve();
+
+    /** Asynchronously asks serve() to finish (thread- and
+     *  signal-safe); in-flight cells are abandoned to their workers,
+     *  which are SIGKILLed on the way out. */
+    void requestStop();
+
+    const FarmOptions &options() const { return opts_; }
+    const FarmTotals &totals() const { return totals_; }
+
+    /** Live worker pids (tests kill one to exercise quarantine). */
+    std::vector<int> workerPids() const;
+
+  private:
+    struct Impl;
+    FarmOptions opts_;
+    FarmTotals totals_;
+    Impl *impl_ = nullptr; ///< POSIX state; null before start()
+    std::atomic<bool> stop_{false};
+    int wake_w_ = -1; ///< requestStop() side of the self-pipe
+};
+
+} // namespace rnr
+
+#endif // RNR_FARM_FARM_SERVER_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Farm worker process: the execution half of rnr_farmd.
+ *
+ * The daemon never simulates in-process — a cell that segfaults or
+ * spins must only take down something disposable.  Instead it
+ * fork/execs *its own binary* with the magic argv
+ *
+ *     <exe> __rnr-farm-worker <fd>
+ *
+ * where <fd> is the worker's end of a socketpair.  Any binary whose
+ * main() starts with farmWorkerMaybeExec(argc, argv) can therefore
+ * serve as a worker: rnr_farmd itself, trace_tools, and the farm test
+ * binary all do.  The hook is a no-op for every other argv, costs
+ * nothing, and keeps the worker's code path byte-identical to the
+ * host's (same runExperiment, same caches) — which is what makes farm
+ * results bit-identical to in-process results.
+ *
+ * The worker loop is a trivial request/reply: read a "cell" frame,
+ * simulate via runExperiment() (which persists to the shared result
+ * cache file under its flock), reply "cell-done" (or "cell-error" for
+ * a clean C++ exception), repeat until "quit" or EOF.  Crashes and
+ * hangs need no worker-side handling at all — the daemon sees the
+ * socket die or the deadline pass, SIGKILLs, respawns, and retries the
+ * cell once before poisoning it.
+ *
+ * Failure-injection hooks (tests only; see docs/HARNESS.md §15):
+ *   RNR_FARM_TEST_ABORT_KEY=<substr>  abort() before simulating any
+ *                                     cell whose key contains <substr>
+ *   RNR_FARM_TEST_HANG_KEY=<substr>   sleep forever instead
+ */
+#ifndef RNR_FARM_FARM_WORKER_H
+#define RNR_FARM_FARM_WORKER_H
+
+#include <string>
+
+namespace rnr {
+
+/** argv[1] that marks a process as a farm worker. */
+constexpr const char *kFarmWorkerArg = "__rnr-farm-worker";
+
+/**
+ * If argv says this process is a farm worker, runs the worker loop and
+ * _exits — never returns.  Otherwise returns immediately.  Call first
+ * thing in main() of any binary the daemon may exec as a worker.
+ */
+void farmWorkerMaybeExec(int argc, char **argv);
+
+/** The worker request/reply loop on @p fd; returns the exit code. */
+int farmWorkerMain(int fd);
+
+/** Absolute path of the running executable ("" if undiscoverable). */
+std::string farmSelfExePath();
+
+} // namespace rnr
+
+#endif // RNR_FARM_FARM_WORKER_H

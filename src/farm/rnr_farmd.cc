@@ -1,0 +1,103 @@
+/**
+ * @file
+ * rnr_farmd entry point: the simulation-farm daemon binary.
+ *
+ *   rnr_farmd [--socket <path>] [--workers <n>] [--timeout-sec <s>]
+ *
+ * Runs in the foreground (CI and tests background it themselves) until
+ * a client sends "drain" or the process receives SIGINT/SIGTERM.
+ * Everything else — protocol, worker lifecycle, environment knobs — is
+ * documented in docs/HARNESS.md §15 and src/farm/farm_server.h.
+ */
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "farm/farm_server.h"
+#include "farm/farm_worker.h"
+
+namespace {
+
+rnr::FarmServer *g_server = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_server)
+        g_server->requestStop(); // async-signal-safe: flag + pipe write
+}
+
+int
+usage(const char *argv0, int code)
+{
+    std::fprintf(code == 0 ? stdout : stderr,
+                 "usage: %s [--socket <path>] [--workers <n>] "
+                 "[--timeout-sec <s>]\n"
+                 "\n"
+                 "Simulation-farm daemon: executes experiment batches "
+                 "submitted over a unix\n"
+                 "socket on quarantined worker processes.  Defaults "
+                 "come from RNR_FARM_SOCKET,\n"
+                 "RNR_FARM_WORKERS and RNR_FARM_TIMEOUT_SEC; see "
+                 "docs/HARNESS.md section 15.\n",
+                 argv0);
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    rnr::farmWorkerMaybeExec(argc, argv);
+
+    rnr::FarmOptions opts = rnr::FarmOptions::fromEnv();
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0)
+            return usage(argv[0], 0);
+        if (std::strcmp(arg, "--socket") == 0) {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0], 2);
+            opts.socket_path = v;
+        } else if (std::strcmp(arg, "--workers") == 0) {
+            const char *v = value();
+            if (!v || std::atoi(v) <= 0)
+                return usage(argv[0], 2);
+            opts.workers = static_cast<unsigned>(std::atoi(v));
+        } else if (std::strcmp(arg, "--timeout-sec") == 0) {
+            const char *v = value();
+            if (!v || std::atof(v) <= 0)
+                return usage(argv[0], 2);
+            opts.timeout_sec = std::atof(v);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg);
+            return usage(argv[0], 2);
+        }
+    }
+
+    rnr::FarmServer server(opts);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "rnr_farmd: %s\n", error.c_str());
+        return 1;
+    }
+    g_server = &server;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    std::fprintf(stderr,
+                 "rnr_farmd: listening on %s (%u workers, %.0fs cell "
+                 "timeout)\n",
+                 server.options().socket_path.c_str(),
+                 server.options().workers, server.options().timeout_sec);
+    const int rc = server.serve();
+    g_server = nullptr;
+    return rc;
+}

@@ -4,6 +4,34 @@
 
 namespace rnr {
 
+const char *
+replayControlName(ReplayControlMode mode)
+{
+    switch (mode) {
+    case ReplayControlMode::None:
+        return "none";
+    case ReplayControlMode::Window:
+        return "window";
+    case ReplayControlMode::WindowPace:
+        return "window+pace";
+    }
+    return "?";
+}
+
+bool
+replayControlFromName(const std::string &name, ReplayControlMode &out)
+{
+    if (name == "none")
+        out = ReplayControlMode::None;
+    else if (name == "window")
+        out = ReplayControlMode::Window;
+    else if (name == "window+pace")
+        out = ReplayControlMode::WindowPace;
+    else
+        return false;
+    return true;
+}
+
 std::string
 ExperimentConfig::workloadKey() const
 {

@@ -54,6 +54,13 @@ struct TelemetryOptions {
     Tick sample_cycles = 0;  ///< Sampling period; 0 = env or default.
 };
 
+/** "none" / "window" / "window+pace" (sweep JSON, reports, farm). */
+const char *replayControlName(ReplayControlMode mode);
+
+/** Inverse of replayControlName(); false on an unknown name. */
+bool replayControlFromName(const std::string &name,
+                           ReplayControlMode &out);
+
 /** One cell of the evaluation matrix. */
 struct ExperimentConfig {
     std::string app = "pagerank";   ///< pagerank | hyperanf | spcg.

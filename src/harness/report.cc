@@ -15,6 +15,7 @@
 #define rnr_getpid getpid
 #endif
 
+#include "harness/json_write.h"
 #include "harness/metrics.h"
 #include "harness/result_cache.h"
 #include "harness/runner.h"
@@ -26,43 +27,8 @@ namespace rnr {
 
 namespace {
 
-const char *
-controlName(ReplayControlMode mode)
-{
-    switch (mode) {
-    case ReplayControlMode::None:
-        return "none";
-    case ReplayControlMode::Window:
-        return "window";
-    case ReplayControlMode::WindowPace:
-        return "window+pace";
-    }
-    return "?";
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
+// JSON string escaping comes from harness/json_write.h (jsonEscape),
+// shared with the sweep exporter and the farm wire protocol.
 
 std::string
 htmlEscape(const std::string &s)
@@ -188,7 +154,7 @@ reportJson(const SweepReport &rep)
         os << "      \"config\": {\"app\": \"" << c.app
            << "\", \"input\": \"" << c.input << "\", \"prefetcher\": \""
            << toString(c.prefetcher) << "\", \"control\": \""
-           << controlName(c.control) << "\", \"window_size\": "
+           << replayControlName(c.control) << "\", \"window_size\": "
            << c.window_size << ", \"iterations\": " << c.iterations
            << ", \"cores\": " << c.cores << ", \"ideal_llc\": "
            << (c.ideal_llc ? "true" : "false") << "},\n";

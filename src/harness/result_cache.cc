@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "harness/file_lock.h"
+
 #ifdef _WIN32
 #include <process.h>
 #define rnr_getpid _getpid
@@ -110,20 +112,62 @@ ResultCache::ensureLoadedLocked()
 }
 
 void
+ResultCache::mergeFromDiskLocked()
+{
+    std::ifstream in(loaded_path_);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const auto bar = line.find('|');
+        if (bar == std::string::npos)
+            continue;
+        std::string key = line.substr(0, bar);
+        if (lines_.count(key))
+            continue; // ours wins (results are deterministic anyway)
+        ExperimentResult probe;
+        std::string value = line.substr(bar + 1);
+        if (deserialize(value, probe))
+            lines_.emplace(std::move(key), std::move(value));
+    }
+}
+
+void
 ResultCache::rewriteFileLocked()
 {
     if (loaded_path_.empty())
         return;
+    // Serialise concurrent *processes* (farm workers, a warm daemon)
+    // through a sidecar flock, and fold in whatever they published
+    // since we loaded, so a whole-file rewrite never drops their lines.
+    // The lock degrades to a no-op where unsupported — then we are back
+    // to the single-process guarantee, which the rename still provides.
+    FileLock lock(loaded_path_ + ".lock", FileLock::Mode::Block);
+    if (lock.held())
+        mergeFromDiskLocked();
+
     const std::string tmp =
         loaded_path_ + ".tmp." + std::to_string(rnr_getpid());
-    {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out)
-            return; // unwritable location: keep going without persistence
-        for (const auto &[key, value] : lines_)
-            out << key << "|" << value << "\n";
+    std::FILE *out = std::fopen(tmp.c_str(), "w");
+    if (!out)
+        return; // unwritable location: keep going without persistence
+    bool ok = true;
+    for (const auto &[key, value] : lines_) {
+        if (std::fprintf(out, "%s|%s\n", key.c_str(), value.c_str()) < 0) {
+            ok = false;
+            break;
+        }
     }
-    if (std::rename(tmp.c_str(), loaded_path_.c_str()) != 0)
+    // fsync BEFORE the rename: once the new name is visible it must
+    // carry every byte, or a crash between rename and writeback could
+    // leave a torn final line for the next loader (tolerated, but each
+    // tolerated line is a lost result).
+    ok = ok && std::fflush(out) == 0;
+#ifndef _WIN32
+    ok = ok && ::fsync(fileno(out)) == 0;
+#endif
+    ok = std::fclose(out) == 0 && ok;
+    if (!ok || std::rename(tmp.c_str(), loaded_path_.c_str()) != 0)
         std::remove(tmp.c_str());
 }
 
@@ -160,6 +204,14 @@ ResultCache::store(const std::string &key, const ExperimentResult &r)
         return;
     lines_[key] = serialize(r);
     rewriteFileLocked();
+}
+
+void
+ResultCache::noteExternal(const std::string &key,
+                          const ExperimentResult &r)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    memo_[key] = r;
 }
 
 std::size_t

@@ -11,11 +11,16 @@
  *     bench binary run from the same working directory.
  *
  * File persistence is crash- and concurrency-safe: every store rewrites
- * the whole file through a process-unique temporary and renames it into
- * place (rename(2) is atomic on POSIX), so readers never observe a
- * torn line and two concurrent processes lose at most each other's last
- * writes, never the file.  The loader tolerates corrupt lines: anything
- * that does not parse is counted and skipped, never fatal.
+ * the whole file through a process-unique temporary that is fsync'd and
+ * then renamed into place (rename(2) is atomic on POSIX), so readers
+ * never observe a torn line and a worker killed mid-publish leaves the
+ * previous file intact — the temp either carries every byte or is never
+ * renamed.  Cross-process, the rewrite holds an advisory flock on
+ * "<path>.lock" (harness/file_lock.h) and re-merges the on-disk file
+ * first, so concurrent farm workers append to, never clobber, each
+ * other's results.  The loader tolerates corrupt lines: anything that
+ * does not parse (including a torn final line from a pre-fsync crash)
+ * is counted and skipped, never fatal.
  *
  * Environment:
  *   RNR_CACHE=0            disable file persistence (memo still active)
@@ -49,6 +54,14 @@ class ResultCache
     /** Memoises @p r and, if persistence is enabled, rewrites the file. */
     void store(const std::string &key, const ExperimentResult &r);
 
+    /**
+     * Memo-only store for a result another *process* already persisted
+     * (a farm worker's, streamed back to the daemon): later lookups hit
+     * without re-reading the file, and the file — which that worker
+     * just rewrote under its flock — is not redundantly rewritten.
+     */
+    void noteExternal(const std::string &key, const ExperimentResult &r);
+
     /** Lines skipped by the loader because they failed to parse. */
     std::size_t corruptLinesSkipped() const;
 
@@ -79,6 +92,9 @@ class ResultCache
 
     /** (Re)loads the file into lines_ if the target path changed. */
     void ensureLoadedLocked();
+    /** Folds lines other processes published since we loaded into
+     *  lines_ (existing keys win); called under the file lock. */
+    void mergeFromDiskLocked();
     void rewriteFileLocked();
 
     mutable std::mutex mu_;

@@ -1,0 +1,106 @@
+#include "harness/scheduler.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "harness/runner.h"
+
+namespace rnr {
+
+ShardedWorkQueue::ShardedWorkQueue(unsigned shards)
+    : q_(std::max(1u, shards))
+{
+}
+
+void
+ShardedWorkQueue::push(std::size_t item, int priority)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    q_[next_].emplace(priority, item);
+    next_ = (next_ + 1) % q_.size();
+    ++pending_;
+}
+
+bool
+ShardedWorkQueue::tryPop(unsigned shard, std::size_t &item)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_ == 0)
+        return false;
+    Shard *src = nullptr;
+    if (shard < q_.size() && !q_[shard].empty()) {
+        src = &q_[shard];
+    } else {
+        // Steal from the fullest shard so the load rebalances fastest.
+        for (Shard &s : q_)
+            if (!s.empty() && (!src || s.size() > src->size()))
+                src = &s;
+    }
+    if (!src)
+        return false;
+    item = src->begin()->second;
+    src->erase(src->begin());
+    --pending_;
+    return true;
+}
+
+std::size_t
+ShardedWorkQueue::pending() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_;
+}
+
+InProcessBackend::InProcessBackend(unsigned jobs)
+    : jobs_(std::max(1u, jobs))
+{
+}
+
+void
+InProcessBackend::run(const std::vector<ExperimentConfig> &cells,
+                      const std::vector<int> &priorities,
+                      const CellDoneFn &done)
+{
+    const std::size_t total = cells.size();
+    const unsigned jobs = static_cast<unsigned>(std::min<std::size_t>(
+        jobs_, std::max<std::size_t>(total, 1)));
+
+    ShardedWorkQueue queue(jobs);
+    for (std::size_t i = 0; i < total; ++i)
+        queue.push(i, i < priorities.size() ? priorities[i] : 0);
+
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+
+    auto worker = [&](unsigned shard) {
+        std::size_t i;
+        while (queue.tryPop(shard, i)) {
+            CellOutcome out;
+            try {
+                out.result = runExperiment(cells[i], &out.was_cached);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mu);
+                if (!first_error)
+                    first_error = std::current_exception();
+                return;
+            }
+            done(i, std::move(out));
+        }
+    };
+
+    if (jobs == 1 || total <= 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker, t);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace rnr

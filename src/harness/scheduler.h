@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Transport-agnostic experiment scheduling core.
+ *
+ * PR 1's SweepRunner fused three concerns: deduplicating a batch of
+ * cells, executing them on a thread pool, and reporting progress.  The
+ * simulation farm (src/farm/) needs the first and last of those but a
+ * very different middle — cells dispatched to worker *processes* over a
+ * socket — so the execution layer now lives behind one interface:
+ *
+ *   SweepRunner (dedup, ordering, progress, JSON export)
+ *        └── ExperimentBackend::run(cells, priorities, done)
+ *              ├── InProcessBackend   threads + runExperiment()
+ *              └── FarmClientBackend  submit to rnr_farmd (farm/)
+ *
+ * Both backends drain a ShardedWorkQueue: a priority queue sharded
+ * across workers, where an idle worker first serves its own shard and
+ * then steals from the fullest other shard.  For the in-process backend
+ * the shards are threads; for the farm daemon they are worker
+ * processes.  Scheduling order never affects results — every cell is an
+ * independent simulation and results are returned by batch index.
+ */
+#ifndef RNR_HARNESS_SCHEDULER_H
+#define RNR_HARNESS_SCHEDULER_H
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace rnr {
+
+/** What happened to one scheduled cell. */
+struct CellOutcome {
+    enum class Status {
+        Done,     ///< result is valid
+        Poisoned, ///< crashed/failed after a retry; error says why
+    };
+    Status status = Status::Done;
+    bool was_cached = false; ///< served from a cache layer, not simulated
+    int attempts = 1;        ///< executions it took (2 = one retry)
+    ExperimentResult result; ///< valid when status == Done
+    std::string error;       ///< valid when status == Poisoned
+};
+
+/**
+ * Invoked exactly once per cell, from an arbitrary backend thread, with
+ * the cell's batch index.  Callers synchronise their own state.
+ */
+using CellDoneFn =
+    std::function<void(std::size_t index, CellOutcome outcome)>;
+
+/** Executes a deduplicated batch of cells; see file header. */
+class ExperimentBackend
+{
+  public:
+    virtual ~ExperimentBackend() = default;
+
+    /** Display name for logs ("in-process", "farm(<socket>)"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Runs every cell, calling @p done once per index.  @p priorities
+     * is either empty (all zero) or cells.size() long; higher runs
+     * first.  Throws on a backend-level failure (a worker-thread
+     * exception, a lost daemon connection) after delivering whatever
+     * outcomes it has.
+     */
+    virtual void run(const std::vector<ExperimentConfig> &cells,
+                     const std::vector<int> &priorities,
+                     const CellDoneFn &done) = 0;
+};
+
+/**
+ * Priority work queue sharded across N workers with stealing.  push()
+ * assigns items round-robin; tryPop(shard) serves the highest-priority
+ * item of the worker's own shard, falling back to stealing from the
+ * fullest other shard, so a worker that finishes its share keeps the
+ * farm saturated instead of idling.  Thread-safe; items are opaque
+ * indices.  FIFO within equal priority.
+ */
+class ShardedWorkQueue
+{
+  public:
+    explicit ShardedWorkQueue(unsigned shards);
+
+    void push(std::size_t item, int priority = 0);
+
+    /** Pops for @p shard (own queue first, then steal); false = empty. */
+    bool tryPop(unsigned shard, std::size_t &item);
+
+    std::size_t pending() const;
+    unsigned shards() const { return static_cast<unsigned>(q_.size()); }
+
+  private:
+    // One multimap per shard, keyed by descending priority; equal-key
+    // insertion order is preserved, which gives FIFO within a priority.
+    using Shard = std::multimap<int, std::size_t, std::greater<int>>;
+    mutable std::mutex mu_;
+    std::vector<Shard> q_;
+    std::size_t next_ = 0;
+    std::size_t pending_ = 0;
+};
+
+/**
+ * The classic backend: a fixed-size thread pool calling the cached,
+ * single-flight runExperiment().  A cell that throws is retried by
+ * rethrowing after all threads join (the pre-farm SweepRunner
+ * behaviour, kept because an in-process crash cannot be contained
+ * anyway — process isolation is what the farm backend is for).
+ */
+class InProcessBackend final : public ExperimentBackend
+{
+  public:
+    explicit InProcessBackend(unsigned jobs);
+
+    std::string name() const override { return "in-process"; }
+    void run(const std::vector<ExperimentConfig> &cells,
+             const std::vector<int> &priorities,
+             const CellDoneFn &done) override;
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace rnr
+
+#endif // RNR_HARNESS_SCHEDULER_H

@@ -1,13 +1,13 @@
 #include "harness/sweep.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -25,8 +25,11 @@
 #define rnr_getpid getpid
 #endif
 
+#include "farm/farm_client.h"
 #include "harness/json_parse.h"
+#include "harness/json_write.h"
 #include "harness/runner.h"
+#include "harness/scheduler.h"
 #include "tracestore/trace_store.h"
 
 namespace rnr {
@@ -39,20 +42,6 @@ double
 secondsSince(Clock::time_point start)
 {
     return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-const char *
-controlName(ReplayControlMode mode)
-{
-    switch (mode) {
-    case ReplayControlMode::None:
-        return "none";
-    case ReplayControlMode::Window:
-        return "window";
-    case ReplayControlMode::WindowPace:
-        return "window+pace";
-    }
-    return "?";
 }
 
 } // namespace
@@ -103,11 +92,12 @@ appendResultJson(std::ostringstream &os, const ExperimentResult &r,
 {
     const ExperimentConfig &c = r.config;
     os << indent << "{\n";
-    os << indent << "  \"key\": \"" << c.key() << "\",\n";
-    os << indent << "  \"config\": {\"app\": \"" << c.app
-       << "\", \"input\": \"" << c.input << "\", \"prefetcher\": \""
-       << toString(c.prefetcher) << "\", \"control\": \""
-       << controlName(c.control) << "\", \"window_size\": "
+    os << indent << "  \"key\": \"" << jsonEscape(c.key()) << "\",\n";
+    os << indent << "  \"config\": {\"app\": \"" << jsonEscape(c.app)
+       << "\", \"input\": \"" << jsonEscape(c.input)
+       << "\", \"prefetcher\": \"" << toString(c.prefetcher)
+       << "\", \"control\": \""
+       << replayControlName(c.control) << "\", \"window_size\": "
        << c.window_size << ", \"iterations\": " << c.iterations
        << ", \"cores\": " << c.cores << ", \"ideal_llc\": "
        << (c.ideal_llc ? "true" : "false") << "},\n";
@@ -167,16 +157,23 @@ class ProgressReporter
     }
 
     void
-    finish(const SweepStats &stats, const SweepHostInfo &host)
+    finish(const SweepStats &stats, const SweepHostInfo &host,
+           const std::string &backend)
     {
         if (!enabled_ || total_ == 0)
             return;
         std::fprintf(stderr,
                      "%s[%s] done: %zu cells (%zu simulated, %zu "
-                     "cached, %zu duplicates folded) in %.1fs\n",
+                     "cached, %zu duplicates folded) in %.1fs via %s\n",
                      tty_ ? "\r" : "", label_.c_str(), stats.cells,
                      stats.simulated, stats.cache_hits,
-                     stats.duplicates, stats.elapsed_sec);
+                     stats.duplicates, stats.elapsed_sec,
+                     backend.c_str());
+        if (stats.poisoned > 0)
+            std::fprintf(stderr,
+                         "[%s] WARNING: %zu cell(s) poisoned — their "
+                         "results are config-only placeholders\n",
+                         label_.c_str(), stats.poisoned);
         // One line of trace-store accounting: how many of the
         // simulations above re-executed a workload natively (captures)
         // versus replaying the shared corpus (hits).
@@ -230,6 +227,35 @@ jsonOutPath(const SweepOptions &opts)
     return "";
 }
 
+bool
+jsonHostEnabled(const SweepOptions &opts)
+{
+    if (opts.json_host >= 0)
+        return opts.json_host != 0;
+    const char *p = std::getenv("RNR_JSON_HOST");
+    return !(p && std::string(p) == "0");
+}
+
+std::string
+farmSocket(const SweepOptions &opts)
+{
+    if (!opts.farm.empty())
+        return opts.farm;
+    if (const char *p = std::getenv("RNR_FARM"))
+        return p;
+    return "";
+}
+
+std::unique_ptr<ExperimentBackend>
+makeBackend(const SweepOptions &opts)
+{
+    const std::string sock = farmSocket(opts);
+    if (!sock.empty())
+        return std::make_unique<FarmClientBackend>(sock);
+    return std::make_unique<InProcessBackend>(
+        SweepRunner::resolveJobs(opts));
+}
+
 } // namespace
 
 unsigned
@@ -249,17 +275,19 @@ SweepRunner::resolveJobs(const SweepOptions &opts)
 SweepRunner::SweepRunner(SweepOptions opts) : opts_(std::move(opts)) {}
 
 void
-SweepRunner::add(const ExperimentConfig &cfg)
+SweepRunner::add(const ExperimentConfig &cfg, int priority)
 {
     const std::string key = cfg.key();
-    for (const std::string &k : keys_) {
-        if (k == key) {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+        if (keys_[i] == key) {
             ++stats_.duplicates;
+            priorities_[i] = std::max(priorities_[i], priority);
             return;
         }
     }
     keys_.push_back(key);
     cells_.push_back(cfg);
+    priorities_.push_back(priority);
 }
 
 void
@@ -277,65 +305,58 @@ SweepRunner::run()
     stats_.cells = total;
 
     std::vector<ExperimentResult> results(total);
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
-    std::atomic<std::size_t> simulated{0};
-    std::atomic<std::size_t> hits{0};
+    std::size_t done = 0, simulated = 0, hits = 0, poisoned = 0;
     std::mutex report_mu;
     ProgressReporter reporter(progressEnabled(opts_), opts_.label, total);
-    std::exception_ptr first_error;
 
-    auto worker = [&] {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= total)
-                return;
-            bool was_cached = false;
-            try {
-                results[i] = runExperiment(cells_[i], &was_cached);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(report_mu);
-                if (!first_error)
-                    first_error = std::current_exception();
-                return;
-            }
-            (was_cached ? hits : simulated).fetch_add(1);
-            const std::size_t d = done.fetch_add(1) + 1;
-            std::lock_guard<std::mutex> lock(report_mu);
-            reporter.cellDone(d, simulated.load(), hits.load());
+    std::unique_ptr<ExperimentBackend> backend = makeBackend(opts_);
+
+    // Called once per cell from an arbitrary backend thread.
+    auto on_done = [&](std::size_t i, CellOutcome out) {
+        std::lock_guard<std::mutex> lock(report_mu);
+        if (out.status == CellOutcome::Status::Poisoned) {
+            // The batch keeps going; the quarantined cell is visible as
+            // a config-only result (empty iterations) plus a warning.
+            results[i].config = cells_[i];
+            ++poisoned;
+            std::fprintf(stderr,
+                         "[%s] warning: cell %s poisoned after %d "
+                         "attempt(s): %s\n",
+                         opts_.label.c_str(), keys_[i].c_str(),
+                         out.attempts, out.error.c_str());
+        } else {
+            results[i] = std::move(out.result);
+            ++(out.was_cached ? hits : simulated);
         }
+        ++done;
+        reporter.cellDone(done, simulated, hits);
     };
 
-    const unsigned jobs = std::max(1u, std::min<unsigned>(
-                                           resolveJobs(opts_),
-                                           static_cast<unsigned>(
-                                               std::max<std::size_t>(
-                                                   total, 1))));
-    if (jobs == 1 || total <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(jobs);
-        for (unsigned t = 0; t < jobs; ++t)
-            pool.emplace_back(worker);
-        for (std::thread &t : pool)
-            t.join();
-    }
+    auto harvest = [&] {
+        std::lock_guard<std::mutex> lock(report_mu);
+        stats_.cache_hits = hits;
+        stats_.simulated = simulated;
+        stats_.poisoned = poisoned;
+        stats_.elapsed_sec = secondsSince(start);
+    };
 
-    stats_.cache_hits = hits.load();
-    stats_.simulated = simulated.load();
-    stats_.elapsed_sec = secondsSince(start);
-    if (first_error)
-        std::rethrow_exception(first_error);
+    try {
+        backend->run(cells_, priorities_, on_done);
+    } catch (...) {
+        harvest(); // keep stats truthful for whoever catches this
+        throw;
+    }
+    harvest();
 
     SweepHostInfo host;
     host.wall_sec = stats_.elapsed_sec;
     host.peak_rss_bytes = hostPeakRssBytes();
-    reporter.finish(stats_, host);
+    reporter.finish(stats_, host, backend->name());
 
     const std::string json = jsonOutPath(opts_);
     if (!json.empty() &&
-        !writeResultsJson(json, results, opts_.label, &host))
+        !writeResultsJson(json, results, opts_.label,
+                          jsonHostEnabled(opts_) ? &host : nullptr))
         std::fprintf(stderr, "[%s] warning: could not write JSON to %s\n",
                      opts_.label.c_str(), json.c_str());
     return results;
@@ -355,8 +376,8 @@ writeResultsJson(const std::string &path,
                  const std::string &label, const SweepHostInfo *host)
 {
     std::ostringstream os;
-    os << "{\n  \"schema\": \"rnr-sweep-v2\",\n  \"label\": \"" << label
-       << "\",\n";
+    os << "{\n  \"schema\": \"rnr-sweep-v2\",\n  \"label\": \""
+       << jsonEscape(label) << "\",\n";
     if (host) {
         char wall[32];
         std::snprintf(wall, sizeof(wall), "%.3f", host->wall_sec);
@@ -386,24 +407,6 @@ writeResultsJson(const std::string &path,
     }
     return true;
 }
-
-namespace {
-
-bool
-controlFromName(const std::string &name, ReplayControlMode &out)
-{
-    if (name == "none")
-        out = ReplayControlMode::None;
-    else if (name == "window")
-        out = ReplayControlMode::Window;
-    else if (name == "window+pace")
-        out = ReplayControlMode::WindowPace;
-    else
-        return false;
-    return true;
-}
-
-} // namespace
 
 bool
 readResultsJson(const std::string &path, std::vector<ExperimentResult> &out,
@@ -464,7 +467,7 @@ readResultsJson(const std::string &path, std::vector<ExperimentResult> &out,
             }
         }
         if (const JsonValue *v = cfg->find("control"))
-            if (!controlFromName(v->text, c.control))
+            if (!replayControlFromName(v->text, c.control))
                 return fail("unknown control '" + v->text + "'");
         if (const JsonValue *v = cfg->find("window_size"))
             c.window_size = static_cast<std::uint32_t>(v->asU64());

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "harness/json_write.h"
+
 #ifdef _WIN32
 #include <process.h>
 #define rnr_getpid _getpid
@@ -213,7 +215,9 @@ appendEventJson(std::ostringstream &os, const TraceEvent &e,
         if (e.type == TraceEventType::CacheFill && (e.arg & 4))
             os << "_pf";
     } else {
-        os << traceEventName(e.type);
+        // Names are internal constants today, but escape anyway so this
+        // writer shares the one escaping discipline (json_write.h).
+        os << jsonEscape(traceEventName(e.type));
     }
     os << "\", \"cat\": \"rnr\", \"pid\": 1, \"tid\": " << track
        << ", \"ts\": " << e.tick;

@@ -212,6 +212,17 @@ TraceStore::openEntry(const std::string &wkey, Entry &out)
     return true;
 }
 
+namespace {
+
+std::string
+captureLockPath(const std::string &wkey)
+{
+    return TraceStore::rootPath() + "/" + traceStoreHashName(wkey) +
+           ".lock";
+}
+
+} // namespace
+
 TraceStore::Acquire
 TraceStore::acquire(const std::string &wkey, Entry &out)
 {
@@ -221,18 +232,59 @@ TraceStore::acquire(const std::string &wkey, Entry &out)
             ++hits_;
             return Acquire::Hit;
         }
-        if (inflight_.insert(wkey).second)
+        if (!inflight_.insert(wkey).second) {
+            // A thread of this process is already capturing.
+            cv_.wait(lock);
+            continue;
+        }
+        // In-process owner; now contend with other *processes* (farm
+        // workers) for the same entry through an advisory flock.
+        std::error_code ec;
+        fs::create_directories(rootPath(), ec);
+        auto fl = std::make_unique<FileLock>(captureLockPath(wkey),
+                                             FileLock::Mode::Try);
+        if (fl->held()) {
+            locks_[wkey] = std::move(fl);
             return Acquire::Owner;
-        cv_.wait(lock);
+        }
+        // Another process holds the lock (or flock is unsupported
+        // here).  Wait for it without wedging this process's other
+        // threads: drop mu_, block on the lock, re-check from scratch.
+        inflight_.erase(wkey);
+        cv_.notify_all();
+        lock.unlock();
+        FileLock waiter(captureLockPath(wkey), FileLock::Mode::Block);
+        const bool waited = waiter.held();
+        waiter.release();
+        lock.lock();
+        if (!waited) {
+            // flock unsupported (exotic fs, Windows): degrade to the
+            // single-process guarantee and capture ourselves.
+            if (inflight_.insert(wkey).second)
+                return Acquire::Owner;
+            cv_.wait(lock);
+        }
+        // Re-loop: the other process published (-> Hit) or aborted
+        // (-> we become the owner on the next iteration).
     }
 }
 
 void
 TraceStore::releaseOwnership(const std::string &wkey)
 {
+    bool held_flock = false;
     {
         std::lock_guard<std::mutex> lock(mu_);
+        held_flock = locks_.erase(wkey) != 0; // drops the flock, if any
         inflight_.erase(wkey);
+    }
+    if (held_flock) {
+        // We held the flock, so no other process does: the lock file is
+        // ours to remove.  A waiter racing on the old inode at worst
+        // captures redundantly — the same degradation as a no-flock
+        // filesystem — and publish stays an atomic rename either way.
+        std::error_code ec;
+        fs::remove(captureLockPath(wkey), ec);
     }
     cv_.notify_all();
 }
@@ -467,6 +519,7 @@ TraceStore::resetForTest()
 {
     std::lock_guard<std::mutex> lock(mu_);
     inflight_.clear();
+    locks_.clear();
     captures_ = hits_ = corrupt_ = evictions_ = 0;
 }
 

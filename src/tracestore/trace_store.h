@@ -23,7 +23,11 @@
  *
  * Discipline (mirrors harness/result_cache.h):
  *  - single-flight capture: concurrent experiments sharing a workload
- *    key block on one capture instead of each re-executing;
+ *    key block on one capture instead of each re-executing — within a
+ *    process via a condition variable, and across processes (farm
+ *    workers) via an advisory flock on "<root>/<hash16>.lock"
+ *    (harness/file_lock.h), so N workers capture a shared workload
+ *    once, not N times;
  *  - atomic publish: captures write to a process-unique temp directory
  *    renamed into place, so readers never observe a torn entry and
  *    concurrent processes race benignly (first publisher wins);
@@ -42,11 +46,14 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "harness/file_lock.h"
 #include "trace/trace_buffer.h"
 #include "trace/trace_io.h"
 
@@ -173,6 +180,8 @@ class TraceStore
     mutable std::mutex mu_;
     std::condition_variable cv_;
     std::set<std::string> inflight_; ///< Workload keys being captured.
+    /** Cross-process capture locks held by this process's captures. */
+    std::map<std::string, std::unique_ptr<FileLock>> locks_;
     std::uint64_t captures_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t corrupt_ = 0;

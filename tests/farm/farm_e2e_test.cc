@@ -1,0 +1,390 @@
+/**
+ * @file
+ * End-to-end tests for the simulation farm: a real FarmServer serving
+ * on a thread, real worker processes (fork/exec of this test binary —
+ * see farm_test_main.cc), and real sweeps submitted through
+ * SweepOptions::farm.  What the ISSUE demands is proved here:
+ *
+ *  - a farm sweep's JSON export is byte-identical to the in-process
+ *    export (RNR_JSON_HOST=0 strips the host-cost object);
+ *  - SIGKILLing a worker mid-batch loses nothing: the cell is retried
+ *    on a respawned worker and the export stays identical;
+ *  - a cell that abort()s is retried once, then quarantined as a
+ *    poisoned result while the rest of the batch completes;
+ *  - a hung cell trips the deadline and is quarantined the same way;
+ *  - a killed daemon resumes mid-sweep from the persisted cache file:
+ *    the re-run performs zero simulations and exports identical bytes.
+ */
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "farm/farm_client.h"
+#include "farm/farm_server.h"
+#include "harness/result_cache.h"
+#include "harness/runner.h"
+#include "harness/sweep.h"
+#include "tracestore/trace_store.h"
+
+#ifndef _WIN32
+
+namespace rnr {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+struct FarmFixture : ::testing::Test {
+    std::string dir_, socket_, cache_;
+    FarmServer *server_ = nullptr;
+    std::thread serve_thread_;
+
+    void
+    SetUp() override
+    {
+        const std::string name = ::testing::UnitTest::GetInstance()
+                                     ->current_test_info()
+                                     ->name();
+        dir_ = ::testing::TempDir() + "farm_" + name;
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        socket_ = dir_ + "/farmd.sock";
+        cache_ = dir_ + "/results.cache";
+        // Workers inherit this environment across fork/exec: they share
+        // the cache file and trace corpus with the daemon and client.
+        setenv("RNR_CACHE", "1", 1);
+        setenv("RNR_CACHE_FILE", cache_.c_str(), 1);
+        setenv("RNR_TRACE_DIR", (dir_ + "/traces").c_str(), 1);
+        setenv("RNR_PROGRESS", "0", 1);
+        unsetenv("RNR_FARM");
+        unsetenv("RNR_JOBS");
+        unsetenv("RNR_JSON_OUT");
+        unsetenv("RNR_FARM_TEST_ABORT_KEY");
+        unsetenv("RNR_FARM_TEST_HANG_KEY");
+        ResultCache::instance().clearForTest();
+        TraceStore::instance().resetForTest();
+    }
+
+    void
+    TearDown() override
+    {
+        stopServer();
+        unsetenv("RNR_FARM_TEST_ABORT_KEY");
+        unsetenv("RNR_FARM_TEST_HANG_KEY");
+        setenv("RNR_CACHE", "0", 1);
+        ResultCache::instance().clearForTest();
+        TraceStore::instance().resetForTest();
+        fs::remove_all(dir_);
+    }
+
+    void
+    startServer(unsigned workers, double timeout_sec = 120.0)
+    {
+        FarmOptions o;
+        o.socket_path = socket_;
+        o.workers = workers;
+        o.timeout_sec = timeout_sec;
+        server_ = new FarmServer(o);
+        std::string error;
+        ASSERT_TRUE(server_->start(&error)) << error;
+        serve_thread_ = std::thread([this] { server_->serve(); });
+    }
+
+    /** Stops serve(), joins, and returns the final totals. */
+    FarmTotals
+    stopServer()
+    {
+        FarmTotals totals;
+        if (!server_)
+            return totals;
+        server_->requestStop();
+        if (serve_thread_.joinable())
+            serve_thread_.join();
+        totals = server_->totals();
+        delete server_;
+        server_ = nullptr;
+        return totals;
+    }
+
+    static ExperimentConfig
+    cell(PrefetcherKind kind, std::uint32_t window = 0)
+    {
+        ExperimentConfig cfg;
+        cfg.app = "pagerank";
+        cfg.input = "amazon";
+        cfg.iterations = 1;
+        cfg.cores = 1;
+        cfg.prefetcher = kind;
+        cfg.window_size = window;
+        return cfg;
+    }
+
+    static std::vector<ExperimentConfig>
+    smallBatch()
+    {
+        return {cell(PrefetcherKind::None), cell(PrefetcherKind::Stride),
+                cell(PrefetcherKind::Rnr, 64),
+                cell(PrefetcherKind::Rnr, 96)};
+    }
+
+    SweepStats
+    farmSweep(const std::vector<ExperimentConfig> &cells,
+              const std::string &json_out = "")
+    {
+        SweepOptions opts;
+        opts.progress = 0;
+        opts.farm = socket_;
+        opts.json_out = json_out;
+        opts.json_host = 0;
+        opts.label = "farm-e2e";
+        SweepRunner runner(opts);
+        runner.add(cells);
+        runner.run();
+        return runner.stats();
+    }
+};
+
+TEST_F(FarmFixture, FarmSweepMatchesInProcessSweepByteForByte)
+{
+    startServer(2);
+    const std::vector<ExperimentConfig> cells = smallBatch();
+
+    const std::string farm_json = dir_ + "/farm.json";
+    const SweepStats st = farmSweep(cells, farm_json);
+    EXPECT_EQ(st.cells, cells.size());
+    EXPECT_EQ(st.simulated, cells.size()) << "cold farm should simulate";
+    EXPECT_EQ(st.poisoned, 0u);
+
+    // In-process reference run, fully cold: fresh cache file and memo.
+    const std::string cache2 = dir_ + "/results2.cache";
+    setenv("RNR_CACHE_FILE", cache2.c_str(), 1);
+    ResultCache::instance().clearForTest();
+    SweepOptions opts;
+    opts.progress = 0;
+    opts.jobs = 4;
+    opts.json_out = dir_ + "/inproc.json";
+    opts.json_host = 0;
+    opts.label = "farm-e2e";
+    SweepRunner inproc(opts);
+    inproc.add(cells);
+    inproc.run();
+    EXPECT_EQ(inproc.stats().simulated, cells.size());
+
+    const std::string farm_bytes = slurp(farm_json);
+    ASSERT_FALSE(farm_bytes.empty());
+    EXPECT_EQ(farm_bytes, slurp(opts.json_out))
+        << "farm and in-process exports diverged";
+
+    const FarmTotals totals = stopServer();
+    EXPECT_EQ(totals.simulated, cells.size());
+    EXPECT_EQ(totals.poisoned, 0u);
+}
+
+TEST_F(FarmFixture, WarmResubmitPerformsZeroSimulations)
+{
+    startServer(2);
+    const std::vector<ExperimentConfig> cells = smallBatch();
+    const SweepStats cold = farmSweep(cells);
+    EXPECT_EQ(cold.simulated, cells.size());
+
+    // The client memo is warm too; clear it so the resubmit really
+    // crosses the socket and is answered by the daemon's cache.
+    ResultCache::instance().clearForTest();
+    const SweepStats warm = farmSweep(cells);
+    EXPECT_EQ(warm.simulated, 0u);
+    EXPECT_EQ(warm.cache_hits, cells.size());
+
+    const FarmTotals totals = stopServer();
+    EXPECT_EQ(totals.simulated, cells.size());
+    EXPECT_GE(totals.cached, cells.size());
+}
+
+TEST_F(FarmFixture, SigkilledWorkerMidBatchLosesNothing)
+{
+    startServer(2);
+    const std::vector<ExperimentConfig> cells = {
+        cell(PrefetcherKind::None),      cell(PrefetcherKind::Stride),
+        cell(PrefetcherKind::Rnr, 32),   cell(PrefetcherKind::Rnr, 64),
+        cell(PrefetcherKind::Rnr, 96),   cell(PrefetcherKind::Rnr, 128),
+        cell(PrefetcherKind::Rnr, 192),  cell(PrefetcherKind::Rnr, 256)};
+
+    // Assassinate one worker shortly after the batch lands.  Whether it
+    // was mid-cell or idle, the batch must complete with every result.
+    const std::vector<int> pids = server_->workerPids();
+    ASSERT_EQ(pids.size(), 2u);
+    std::thread killer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        ::kill(pids[0], SIGKILL);
+    });
+
+    const std::string farm_json = dir_ + "/killed.json";
+    const SweepStats st = farmSweep(cells, farm_json);
+    killer.join();
+    EXPECT_EQ(st.cells, cells.size());
+    EXPECT_EQ(st.poisoned, 0u);
+    EXPECT_EQ(st.simulated + st.cache_hits, cells.size());
+
+    const FarmTotals totals = stopServer();
+    EXPECT_GE(totals.worker_deaths, 1u);
+
+    // Determinism check: a cold in-process run exports the same bytes.
+    const std::string cache2 = dir_ + "/results2.cache";
+    setenv("RNR_CACHE_FILE", cache2.c_str(), 1);
+    ResultCache::instance().clearForTest();
+    SweepOptions opts;
+    opts.progress = 0;
+    opts.jobs = 4;
+    opts.json_out = dir_ + "/inproc.json";
+    opts.json_host = 0;
+    opts.label = "farm-e2e";
+    SweepRunner inproc(opts);
+    inproc.add(cells);
+    inproc.run();
+    EXPECT_EQ(slurp(farm_json), slurp(opts.json_out));
+}
+
+TEST_F(FarmFixture, AbortingCellIsRetriedOnceThenQuarantined)
+{
+    // The marked cell abort()s in the worker before simulating: the
+    // daemon must SIGKILL-respawn, retry once, then poison it — while
+    // the rest of the batch completes normally.
+    setenv("RNR_FARM_TEST_ABORT_KEY", ":w96:", 1);
+    startServer(2);
+    const std::vector<ExperimentConfig> cells = smallBatch();
+    ASSERT_NE(cells[3].key().find(":w96:"), std::string::npos)
+        << "test marker no longer matches a cell key: "
+        << cells[3].key();
+
+    SweepOptions opts;
+    opts.progress = 0;
+    opts.farm = socket_;
+    opts.label = "farm-e2e";
+    SweepRunner runner(opts);
+    runner.add(cells);
+    const std::vector<ExperimentResult> results = runner.run();
+
+    ASSERT_EQ(results.size(), cells.size());
+    EXPECT_EQ(runner.stats().poisoned, 1u);
+    EXPECT_EQ(runner.stats().simulated, cells.size() - 1);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_FALSE(results[i].iterations.empty()) << "cell " << i;
+    // The poisoned cell comes back config-only: identifiable, no data.
+    EXPECT_EQ(results[3].config.key(), cells[3].key());
+    EXPECT_TRUE(results[3].iterations.empty());
+
+    // A resubmission is answered from the poison record — no more
+    // worker deaths, the cell is not re-run.
+    ResultCache::instance().clearForTest();
+    SweepRunner again(opts);
+    again.add(cells);
+    again.run();
+    EXPECT_EQ(again.stats().poisoned, 1u);
+
+    const FarmTotals totals = stopServer();
+    EXPECT_EQ(totals.poisoned, 1u);
+    EXPECT_EQ(totals.retried, 1u);
+    EXPECT_EQ(totals.worker_deaths, 2u) << "abort + aborted retry";
+}
+
+TEST_F(FarmFixture, HungCellTripsTheDeadlineAndIsQuarantined)
+{
+    // Submit ONLY the hung cell: with no legitimate cell in the batch,
+    // a loaded machine cannot push an innocent simulation over the
+    // deadline, so the totals below are exact under any ctest -j.  The
+    // hung cell still costs two timeouts before it is poisoned.
+    setenv("RNR_FARM_TEST_HANG_KEY", ":w96:", 1);
+    startServer(2, /*timeout_sec=*/4.0);
+    const std::vector<ExperimentConfig> cells = {smallBatch().back()};
+    ASSERT_NE(cells[0].key().find(":w96:"), std::string::npos);
+
+    SweepOptions opts;
+    opts.progress = 0;
+    opts.farm = socket_;
+    opts.label = "farm-e2e";
+    SweepRunner runner(opts);
+    runner.add(cells);
+    const std::vector<ExperimentResult> results = runner.run();
+
+    ASSERT_EQ(results.size(), cells.size());
+    EXPECT_EQ(runner.stats().poisoned, 1u);
+    EXPECT_TRUE(results[0].iterations.empty());
+
+    const FarmTotals totals = stopServer();
+    EXPECT_EQ(totals.simulated, 0u);
+    EXPECT_EQ(totals.poisoned, 1u);
+    EXPECT_EQ(totals.worker_deaths, 2u) << "hang + hung retry";
+}
+
+TEST_F(FarmFixture, KilledDaemonResumesFromThePersistedCache)
+{
+    startServer(2);
+    const std::vector<ExperimentConfig> cells = smallBatch();
+    const std::string first_json = dir_ + "/first.json";
+    const SweepStats first = farmSweep(cells, first_json);
+    EXPECT_EQ(first.simulated, cells.size());
+    stopServer(); // the "kill": daemon gone, only the cache file survives
+
+    // A fresh daemon + a fresh client memo: the resumed sweep must be
+    // answered entirely from the persisted cache file, bit-identically.
+    ResultCache::instance().clearForTest();
+    startServer(2);
+    const std::string resumed_json = dir_ + "/resumed.json";
+    const SweepStats resumed = farmSweep(cells, resumed_json);
+    EXPECT_EQ(resumed.simulated, 0u)
+        << "resume must not repeat finished work";
+    EXPECT_EQ(resumed.cache_hits, cells.size());
+    EXPECT_EQ(slurp(first_json), slurp(resumed_json));
+
+    const FarmTotals totals = stopServer();
+    EXPECT_EQ(totals.simulated, 0u);
+    EXPECT_EQ(totals.cached, cells.size());
+}
+
+TEST_F(FarmFixture, StatusReportsQueueDepthAndDrainStopsTheDaemon)
+{
+    startServer(3);
+    FarmClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(socket_, &error)) << error;
+
+    FarmStatus st;
+    ASSERT_TRUE(client.status(st, &error)) << error;
+    EXPECT_EQ(st.workers, 3u);
+    EXPECT_EQ(st.busy, 0u);
+    EXPECT_EQ(st.queued, 0u);
+    EXPECT_EQ(st.done, 0u);
+    EXPECT_FALSE(st.draining);
+
+    // Warm one cell so there is something for status to count.
+    farmSweep({cell(PrefetcherKind::None)});
+    ASSERT_TRUE(client.status(st, &error)) << error;
+    EXPECT_EQ(st.done, 1u);
+    EXPECT_EQ(st.simulated, 1u);
+
+    // Drain: the acknowledgement arrives once idle, then serve() exits
+    // on its own — no requestStop needed.
+    ASSERT_TRUE(client.drain(&error)) << error;
+    serve_thread_.join();
+    delete server_;
+    server_ = nullptr;
+}
+
+} // namespace
+} // namespace rnr
+
+#endif // !_WIN32

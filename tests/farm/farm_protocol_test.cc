@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the farm wire protocol (farm/farm_protocol.h): frame
+ * framing over real fds, incremental reassembly under arbitrary
+ * fragmentation, the oversized-frame guard, and the config/result
+ * codecs whose exactness is what makes farm results bit-identical to
+ * in-process ones.
+ */
+#include <cstdint>
+#include <string>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include <gtest/gtest.h>
+
+#include "farm/farm_client.h"
+#include "farm/farm_protocol.h"
+#include "harness/result_cache.h"
+
+namespace rnr {
+namespace {
+
+#ifndef _WIN32
+TEST(FarmFramingTest, WriteThenReadRoundTripsOverASocketpair)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+    const std::string payload = "{\"type\": \"hello\"}";
+    ASSERT_TRUE(farmWriteFrame(sv[0], payload));
+    ASSERT_TRUE(farmWriteFrame(sv[0], "")); // empty frames are legal
+
+    std::string got;
+    std::string error;
+    ASSERT_TRUE(farmReadFrame(sv[1], got, &error)) << error;
+    EXPECT_EQ(got, payload);
+    ASSERT_TRUE(farmReadFrame(sv[1], got, &error)) << error;
+    EXPECT_EQ(got, "");
+
+    // Clean EOF: the peer closing reads as false, not a hang.
+    ::close(sv[0]);
+    EXPECT_FALSE(farmReadFrame(sv[1], got, &error));
+    ::close(sv[1]);
+}
+
+TEST(FarmFramingTest, OversizedFrameIsRejectedOnWrite)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    EXPECT_FALSE(farmWriteFrame(sv[0], std::string(kFarmMaxFrame + 1,
+                                                   'x')));
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+#endif
+
+TEST(FrameBufferTest, ReassemblesFramesFedOneByteAtATime)
+{
+    // Two frames, delivered in the worst possible fragmentation.
+    std::string wire;
+    for (const std::string &p : {std::string("abc"), std::string("")}) {
+        const std::uint32_t n = static_cast<std::uint32_t>(p.size());
+        char len[4] = {static_cast<char>(n & 0xff),
+                       static_cast<char>((n >> 8) & 0xff),
+                       static_cast<char>((n >> 16) & 0xff),
+                       static_cast<char>((n >> 24) & 0xff)};
+        wire.append(len, 4);
+        wire += p;
+    }
+
+    FrameBuffer buf;
+    std::string payload;
+    std::size_t got = 0;
+    for (char byte : wire) {
+        buf.feed(&byte, 1);
+        while (buf.next(payload)) {
+            if (got == 0)
+                EXPECT_EQ(payload, "abc");
+            else
+                EXPECT_EQ(payload, "");
+            ++got;
+        }
+    }
+    EXPECT_EQ(got, 2u);
+    EXPECT_TRUE(buf.error().empty());
+    EXPECT_FALSE(buf.next(payload)); // drained
+}
+
+TEST(FrameBufferTest, OversizedLengthPoisonsTheStream)
+{
+    // A length prefix over kFarmMaxFrame cannot be resynced past.
+    const std::uint32_t n = kFarmMaxFrame + 1;
+    char len[4] = {static_cast<char>(n & 0xff),
+                   static_cast<char>((n >> 8) & 0xff),
+                   static_cast<char>((n >> 16) & 0xff),
+                   static_cast<char>((n >> 24) & 0xff)};
+    FrameBuffer buf;
+    buf.feed(len, 4);
+    std::string payload;
+    EXPECT_FALSE(buf.next(payload));
+    EXPECT_FALSE(buf.error().empty());
+    // Poisoned forever, even if more (valid-looking) bytes arrive.
+    buf.feed("AAAA", 4);
+    EXPECT_FALSE(buf.next(payload));
+    EXPECT_FALSE(buf.error().empty());
+}
+
+TEST(FarmCodecTest, ConfigRoundTripsThroughJson)
+{
+    ExperimentConfig cfg;
+    cfg.app = "pagerank";
+    cfg.input = "urand";
+    cfg.prefetcher = PrefetcherKind::Rnr;
+    cfg.control = ReplayControlMode::WindowPace;
+    cfg.window_size = 96;
+    cfg.iterations = 3;
+    cfg.cores = 2;
+    cfg.ideal_llc = true;
+
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(parseJson(farmConfigJson(cfg), v, &error)) << error;
+    ExperimentConfig back;
+    ASSERT_TRUE(farmParseConfig(v, back, &error)) << error;
+    // key() covers every simulated-behaviour field: equal keys mean the
+    // worker runs exactly the cell the client described.
+    EXPECT_EQ(back.key(), cfg.key());
+    EXPECT_EQ(back.ideal_llc, cfg.ideal_llc);
+}
+
+TEST(FarmCodecTest, UnknownPrefetcherNameIsAnErrorNotACrash)
+{
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(parseJson(R"({"app": "pagerank", "input": "urand",
+                              "prefetcher": "warp-drive",
+                              "control": "none", "window_size": 0,
+                              "iterations": 1, "cores": 1,
+                              "ideal_llc": false})",
+                          v, &error))
+        << error;
+    ExperimentConfig cfg;
+    EXPECT_FALSE(farmParseConfig(v, cfg, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(FarmCodecTest, ResultDataRoundTripsExactCounters)
+{
+    ExperimentResult r;
+    r.input_bytes = 12345;
+    IterStats it;
+    it.cycles = 18446744073709551615ull; // must not transit a double
+    it.instructions = 987654321098765ull;
+    r.iterations.push_back(it);
+
+    ExperimentResult back;
+    ASSERT_TRUE(farmParseResultData(farmResultData(r), back));
+    EXPECT_EQ(ResultCache::serialize(back), ResultCache::serialize(r));
+    EXPECT_EQ(back.iterations.at(0).cycles, it.cycles);
+}
+
+TEST(FarmStatusTest, FormatIsOneHumanReadableLine)
+{
+    FarmStatus s;
+    s.workers = 4;
+    s.busy = 2;
+    s.queued = 7;
+    s.inflight = 2;
+    s.done = 10;
+    s.simulated = 6;
+    s.cached = 4;
+    const std::string line = formatFarmStatus(s);
+    EXPECT_NE(line.find("2/4 busy"), std::string::npos) << line;
+    EXPECT_NE(line.find("queued 7"), std::string::npos) << line;
+    EXPECT_NE(line.find("done 10"), std::string::npos) << line;
+    EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+
+    s.draining = true;
+    s.poisoned = 1;
+    const std::string draining = formatFarmStatus(s);
+    EXPECT_NE(draining.find("draining"), std::string::npos) << draining;
+    EXPECT_NE(draining.find("poisoned"), std::string::npos) << draining;
+}
+
+} // namespace
+} // namespace rnr

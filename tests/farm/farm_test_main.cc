@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Custom gtest main for the farm tests.  The e2e tests start a real
+ * FarmServer, which fork/execs *this binary* as its worker processes
+ * (farm/farm_worker.h) — so the worker hook must run before gtest gets
+ * a chance to interpret the magic argv.
+ */
+#include <gtest/gtest.h>
+
+#include "farm/farm_worker.h"
+
+int
+main(int argc, char **argv)
+{
+    rnr::farmWorkerMaybeExec(argc, argv); // no-op unless exec'd as worker
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

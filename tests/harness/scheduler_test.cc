@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the transport-agnostic scheduling core
+ * (harness/scheduler.h): the sharded priority queue's ordering and
+ * stealing behaviour, and the in-process backend's contract (every
+ * cell's done() fires exactly once, with hit/simulate accounting).
+ */
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/result_cache.h"
+#include "harness/scheduler.h"
+
+namespace rnr {
+namespace {
+
+TEST(ShardedWorkQueueTest, HigherPriorityPopsFirstFifoWithinEqual)
+{
+    ShardedWorkQueue q(1);
+    q.push(10, 0);
+    q.push(11, 5);
+    q.push(12, 0);
+    q.push(13, 5);
+
+    std::size_t item = 0;
+    ASSERT_TRUE(q.tryPop(0, item));
+    EXPECT_EQ(item, 11u); // priority 5, pushed first
+    ASSERT_TRUE(q.tryPop(0, item));
+    EXPECT_EQ(item, 13u); // priority 5, pushed second
+    ASSERT_TRUE(q.tryPop(0, item));
+    EXPECT_EQ(item, 10u); // priority 0, FIFO
+    ASSERT_TRUE(q.tryPop(0, item));
+    EXPECT_EQ(item, 12u);
+    EXPECT_FALSE(q.tryPop(0, item));
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(ShardedWorkQueueTest, IdleShardStealsUntilTheQueueIsDry)
+{
+    // Round-robin push spreads 6 items over 3 shards; draining
+    // everything from shard 0 alone must succeed via stealing.
+    ShardedWorkQueue q(3);
+    for (std::size_t i = 0; i < 6; ++i)
+        q.push(i);
+    EXPECT_EQ(q.pending(), 6u);
+
+    std::set<std::size_t> seen;
+    std::size_t item = 0;
+    while (q.tryPop(0, item))
+        seen.insert(item);
+    EXPECT_EQ(seen.size(), 6u);
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_FALSE(q.tryPop(1, item));
+}
+
+TEST(InProcessBackendTest, EveryCellCompletesExactlyOnce)
+{
+    setenv("RNR_CACHE", "0", 1);
+    setenv("RNR_PROGRESS", "0", 1);
+    ResultCache::instance().clearForTest();
+
+    std::vector<ExperimentConfig> cells;
+    for (std::uint32_t w : {16u, 32u, 64u}) {
+        ExperimentConfig cfg;
+        cfg.app = "pagerank";
+        cfg.input = "amazon";
+        cfg.iterations = 1;
+        cfg.cores = 1;
+        cfg.prefetcher = PrefetcherKind::Rnr;
+        cfg.window_size = w;
+        cells.push_back(cfg);
+    }
+
+    InProcessBackend backend(2);
+    EXPECT_EQ(backend.name(), "in-process");
+
+    std::mutex mu;
+    std::vector<int> done_count(cells.size(), 0);
+    std::size_t simulated = 0;
+    backend.run(cells, {}, [&](std::size_t i, CellOutcome outcome) {
+        std::lock_guard<std::mutex> lock(mu);
+        ASSERT_LT(i, cells.size());
+        ++done_count[i];
+        EXPECT_EQ(outcome.status, CellOutcome::Status::Done);
+        EXPECT_FALSE(outcome.result.iterations.empty());
+        if (!outcome.was_cached)
+            ++simulated;
+    });
+
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        EXPECT_EQ(done_count[i], 1) << "cell " << i;
+    EXPECT_EQ(simulated, cells.size());
+    ResultCache::instance().clearForTest();
+}
+
+} // namespace
+} // namespace rnr
