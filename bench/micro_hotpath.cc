@@ -21,6 +21,15 @@
  *             telemetry hooks are always compiled in; the A/B lives in
  *             BENCH_telemetry.json).
  *
+ * BM_DemandAccessObsGated is the observability-off A/B partner of
+ * none: the identical loop with a disabled metrics-registry gate per
+ * op (the nullptr a call site holds under RNR_METRICS=0) and a
+ * below-threshold logEnabled() check per sweep — the exact shapes the
+ * instrumented sites in src/harness and src/farm have, at the
+ * granularities they really run at.  Its rate must stay within noise
+ * of none (docs/HARNESS.md §16); CI asserts the parity and the
+ * compare gate pins both.
+ *
  * BM_Kernel/{batched,legacy} measure the full stack instead — trace
  * feed, CoreModel inner loop, memory system — under each simulation
  * kernel (sim/kernel.h), so the batched-vs-legacy speedup is the
@@ -39,6 +48,8 @@
 #include "bench_util.h"
 #include "cpu/system.h"
 #include "mem/memory_system.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "prefetch/factory.h"
 #include "sim/config.h"
 #include "sim/kernel.h"
@@ -127,6 +138,50 @@ BM_DemandAccessSampled(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(ops));
 }
 
+void
+BM_DemandAccessObsGated(benchmark::State &state)
+{
+    const std::vector<TraceRecord> &trace = hotTrace();
+    MachineConfig mcfg = MachineConfig::scaledDefault();
+    mcfg.cores = 1;
+    MemorySystem ms(mcfg);
+    std::unique_ptr<Prefetcher> pf =
+        createPrefetcher(PrefetcherKind::None);
+    ms.setPrefetcher(0, pf.get());
+
+    // The disabled-observability call-site shape: the registry handed
+    // this site nullptr (what RNR_METRICS=0 returns) and the default
+    // info threshold rejects Debug, so both gates must cost one
+    // predictable branch apiece.  DoNotOptimize keeps the compiler
+    // from proving the pointer null and deleting the branch outright —
+    // real call sites hold it in a static the optimizer can't fold.
+    obs::Counter *ops_counter = nullptr;
+    benchmark::DoNotOptimize(ops_counter);
+    (void)obs::logThreshold(); // force env init so Debug is gated off
+
+    Tick now = 0;
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        // Per-sweep log gate: no instrumented site logs per memory op —
+        // log records mark cell/batch events — so the disabled check
+        // belongs at the sweep granularity it really runs at.
+        if (obs::logEnabled(obs::LogLevel::Debug))
+            obs::LogLine(obs::LogLevel::Debug, "bench")
+                .msg("sweep start")
+                .kv("ops", static_cast<std::uint64_t>(trace.size()));
+        for (const TraceRecord &rec : trace) {
+            if (ops_counter)
+                ops_counter->add();
+            now += 1 + rec.gap / 4;
+            const DemandResult res = ms.demandAccess(
+                0, rec.addr, rec.kind == RecordKind::Store, rec.pc, now);
+            benchmark::DoNotOptimize(res.done);
+        }
+        ops += trace.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+
 /**
  * Whole-kernel A/B: a one-core System consumes the hot trace through
  * CoreModel under the requested kernel mode.  Items are trace records
@@ -163,6 +218,7 @@ BENCHMARK_CAPTURE(BM_DemandAccess, none, PrefetcherKind::None)
 BENCHMARK_CAPTURE(BM_DemandAccess, stream, PrefetcherKind::Stream)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DemandAccessSampled)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DemandAccessObsGated)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Kernel, batched, rnr::KernelMode::Batched)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Kernel, legacy, rnr::KernelMode::Legacy)

@@ -1,5 +1,6 @@
 #include "farm/farm_client.h"
 
+#include <cerrno>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
@@ -53,11 +54,13 @@ FarmClient::connect(const std::string &socket_path, std::string *error)
 {
 #ifdef _WIN32
     (void)socket_path;
+    connect_errno_ = ENOSYS;
     if (error)
         *error = "the simulation farm is not supported on this platform";
     return false;
 #else
     close();
+    connect_errno_ = 0;
     std::signal(SIGPIPE, SIG_IGN);
     sockaddr_un addr{};
     if (socket_path.size() >= sizeof(addr.sun_path)) {
@@ -70,15 +73,27 @@ FarmClient::connect(const std::string &socket_path, std::string *error)
                  sizeof(addr.sun_path) - 1);
     const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0) {
+        connect_errno_ = errno;
         if (error)
             *error = std::string("socket: ") + std::strerror(errno);
         return false;
     }
     if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
-        if (error)
-            *error = "connect " + socket_path + ": " +
-                     std::strerror(errno);
+        connect_errno_ = errno;
+        if (error) {
+            // The two "daemon is not running" shapes get recognisable
+            // one-liners so the CLI can exit typed instead of cryptic.
+            if (connect_errno_ == ENOENT)
+                *error = "no daemon socket at " + socket_path +
+                         " (is rnr_farmd running?)";
+            else if (connect_errno_ == ECONNREFUSED)
+                *error = "stale daemon socket at " + socket_path +
+                         ": connection refused (is rnr_farmd running?)";
+            else
+                *error = "connect " + socket_path + ": " +
+                         std::strerror(connect_errno_);
+        }
         ::close(fd);
         return false;
     }
@@ -111,7 +126,8 @@ FarmClient::connect(const std::string &socket_path, std::string *error)
 
 bool
 FarmClient::submit(const std::vector<ExperimentConfig> &cells,
-                   const std::vector<int> &priorities, std::string *error)
+                   const std::vector<int> &priorities, std::string *error,
+                   const std::string &trace_dir)
 {
     if (!connected()) {
         if (error)
@@ -119,7 +135,10 @@ FarmClient::submit(const std::vector<ExperimentConfig> &cells,
         return false;
     }
     std::ostringstream os;
-    os << "{\"type\": \"submit\", \"cells\": [";
+    os << "{\"type\": \"submit\"";
+    if (!trace_dir.empty())
+        os << ", \"trace_dir\": " << jsonQuote(trace_dir);
+    os << ", \"cells\": [";
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (i > 0)
             os << ", ";
@@ -246,6 +265,60 @@ FarmClient::status(FarmStatus &out, std::string *error)
         out.worker_deaths = v->asU64();
     if (const JsonValue *v = msg.find("draining"))
         out.draining = v->boolean;
+    return true;
+}
+
+bool
+FarmClient::metrics(std::string &out, std::string *error, bool prometheus)
+{
+    out.clear();
+    if (!connected()) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    const std::string req =
+        prometheus
+            ? "{\"type\": \"metrics\", \"format\": \"prometheus\"}"
+            : "{\"type\": \"metrics\"}";
+    std::string payload, err;
+    if (!farmWriteFrame(fd_, req) ||
+        !farmReadFrame(fd_, payload, &err)) {
+        if (error)
+            *error = err.empty() ? "daemon closed the connection" : err;
+        close();
+        return false;
+    }
+    JsonValue msg;
+    const JsonValue *type = nullptr;
+    if (!parseJson(payload, msg, &err) || !(type = msg.find("type")) ||
+        type->text != "metrics-reply") {
+        if (error)
+            *error = "unexpected metrics reply";
+        return false;
+    }
+    if (prometheus) {
+        const JsonValue *text = msg.find("text");
+        if (!text) {
+            if (error)
+                *error = "metrics reply without text field";
+            return false;
+        }
+        out = text->text;
+        return true;
+    }
+    // The reply embeds the rnr-metrics-v1 object verbatim as the last
+    // field, so the object's raw text is the span between the (already
+    // validated) "metrics" key and the frame's closing brace.
+    static const char kKey[] = "\"metrics\": ";
+    const std::size_t at = payload.find(kKey);
+    if (at == std::string::npos || !msg.find("metrics")) {
+        if (error)
+            *error = "metrics reply without metrics field";
+        return false;
+    }
+    const std::size_t from = at + sizeof(kKey) - 1;
+    out = payload.substr(from, payload.size() - 1 - from);
     return true;
 }
 

@@ -55,15 +55,26 @@ class FarmClient
     FarmClient(const FarmClient &) = delete;
     FarmClient &operator=(const FarmClient &) = delete;
 
-    /** Connects and completes the hello handshake. */
+    /** Connects and completes the hello handshake.  On a socket-level
+     *  failure @p error is a typed one-liner ("no daemon socket at
+     *  <path> ...") and connectErrno() holds the errno (ENOENT = no
+     *  socket file, ECONNREFUSED = stale socket), so callers can turn
+     *  "daemon not running" into a distinct exit code. */
     bool connect(const std::string &socket_path, std::string *error);
+
+    /** errno from the last connect() attempt; 0 after success. */
+    int connectErrno() const { return connect_errno_; }
 
     bool connected() const { return fd_ >= 0; }
     void close();
 
-    /** Sends one batch; results then arrive via next(). */
+    /** Sends one batch; results then arrive via next().  A non-empty
+     *  @p trace_dir asks the daemon to span-correlate the batch: it
+     *  records daemon-side span events there and workers drop one
+     *  Perfetto JSON per cell (`trace_tools farm trace` merges them). */
     bool submit(const std::vector<ExperimentConfig> &cells,
-                const std::vector<int> &priorities, std::string *error);
+                const std::vector<int> &priorities, std::string *error,
+                const std::string &trace_dir = "");
 
     /** One streamed reply. */
     struct Reply {
@@ -77,12 +88,21 @@ class FarmClient
 
     bool status(FarmStatus &out, std::string *error);
 
+    /**
+     * Scrapes the daemon's metrics registry (the additive "metrics"
+     * request).  @p out receives the rnr-metrics-v1 JSON object, or the
+     * Prometheus text exposition when @p prometheus is true.
+     */
+    bool metrics(std::string &out, std::string *error,
+                 bool prometheus = false);
+
     /** Asks the daemon to finish in-flight work and exit; blocks for
      *  the drain-ok acknowledgement. */
     bool drain(std::string *error);
 
   private:
     int fd_ = -1;
+    int connect_errno_ = 0;
 };
 
 /** Runs a sweep's cells on a farm daemon (SweepOptions::farm). */

@@ -24,6 +24,8 @@
 #include "harness/json_write.h"
 #include "harness/result_cache.h"
 #include "harness/scheduler.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace rnr {
 
@@ -80,6 +82,7 @@ struct Worker {
     int fd = -1;
     std::uint64_t cell = 0; ///< 0 = idle
     Clock::time_point deadline{};
+    Clock::time_point dispatched{}; ///< when `cell` was written out
     FrameBuffer rx;
     bool dead = false; ///< permanently (respawn cap hit)
 };
@@ -97,9 +100,98 @@ struct Cell {
     ExperimentConfig cfg;
     std::string key;
     int attempts = 0;
+    /** Correlation directory from a traced submit; "" = untraced. */
+    std::string trace_dir;
     /** (client fd, client-side batch index) pairs to notify. */
     std::vector<std::pair<int, std::uint64_t>> subs;
 };
+
+/** Null when RNR_METRICS=0 — the shared "free when off" gate.  The
+ *  counters deliberately mirror FarmTotals bump-for-bump so a scraped
+ *  snapshot reconciles exactly with the `status` reply and the sweep
+ *  JSON (tests/farm/farm_obs_test.cc asserts the equality). */
+struct FarmMetrics {
+    obs::Counter *cells_done;
+    obs::Counter *cells_simulated;
+    obs::Counter *cells_cached;
+    obs::Counter *cells_poisoned;
+    obs::Counter *cells_retried;
+    obs::Counter *worker_spawns;
+    obs::Counter *worker_deaths;
+    obs::Counter *worker_respawns;
+    obs::Counter *bytes_in;
+    obs::Counter *bytes_out;
+    obs::Gauge *queue_depth;
+    obs::Gauge *inflight;
+    obs::Histogram *cell_latency_us;
+    FarmMetrics()
+    {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+        cells_done = reg.counter("rnr_farm_cells_done_total");
+        cells_simulated = reg.counter("rnr_farm_cells_simulated_total");
+        cells_cached = reg.counter("rnr_farm_cells_cached_total");
+        cells_poisoned = reg.counter("rnr_farm_cells_poisoned_total");
+        cells_retried = reg.counter("rnr_farm_cells_retried_total");
+        worker_spawns = reg.counter("rnr_farm_worker_spawns_total");
+        worker_deaths = reg.counter("rnr_farm_worker_deaths_total");
+        worker_respawns = reg.counter("rnr_farm_worker_respawns_total");
+        bytes_in = reg.counter("rnr_farm_frame_bytes_in_total");
+        bytes_out = reg.counter("rnr_farm_frame_bytes_out_total");
+        queue_depth = reg.gauge("rnr_farm_queue_depth");
+        inflight = reg.gauge("rnr_farm_inflight");
+        cell_latency_us = reg.histogram("rnr_farm_cell_latency_us");
+    }
+};
+
+FarmMetrics &
+farmMetrics()
+{
+    static FarmMetrics m;
+    return m;
+}
+
+/** farmWriteFrame plus bytes-out accounting (4-byte header + payload). */
+bool
+writeFrameCounted(int fd, const std::string &payload)
+{
+    if (obs::Counter *c = farmMetrics().bytes_out)
+        c->add(payload.size() + 4);
+    return farmWriteFrame(fd, payload);
+}
+
+/**
+ * Appends one daemon-side span event to <trace_dir>/daemon_spans.jsonl.
+ * Open-append-close per event is fine here: the daemon is single-
+ * threaded and span recording only happens on traced submits.  The
+ * wall-clock "t_us" field is what `trace_tools farm trace` uses to
+ * derive queue-wait and exec durations.
+ */
+void
+spanEvent(const Cell &cell, const char *ev, int worker = -1,
+          bool cached = false, const std::string &note = "")
+{
+    if (cell.trace_dir.empty())
+        return;
+    std::ostringstream os;
+    os << "{\"ev\": " << jsonQuote(ev)
+       << ", \"span\": " << jsonU64(cell.id)
+       << ", \"key\": " << jsonQuote(cell.key)
+       << ", \"attempt\": " << cell.attempts
+       << ", \"t_us\": " << jsonU64(obs::logWallClockUs());
+    if (worker >= 0)
+        os << ", \"worker\": " << worker;
+    if (cached)
+        os << ", \"cached\": true";
+    if (!note.empty())
+        os << ", \"note\": " << jsonQuote(note);
+    os << "}";
+    std::FILE *f = std::fopen(
+        (cell.trace_dir + "/daemon_spans.jsonl").c_str(), "a");
+    if (f) {
+        std::fprintf(f, "%s\n", os.str().c_str());
+        std::fclose(f);
+    }
+}
 
 std::string
 resultFrame(std::uint64_t index, const char *status, bool cached,
@@ -143,13 +235,14 @@ struct FarmServer::Impl {
                  int attempts, const std::string &data,
                  const std::string &error);
     void finishCell(std::uint64_t cell_id, bool cached,
-                    const std::string &data);
+                    const std::string &data, int worker);
     void pump();
     void handleWorkerFrame(Worker &w, const std::string &payload);
     void handleClientFrame(Client &c, const std::string &payload);
     void dropClient(int fd);
     void submitOne(Client &c, std::uint64_t index,
-                   const ExperimentConfig &cfg, int priority);
+                   const ExperimentConfig &cfg, int priority,
+                   const std::string &trace_dir);
     void maybeBatchDone(Client &c);
     void maybeDrainDone();
 };
@@ -201,6 +294,8 @@ FarmServer::Impl::spawnWorker(Worker &w, std::string *error)
     w.cell = 0;
     w.rx = FrameBuffer();
     w.dead = false;
+    if (obs::Counter *c = farmMetrics().worker_spawns)
+        c->add();
     return true;
 }
 
@@ -230,8 +325,8 @@ FarmServer::Impl::deliver(const Cell &cell, const char *status,
         if (it == clients.end() || it->second.gone)
             continue;
         Client &c = it->second;
-        if (!farmWriteFrame(fd, resultFrame(index, status, cached,
-                                            attempts, data, error))) {
+        if (!writeFrameCounted(fd, resultFrame(index, status, cached,
+                                               attempts, data, error))) {
             c.gone = true;
             continue;
         }
@@ -251,7 +346,7 @@ FarmServer::Impl::maybeBatchDone(Client &c)
     std::ostringstream os;
     os << "{\"type\": \"batch-done\", \"poisoned\": "
        << jsonU64(c.batch_poisoned) << "}";
-    if (!farmWriteFrame(c.fd, os.str()))
+    if (!writeFrameCounted(c.fd, os.str()))
         c.gone = true;
     c.batch_poisoned = 0;
 }
@@ -267,15 +362,25 @@ FarmServer::Impl::retryOrPoison(std::uint64_t cell_id,
     if (cell.attempts < 2) {
         // One more chance, counted so tests can assert exactly one.
         ++totals().retried;
+        if (obs::Counter *c = farmMetrics().cells_retried)
+            c->add();
+        spanEvent(cell, "retry", -1, false, reason);
         queue->push(cell_id);
         return;
     }
     totals().poisoned++;
     totals().done++;
+    if (obs::Counter *c = farmMetrics().cells_poisoned)
+        c->add();
+    if (obs::Counter *c = farmMetrics().cells_done)
+        c->add();
     poisoned[cell.key] = reason;
-    std::fprintf(stderr,
-                 "[rnr_farmd] poisoned cell %s after %d attempts: %s\n",
-                 cell.key.c_str(), cell.attempts, reason.c_str());
+    obs::LogLine(obs::LogLevel::Warn, "farm")
+        .msg("poisoned cell")
+        .kv("cell", cell.key)
+        .kv("attempts", cell.attempts)
+        .kv("why", reason);
+    spanEvent(cell, "poison", -1, false, reason);
     deliver(cell, "poisoned", false, cell.attempts, "", reason);
     active_by_key.erase(cell.key);
     cells.erase(it);
@@ -283,7 +388,7 @@ FarmServer::Impl::retryOrPoison(std::uint64_t cell_id,
 
 void
 FarmServer::Impl::finishCell(std::uint64_t cell_id, bool cached,
-                             const std::string &data)
+                             const std::string &data, int worker)
 {
     auto it = cells.find(cell_id);
     if (it == cells.end())
@@ -291,6 +396,12 @@ FarmServer::Impl::finishCell(std::uint64_t cell_id, bool cached,
     Cell &cell = it->second;
     totals().done++;
     ++(cached ? totals().cached : totals().simulated);
+    if (obs::Counter *c = farmMetrics().cells_done)
+        c->add();
+    if (obs::Counter *c = cached ? farmMetrics().cells_cached
+                                 : farmMetrics().cells_simulated)
+        c->add();
+    spanEvent(cell, "done", worker, cached);
     // Memoize in the daemon's own cache so later submissions (and a
     // status-quo restart from the persisted file) are warm.
     ExperimentResult r;
@@ -306,15 +417,29 @@ void
 FarmServer::Impl::handleWorkerDeath(Worker &w, const std::string &reason)
 {
     totals().worker_deaths++;
+    if (obs::Counter *c = farmMetrics().worker_deaths)
+        c->add();
+    const int widx = static_cast<int>(&w - workers.data());
+    obs::LogLine(obs::LogLevel::Warn, "farm")
+        .msg("worker death")
+        .kv("worker", widx)
+        .kv("pid", static_cast<std::int64_t>(w.pid))
+        .kv("why", reason);
     const std::uint64_t cell = w.cell;
     killWorker(w);
     w.cell = 0;
-    if (cell != 0)
+    if (cell != 0) {
+        auto cit = cells.find(cell);
+        if (cit != cells.end())
+            spanEvent(cit->second, "worker-death", widx, false, reason);
         retryOrPoison(cell, reason);
+    }
     std::string err;
     if (!spawnWorker(w, &err)) {
-        std::fprintf(stderr, "[rnr_farmd] cannot respawn worker: %s\n",
-                     err.c_str());
+        obs::LogLine(obs::LogLevel::Error, "farm")
+            .msg("cannot respawn worker")
+            .kv("worker", widx)
+            .kv("why", err);
         w.dead = true;
         // If every worker is gone, nothing will ever run again: fail
         // the whole backlog explicitly rather than hanging clients.
@@ -329,6 +454,8 @@ FarmServer::Impl::handleWorkerDeath(Worker &w, const std::string &reason)
                     retryOrPoison(id, "no live workers");
                 }
         }
+    } else if (obs::Counter *c = farmMetrics().worker_respawns) {
+        c->add();
     }
 }
 
@@ -349,15 +476,21 @@ FarmServer::Impl::pump()
         ++cell.attempts;
         std::ostringstream os;
         os << "{\"type\": \"cell\", \"id\": " << jsonU64(id)
-           << ", \"config\": " << farmConfigJson(cell.cfg) << "}";
+           << ", \"config\": " << farmConfigJson(cell.cfg);
+        if (!cell.trace_dir.empty())
+            os << ", \"span\": " << jsonU64(id)
+               << ", \"trace_dir\": " << jsonQuote(cell.trace_dir);
+        os << "}";
         // Assign before writing so a failed write retries this cell
         // through the normal death path instead of losing it.
         w.cell = id;
-        if (!farmWriteFrame(w.fd, os.str())) {
+        w.dispatched = Clock::now();
+        spanEvent(cell, "dispatch", static_cast<int>(i));
+        if (!writeFrameCounted(w.fd, os.str())) {
             handleWorkerDeath(w, "worker write failed");
             continue;
         }
-        w.deadline = Clock::now() + std::chrono::duration_cast<
+        w.deadline = w.dispatched + std::chrono::duration_cast<
                                         Clock::duration>(
                          std::chrono::duration<double>(
                              opts().timeout_sec));
@@ -381,12 +514,19 @@ FarmServer::Impl::handleWorkerFrame(Worker &w, const std::string &payload)
         handleWorkerDeath(w, "worker replied for unexpected cell");
         return;
     }
+    // Per-attempt dispatch-to-reply latency, whatever the outcome.
+    if (obs::Histogram *h = farmMetrics().cell_latency_us)
+        h->observe(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - w.dispatched)
+                .count()));
+    const int widx = static_cast<int>(&w - workers.data());
     if (t == "cell-done") {
         const JsonValue *cached = msg.find("cached");
         const JsonValue *data = msg.find("data");
         w.cell = 0;
         finishCell(id, cached && cached->boolean,
-                   data ? data->text : "");
+                   data ? data->text : "", widx);
     } else if (t == "cell-error") {
         // A clean C++ exception is deterministic (bad config, missing
         // input): poison immediately, no point burning a retry.
@@ -403,28 +543,38 @@ FarmServer::Impl::handleWorkerFrame(Worker &w, const std::string &payload)
 
 void
 FarmServer::Impl::submitOne(Client &c, std::uint64_t index,
-                            const ExperimentConfig &cfg, int priority)
+                            const ExperimentConfig &cfg, int priority,
+                            const std::string &trace_dir)
 {
     const std::string key = cfg.key();
 
     auto pit = poisoned.find(key);
     if (pit != poisoned.end()) {
         // Known-bad cell: answer from the poison record, don't re-run.
-        if (!farmWriteFrame(c.fd, resultFrame(index, "poisoned", false,
-                                              0, "", pit->second)))
+        if (!writeFrameCounted(c.fd, resultFrame(index, "poisoned",
+                                                 false, 0, "",
+                                                 pit->second)))
             c.gone = true;
         else
             ++c.batch_poisoned;
         return;
     }
 
+    // Traced submits skip the cache shortcut on purpose: a hit would
+    // answer with counters but no worker ever runs, so there would be
+    // nothing to put on the merged timeline (mirrors how
+    // runExperimentTraced always simulates).
     ExperimentResult hit;
-    if (ResultCache::instance().lookup(cfg, hit)) {
+    if (trace_dir.empty() && ResultCache::instance().lookup(cfg, hit)) {
         totals().done++;
         totals().cached++;
-        if (!farmWriteFrame(c.fd,
-                            resultFrame(index, "done", true, 0,
-                                        farmResultData(hit), "")))
+        if (obs::Counter *mc = farmMetrics().cells_done)
+            mc->add();
+        if (obs::Counter *mc = farmMetrics().cells_cached)
+            mc->add();
+        if (!writeFrameCounted(c.fd,
+                               resultFrame(index, "done", true, 0,
+                                           farmResultData(hit), "")))
             c.gone = true;
         return;
     }
@@ -444,7 +594,9 @@ FarmServer::Impl::submitOne(Client &c, std::uint64_t index,
     cell.id = id;
     cell.cfg = cfg;
     cell.key = key;
+    cell.trace_dir = trace_dir;
     cell.subs.emplace_back(c.fd, index);
+    spanEvent(cell, "submit");
     cells.emplace(id, std::move(cell));
     active_by_key.emplace(key, id);
     queue->push(id, priority);
@@ -460,7 +612,7 @@ FarmServer::Impl::handleClientFrame(Client &c, const std::string &payload)
         std::ostringstream os;
         os << "{\"type\": \"error\", \"code\": " << jsonQuote(code)
            << ", \"message\": " << jsonQuote(message) << "}";
-        if (!farmWriteFrame(c.fd, os.str()))
+        if (!writeFrameCounted(c.fd, os.str()))
             c.gone = true;
     };
     if (!parseJson(payload, msg, &err)) {
@@ -480,7 +632,7 @@ FarmServer::Impl::handleClientFrame(Client &c, const std::string &payload)
         std::ostringstream os;
         os << "{\"type\": \"hello\", \"protocol\": \"" << kFarmProtocol
            << "\", \"workers\": " << workers.size() << "}";
-        if (!farmWriteFrame(c.fd, os.str()))
+        if (!writeFrameCounted(c.fd, os.str()))
             c.gone = true;
     } else if (t == "submit") {
         if (draining) {
@@ -492,6 +644,9 @@ FarmServer::Impl::handleClientFrame(Client &c, const std::string &payload)
             sendError("bad-submit", "missing cells array");
             return;
         }
+        std::string trace_dir;
+        if (const JsonValue *td = msg.find("trace_dir"))
+            trace_dir = td->text;
         for (std::size_t i = 0; i < cells_v->items.size(); ++i) {
             const JsonValue &cv = cells_v->items[i];
             ExperimentConfig cfg;
@@ -503,7 +658,7 @@ FarmServer::Impl::handleClientFrame(Client &c, const std::string &payload)
             int priority = 0;
             if (const JsonValue *p = cv.find("priority"))
                 priority = static_cast<int>(p->asDouble());
-            submitOne(c, i, cfg, priority);
+            submitOne(c, i, cfg, priority, trace_dir);
             if (c.gone)
                 return;
         }
@@ -529,7 +684,30 @@ FarmServer::Impl::handleClientFrame(Client &c, const std::string &payload)
            << ", \"retried\": " << jsonU64(totals().retried)
            << ", \"worker_deaths\": " << jsonU64(totals().worker_deaths)
            << ", \"draining\": " << jsonBool(draining) << "}";
-        if (!farmWriteFrame(c.fd, os.str()))
+        if (!writeFrameCounted(c.fd, os.str()))
+            c.gone = true;
+    } else if (t == "metrics") {
+        // Refresh the point-in-time gauges so the scrape is coherent
+        // with the counters it travels with.
+        unsigned busy = 0;
+        for (const Worker &w : workers)
+            if (w.cell != 0)
+                ++busy;
+        if (obs::Gauge *g = farmMetrics().queue_depth)
+            g->set(static_cast<std::int64_t>(queue->pending()));
+        if (obs::Gauge *g = farmMetrics().inflight)
+            g->set(busy);
+        const obs::MetricsSnapshot snap =
+            obs::MetricsRegistry::instance().snapshot();
+        const JsonValue *fmt = msg.find("format");
+        std::ostringstream os;
+        if (fmt && fmt->text == "prometheus")
+            os << "{\"type\": \"metrics-reply\", \"text\": "
+               << jsonQuote(obs::metricsPrometheusTextFrom(snap)) << "}";
+        else
+            os << "{\"type\": \"metrics-reply\", \"metrics\": "
+               << obs::metricsJsonFrom(snap) << "}";
+        if (!writeFrameCounted(c.fd, os.str()))
             c.gone = true;
     } else if (t == "drain") {
         draining = true;
@@ -549,7 +727,7 @@ FarmServer::Impl::maybeDrainDone()
         if (w.cell != 0)
             return;
     for (int fd : drain_fds)
-        farmWriteFrame(fd, "{\"type\": \"drain-ok\"}");
+        writeFrameCounted(fd, "{\"type\": \"drain-ok\"}");
     drain_fds.clear();
     self->requestStop();
 }
@@ -726,6 +904,16 @@ FarmServer::serve()
     while (!stop_.load()) {
         im.pump();
         im.maybeDrainDone();
+        {
+            unsigned busy = 0;
+            for (const Worker &w : im.workers)
+                if (w.cell != 0)
+                    ++busy;
+            if (obs::Gauge *g = farmMetrics().queue_depth)
+                g->set(static_cast<std::int64_t>(im.queue->pending()));
+            if (obs::Gauge *g = farmMetrics().inflight)
+                g->set(busy);
+        }
         if (stop_.load())
             break;
 
@@ -810,6 +998,8 @@ FarmServer::serve()
                 im.handleWorkerDeath(w, "worker died (crash?)");
                 continue;
             }
+            if (obs::Counter *bc = farmMetrics().bytes_in)
+                bc->add(static_cast<std::uint64_t>(n));
             w.rx.feed(buf, static_cast<std::size_t>(n));
             std::string payload;
             while (w.fd >= 0 && w.rx.next(payload))
@@ -833,6 +1023,8 @@ FarmServer::serve()
                 im.dropClient(c.fd);
                 continue;
             }
+            if (obs::Counter *bc = farmMetrics().bytes_in)
+                bc->add(static_cast<std::uint64_t>(n));
             c.rx.feed(buf, static_cast<std::size_t>(n));
             std::string payload;
             while (!c.gone && c.rx.next(payload))
@@ -846,7 +1038,7 @@ FarmServer::serve()
     // backstop for ones mid-cell).
     for (Worker &w : im.workers) {
         if (w.fd >= 0)
-            farmWriteFrame(w.fd, "{\"type\": \"quit\"}");
+            writeFrameCounted(w.fd, "{\"type\": \"quit\"}");
         im.killWorker(w);
     }
     return 0;

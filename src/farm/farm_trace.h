@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Cross-process trace correlation: merges one traced farm batch into a
+ * single Perfetto-loadable timeline.
+ *
+ * A traced submit (FarmClient::submit with a trace_dir) produces two
+ * kinds of artifacts in that directory:
+ *
+ *   daemon_spans.jsonl   one JSONL event per span transition, written
+ *                        by the daemon: submit, dispatch, retry,
+ *                        worker-death, poison, done — each with the
+ *                        span id, cell key and a wall-clock "t_us".
+ *   span_<id>.json       one Chrome-trace JSON per executed cell,
+ *                        written by the worker that ran it (the PR-3
+ *                        exporter, sim/trace_event.h).
+ *
+ * mergeFarmTrace() folds both into one {"traceEvents": [...]} file:
+ *
+ *   pid 0  "rnr_farmd"    one lane (tid) per span, carrying the
+ *                         queue-wait and exec duration events plus
+ *                         retry/poison/worker-death instants, on the
+ *                         daemon's wall clock (normalised to t=0 at
+ *                         the first daemon event).
+ *   pid 1000+<span>       that span's worker-side simulation events,
+ *                         lifted verbatim from span_<id>.json (their
+ *                         "ts" is core cycles — only relative spacing
+ *                         within the lane is meaningful, which is why
+ *                         the worker events get their own pid instead
+ *                         of being spliced onto the daemon clock).
+ *
+ * The output loads directly into ui.perfetto.dev or chrome://tracing.
+ */
+#ifndef RNR_FARM_FARM_TRACE_H
+#define RNR_FARM_FARM_TRACE_H
+
+#include <string>
+
+namespace rnr {
+
+/**
+ * Merges @p trace_dir's daemon_spans.jsonl and span_*.json files into
+ * one Chrome-trace JSON at @p out_path.  False + @p error when the
+ * directory has no daemon span log, a span line is unparseable, or the
+ * output cannot be written; a missing span_<id>.json is tolerated (the
+ * cell may have been poisoned before a worker finished it) and noted
+ * on the daemon lane instead.
+ */
+bool mergeFarmTrace(const std::string &trace_dir,
+                    const std::string &out_path, std::string *error);
+
+} // namespace rnr
+
+#endif // RNR_FARM_FARM_TRACE_H

@@ -11,7 +11,10 @@
 
 #include "farm/farm_protocol.h"
 #include "harness/json_write.h"
+#include "harness/result_cache.h"
 #include "harness/runner.h"
+#include "obs/log.h"
+#include "sim/trace_event.h"
 
 namespace rnr {
 
@@ -93,10 +96,34 @@ farmWorkerMain(int fd)
             for (;;)
                 ::pause();
 
+        // A traced cell (span correlation, docs/HARNESS.md §16) rides
+        // with a span id and a directory to drop its Perfetto JSON in.
+        const JsonValue *span_v = msg.find("span");
+        const JsonValue *td_v = msg.find("trace_dir");
+        const std::string trace_dir = td_v ? td_v->text : "";
+
         std::ostringstream reply;
         try {
             bool was_cached = false;
-            const ExperimentResult r = runExperiment(cfg, &was_cached);
+            ExperimentResult r;
+            if (!trace_dir.empty()) {
+                // Always simulates (runExperimentTraced bypasses the
+                // cache — a hit would produce no events); store() keeps
+                // the normal persistence contract for the daemon.
+                TraceCollector tr(cfg.cores);
+                r = runExperimentTraced(cfg, &tr);
+                ResultCache::instance().store(key, r);
+                const std::string out =
+                    trace_dir + "/span_" +
+                    (span_v ? span_v->text : id_txt) + ".json";
+                if (!writeChromeTrace(out, tr))
+                    obs::LogLine(obs::LogLevel::Warn, "farm-worker")
+                        .msg("cannot write span trace")
+                        .kv("cell", key)
+                        .kv("path", out);
+            } else {
+                r = runExperiment(cfg, &was_cached);
+            }
             reply << "{\"type\": \"cell-done\", \"id\": " << id_txt
                   << ", \"cached\": " << jsonBool(was_cached)
                   << ", \"data\": " << jsonQuote(farmResultData(r))

@@ -16,6 +16,7 @@
 
 #include "farm/farm_server.h"
 #include "farm/farm_worker.h"
+#include "obs/log.h"
 
 namespace {
 
@@ -85,18 +86,20 @@ main(int argc, char **argv)
     rnr::FarmServer server(opts);
     std::string error;
     if (!server.start(&error)) {
-        std::fprintf(stderr, "rnr_farmd: %s\n", error.c_str());
+        rnr::obs::LogLine(rnr::obs::LogLevel::Error, "farmd")
+            .msg("cannot start")
+            .kv("why", error);
         return 1;
     }
     g_server = &server;
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
 
-    std::fprintf(stderr,
-                 "rnr_farmd: listening on %s (%u workers, %.0fs cell "
-                 "timeout)\n",
-                 server.options().socket_path.c_str(),
-                 server.options().workers, server.options().timeout_sec);
+    rnr::obs::LogLine(rnr::obs::LogLevel::Info, "farmd")
+        .msg("listening")
+        .kv("socket", server.options().socket_path)
+        .kv("workers", server.options().workers)
+        .kv("timeout_sec", server.options().timeout_sec);
     const int rc = server.serve();
     g_server = nullptr;
     return rc;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "harness/file_lock.h"
+#include "obs/metrics.h"
 
 #ifdef _WIN32
 #include <process.h>
@@ -16,6 +17,31 @@
 #endif
 
 namespace rnr {
+
+namespace {
+
+// Null when RNR_METRICS=0 — the shared "free when off" gate.
+struct CacheMetrics {
+    obs::Counter *hits;
+    obs::Counter *misses;
+    obs::Counter *merges;
+    CacheMetrics()
+    {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+        hits = reg.counter("rnr_cache_hits_total");
+        misses = reg.counter("rnr_cache_misses_total");
+        merges = reg.counter("rnr_cache_merges_total");
+    }
+};
+
+CacheMetrics &
+cacheMetrics()
+{
+    static CacheMetrics m;
+    return m;
+}
+
+} // namespace
 
 ResultCache &
 ResultCache::instance()
@@ -178,18 +204,28 @@ ResultCache::lookup(const ExperimentConfig &cfg, ExperimentResult &out)
     std::lock_guard<std::mutex> lock(mu_);
     auto mit = memo_.find(key);
     if (mit != memo_.end()) {
+        if (obs::Counter *c = cacheMetrics().hits)
+            c->add();
         out = mit->second;
         return true;
     }
     ensureLoadedLocked();
     auto fit = lines_.find(key);
-    if (fit == lines_.end())
+    if (fit == lines_.end()) {
+        if (obs::Counter *c = cacheMetrics().misses)
+            c->add();
         return false;
+    }
     ExperimentResult r;
     r.config = cfg;
-    if (!deserialize(fit->second, r))
+    if (!deserialize(fit->second, r)) {
+        if (obs::Counter *c = cacheMetrics().misses)
+            c->add();
         return false; // pre-validated at load, but stay defensive
+    }
     memo_[key] = r;
+    if (obs::Counter *c = cacheMetrics().hits)
+        c->add();
     out = r;
     return true;
 }
@@ -212,6 +248,8 @@ ResultCache::noteExternal(const std::string &key,
 {
     std::lock_guard<std::mutex> lock(mu_);
     memo_[key] = r;
+    if (obs::Counter *c = cacheMetrics().merges)
+        c->add();
 }
 
 std::size_t

@@ -10,6 +10,7 @@
 
 #include "cpu/system.h"
 #include "harness/result_cache.h"
+#include "obs/log.h"
 #include "harness/system_counters.h"
 #include "sim/timeseries.h"
 #include "tracestore/trace_reader.h"
@@ -33,13 +34,6 @@ std::atomic<std::uint64_t> g_simulated{0};
 std::mutex g_inflight_mu;
 std::condition_variable g_inflight_cv;
 std::set<std::string> g_inflight;
-
-bool
-progressEnabled()
-{
-    const char *p = std::getenv("RNR_PROGRESS");
-    return !(p && std::string(p) == "0");
-}
 
 /** Thrown by the replay path when a stored trace fails mid-stream; the
  *  caller quarantines the entry and recaptures. */
@@ -142,10 +136,10 @@ runMaterialized(const ExperimentConfig &cfg, TraceCollector *tr,
             if (TraceIoResult r = cap->add(iter, c, bufs[c]); !r) {
                 // Capture is best-effort: keep simulating, drop the
                 // half-written entry (the destructor aborts it).
-                std::fprintf(stderr,
-                             "[tracestore] capture of %s failed: %s\n",
-                             cfg.workloadKey().c_str(),
-                             r.message().c_str());
+                obs::LogLine(obs::LogLevel::Warn, "tracestore")
+                    .msg("capture failed")
+                    .kv("workload", cfg.workloadKey())
+                    .kv("why", r.message());
                 cap = nullptr;
             }
 
@@ -213,12 +207,10 @@ runWithTraceStore(const ExperimentConfig &cfg, TraceCollector *tr,
             try {
                 return runFromStore(cfg, tr, tm, entry);
             } catch (const CorruptTraceEntry &e) {
-                if (progressEnabled())
-                    std::fprintf(
-                        stderr,
-                        "[tracestore] replay of %s failed (%s); "
-                        "quarantining and recapturing\n",
-                        wkey.c_str(), e.what());
+                obs::LogLine(obs::LogLevel::Warn, "tracestore")
+                    .msg("replay failed; quarantining and recapturing")
+                    .kv("workload", wkey)
+                    .kv("why", e.what());
                 store.invalidate(wkey);
                 continue;
             }
@@ -313,8 +305,9 @@ runExperimentUncached(const ExperimentConfig &cfg)
                                 ? cfg.trace.json_out
                                 : traceEnvOutPath();
     if (!out.empty() && !writeChromeTrace(out, tr))
-        std::fprintf(stderr, "rnr: failed to write trace to %s\n",
-                     out.c_str());
+        obs::LogLine(obs::LogLevel::Error, "trace")
+            .msg("failed to write trace")
+            .kv("path", out);
     if (traceEnvReportEnabled()) {
         const std::string report =
             formatReplayDiagnostics(buildReplayDiagnostics(tr));

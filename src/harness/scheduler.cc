@@ -5,12 +5,52 @@
 #include <thread>
 
 #include "harness/runner.h"
+#include "obs/metrics.h"
 
 namespace rnr {
+
+namespace {
+
+/** Null when RNR_METRICS=0; looked up once, bumped lock-free. */
+struct QueueMetrics {
+    obs::Counter *pops;
+    obs::Counter *steals;
+    obs::Gauge *imbalance;
+    QueueMetrics()
+    {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+        pops = reg.counter("rnr_queue_pops_total");
+        steals = reg.counter("rnr_queue_steals_total");
+        imbalance = reg.gauge("rnr_queue_imbalance");
+    }
+};
+
+QueueMetrics &
+queueMetrics()
+{
+    static QueueMetrics m;
+    return m;
+}
+
+} // namespace
 
 ShardedWorkQueue::ShardedWorkQueue(unsigned shards)
     : q_(std::max(1u, shards))
 {
+}
+
+void
+ShardedWorkQueue::updateImbalanceLocked()
+{
+    obs::Gauge *g = queueMetrics().imbalance;
+    if (!g)
+        return;
+    std::size_t lo = SIZE_MAX, hi = 0;
+    for (const Shard &s : q_) {
+        lo = std::min(lo, s.size());
+        hi = std::max(hi, s.size());
+    }
+    g->set(static_cast<std::int64_t>(hi - lo));
 }
 
 void
@@ -20,6 +60,7 @@ ShardedWorkQueue::push(std::size_t item, int priority)
     q_[next_].emplace(priority, item);
     next_ = (next_ + 1) % q_.size();
     ++pending_;
+    updateImbalanceLocked();
 }
 
 bool
@@ -36,12 +77,18 @@ ShardedWorkQueue::tryPop(unsigned shard, std::size_t &item)
         for (Shard &s : q_)
             if (!s.empty() && (!src || s.size() > src->size()))
                 src = &s;
+        if (src)
+            if (obs::Counter *c = queueMetrics().steals)
+                c->add();
     }
     if (!src)
         return false;
     item = src->begin()->second;
     src->erase(src->begin());
     --pending_;
+    if (obs::Counter *c = queueMetrics().pops)
+        c->add();
+    updateImbalanceLocked();
     return true;
 }
 

@@ -100,6 +100,10 @@ class ShardedWorkQueue
     // One multimap per shard, keyed by descending priority; equal-key
     // insertion order is preserved, which gives FIFO within a priority.
     using Shard = std::multimap<int, std::size_t, std::greater<int>>;
+
+    /** Publishes max-min shard depth to the rnr_queue_imbalance gauge. */
+    void updateImbalanceLocked();
+
     mutable std::mutex mu_;
     std::vector<Shard> q_;
     std::size_t next_ = 0;

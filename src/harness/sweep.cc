@@ -30,6 +30,7 @@
 #include "harness/json_write.h"
 #include "harness/runner.h"
 #include "harness/scheduler.h"
+#include "obs/log.h"
 #include "tracestore/trace_store.h"
 
 namespace rnr {
@@ -319,11 +320,12 @@ SweepRunner::run()
             // a config-only result (empty iterations) plus a warning.
             results[i].config = cells_[i];
             ++poisoned;
-            std::fprintf(stderr,
-                         "[%s] warning: cell %s poisoned after %d "
-                         "attempt(s): %s\n",
-                         opts_.label.c_str(), keys_[i].c_str(),
-                         out.attempts, out.error.c_str());
+            obs::LogLine(obs::LogLevel::Warn, "sweep")
+                .msg("cell poisoned")
+                .kv("label", opts_.label)
+                .kv("cell", keys_[i])
+                .kv("attempts", out.attempts)
+                .kv("why", out.error);
         } else {
             results[i] = std::move(out.result);
             ++(out.was_cached ? hits : simulated);
@@ -357,8 +359,10 @@ SweepRunner::run()
     if (!json.empty() &&
         !writeResultsJson(json, results, opts_.label,
                           jsonHostEnabled(opts_) ? &host : nullptr))
-        std::fprintf(stderr, "[%s] warning: could not write JSON to %s\n",
-                     opts_.label.c_str(), json.c_str());
+        obs::LogLine(obs::LogLevel::Error, "sweep")
+            .msg("could not write JSON results")
+            .kv("label", opts_.label)
+            .kv("path", json);
     return results;
 }
 

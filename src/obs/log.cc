@@ -1,0 +1,275 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "harness/json_write.h"
+
+namespace rnr {
+namespace obs {
+
+namespace {
+
+enum class Sink { Stderr, File, Off };
+
+struct LogConfig {
+    Sink sink = Sink::Stderr;
+    std::FILE *file = nullptr; ///< owned, never closed (process lifetime)
+    std::mutex write_mu;
+};
+
+LogConfig &
+config()
+{
+    static LogConfig cfg;
+    return cfg;
+}
+
+std::once_flag g_init_once;
+// Reassigned by logReconfigureForTest so tests can re-read the env;
+// std::once_flag itself cannot be reset.
+bool g_initialized = false;
+std::mutex g_init_mu;
+
+int
+parseLevel(const char *p)
+{
+    if (!p || !*p)
+        return static_cast<int>(LogLevel::Info);
+    if (std::strcmp(p, "debug") == 0)
+        return static_cast<int>(LogLevel::Debug);
+    if (std::strcmp(p, "info") == 0)
+        return static_cast<int>(LogLevel::Info);
+    if (std::strcmp(p, "warn") == 0 || std::strcmp(p, "warning") == 0)
+        return static_cast<int>(LogLevel::Warn);
+    if (std::strcmp(p, "error") == 0)
+        return static_cast<int>(LogLevel::Error);
+    if (std::strcmp(p, "off") == 0 || std::strcmp(p, "0") == 0)
+        return static_cast<int>(LogLevel::Off);
+    return static_cast<int>(LogLevel::Info);
+}
+
+void
+initFromEnv()
+{
+    LogConfig &cfg = config();
+    if (cfg.file) {
+        std::fclose(cfg.file);
+        cfg.file = nullptr;
+    }
+    const char *dest = std::getenv("RNR_LOG");
+    if (dest && std::strcmp(dest, "0") == 0) {
+        cfg.sink = Sink::Off;
+    } else if (dest && *dest) {
+        // Append so daemon + inherited workers can share one file; each
+        // record is a single fwrite, which O_APPEND keeps line-atomic
+        // for the short lines we emit.
+        cfg.file = std::fopen(dest, "a");
+        cfg.sink = cfg.file ? Sink::File : Sink::Stderr;
+    } else {
+        cfg.sink = Sink::Stderr;
+    }
+    int threshold = parseLevel(std::getenv("RNR_LOG_LEVEL"));
+    if (cfg.sink == Sink::Off)
+        threshold = static_cast<int>(LogLevel::Off);
+    detail::logThresholdRef().store(threshold, std::memory_order_relaxed);
+}
+
+void
+ensureInit()
+{
+    std::lock_guard<std::mutex> lock(g_init_mu);
+    if (!g_initialized) {
+        initFromEnv();
+        g_initialized = true;
+    }
+}
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::Debug:
+        return "debug";
+    case LogLevel::Info:
+        return "info";
+    case LogLevel::Warn:
+        return "warn";
+    case LogLevel::Error:
+        return "error";
+    case LogLevel::Off:
+        break;
+    }
+    return "off";
+}
+
+} // namespace
+
+namespace detail {
+
+std::atomic<int> &
+logThresholdRef()
+{
+    // Start permissive: the first LogLine construction runs ensureInit()
+    // which tightens this to the real threshold before anything emits.
+    static std::atomic<int> threshold{static_cast<int>(LogLevel::Debug)};
+    return threshold;
+}
+
+} // namespace detail
+
+LogLevel
+logThreshold()
+{
+    ensureInit();
+    return static_cast<LogLevel>(
+        detail::logThresholdRef().load(std::memory_order_relaxed));
+}
+
+std::uint64_t
+logWallClockUs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+LogLine::LogLine(LogLevel level, const char *component)
+{
+    ensureInit();
+    active_ = logEnabled(level);
+    if (!active_)
+        return;
+    buf_.reserve(160);
+    buf_ += "{\"ts_us\": ";
+    buf_ += jsonU64(logWallClockUs());
+    buf_ += ", \"level\": \"";
+    buf_ += levelName(level);
+    buf_ += "\", \"comp\": ";
+    buf_ += jsonQuote(component ? component : "");
+#ifndef _WIN32
+    buf_ += ", \"pid\": ";
+    buf_ += jsonU64(static_cast<std::uint64_t>(::getpid()));
+#endif
+}
+
+LogLine &
+LogLine::msg(const std::string &text)
+{
+    if (active_) {
+        buf_ += ", \"msg\": ";
+        buf_ += jsonQuote(text);
+    }
+    return *this;
+}
+
+LogLine &
+LogLine::kv(const char *key, const std::string &value)
+{
+    if (active_) {
+        buf_ += ", ";
+        buf_ += jsonQuote(key);
+        buf_ += ": ";
+        buf_ += jsonQuote(value);
+    }
+    return *this;
+}
+
+LogLine &
+LogLine::kv(const char *key, const char *value)
+{
+    return kv(key, std::string(value ? value : ""));
+}
+
+LogLine &
+LogLine::kv(const char *key, std::uint64_t value)
+{
+    if (active_) {
+        buf_ += ", ";
+        buf_ += jsonQuote(key);
+        buf_ += ": ";
+        buf_ += jsonU64(value);
+    }
+    return *this;
+}
+
+LogLine &
+LogLine::kv(const char *key, std::int64_t value)
+{
+    if (active_) {
+        buf_ += ", ";
+        buf_ += jsonQuote(key);
+        buf_ += ": ";
+        buf_ += std::to_string(value);
+    }
+    return *this;
+}
+
+LogLine &
+LogLine::kv(const char *key, int value)
+{
+    return kv(key, static_cast<std::int64_t>(value));
+}
+
+LogLine &
+LogLine::kv(const char *key, unsigned value)
+{
+    return kv(key, static_cast<std::uint64_t>(value));
+}
+
+LogLine &
+LogLine::kv(const char *key, double value)
+{
+    if (active_) {
+        buf_ += ", ";
+        buf_ += jsonQuote(key);
+        buf_ += ": ";
+        buf_ += jsonDouble(value);
+    }
+    return *this;
+}
+
+LogLine &
+LogLine::kvBool(const char *key, bool value)
+{
+    if (active_) {
+        buf_ += ", ";
+        buf_ += jsonQuote(key);
+        buf_ += ": ";
+        buf_ += jsonBool(value);
+    }
+    return *this;
+}
+
+LogLine::~LogLine()
+{
+    if (!active_)
+        return;
+    buf_ += "}\n";
+    LogConfig &cfg = config();
+    std::FILE *out = cfg.sink == Sink::File ? cfg.file : stderr;
+    if (cfg.sink == Sink::Off || !out)
+        return;
+    std::lock_guard<std::mutex> lock(cfg.write_mu);
+    std::fwrite(buf_.data(), 1, buf_.size(), out);
+    std::fflush(out);
+}
+
+void
+logReconfigureForTest()
+{
+    std::lock_guard<std::mutex> lock(g_init_mu);
+    initFromEnv();
+    g_initialized = true;
+}
+
+} // namespace obs
+} // namespace rnr

@@ -10,6 +10,8 @@
 #include <system_error>
 #include <vector>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "tracestore/trace_codec.h"
 #include "tracestore/trace_file.h"
 
@@ -29,11 +31,28 @@ namespace {
 
 constexpr char kManifestMagic[] = "rnr-tracestore-v1";
 
-bool
-progressEnabled()
+/** Null when RNR_METRICS=0; mirrors the store's own counters so one
+ *  farm-wide scrape sees corpus activity without a TraceStore handle. */
+struct StoreMetrics {
+    obs::Counter *captures;
+    obs::Counter *replays;
+    obs::Counter *quarantines;
+    obs::Counter *evictions;
+    StoreMetrics()
+    {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+        captures = reg.counter("rnr_tracestore_captures_total");
+        replays = reg.counter("rnr_tracestore_replays_total");
+        quarantines = reg.counter("rnr_tracestore_quarantines_total");
+        evictions = reg.counter("rnr_tracestore_evictions_total");
+    }
+};
+
+StoreMetrics &
+storeMetrics()
 {
-    const char *p = std::getenv("RNR_PROGRESS");
-    return !(p && std::string(p) == "0");
+    static StoreMetrics m;
+    return m;
 }
 
 std::string
@@ -200,12 +219,14 @@ TraceStore::openEntry(const std::string &wkey, Entry &out)
     }
     if (!why.empty()) {
         // Corrupt entry: quarantine and recapture instead of failing.
-        if (progressEnabled())
-            std::fprintf(stderr,
-                         "[tracestore] dropping corrupt entry %s: %s\n",
-                         dir.c_str(), why.c_str());
+        obs::LogLine(obs::LogLevel::Warn, "tracestore")
+            .msg("dropping corrupt entry")
+            .kv("dir", dir)
+            .kv("why", why);
         fs::remove_all(dir, ec);
         ++corrupt_;
+        if (obs::Counter *c = storeMetrics().quarantines)
+            c->add();
         return false;
     }
     out = e;
@@ -230,6 +251,8 @@ TraceStore::acquire(const std::string &wkey, Entry &out)
     for (;;) {
         if (openEntry(wkey, out)) {
             ++hits_;
+            if (obs::Counter *c = storeMetrics().replays)
+                c->add();
             return Acquire::Hit;
         }
         if (!inflight_.insert(wkey).second) {
@@ -383,22 +406,23 @@ TraceStore::Capture::publish(std::uint64_t input_bytes,
         }
         if (ok) {
             ++store_->captures_;
+            if (obs::Counter *c = storeMetrics().captures)
+                c->add();
             store_->applyCapLocked(final_dir);
         }
     }
     if (!ok)
         fs::remove_all(tmp_dir_, ec);
-    else if (progressEnabled())
-        std::fprintf(
-            stderr,
-            "[tracestore] captured %s: %" PRIu64 " records, raw %.1f MiB"
-            " -> %.1f MiB on disk (%.1fx)\n",
-            wkey_.c_str(), records_,
-            static_cast<double>(raw_bytes_) / (1024.0 * 1024.0),
-            static_cast<double>(stored) / (1024.0 * 1024.0),
-            stored ? static_cast<double>(raw_bytes_) /
-                         static_cast<double>(stored)
-                   : 0.0);
+    else
+        obs::LogLine(obs::LogLevel::Info, "tracestore")
+            .msg("captured workload")
+            .kv("workload", wkey_)
+            .kv("records", records_)
+            .kv("raw_bytes", raw_bytes_)
+            .kv("stored_bytes", stored)
+            .kv("ratio", stored ? static_cast<double>(raw_bytes_) /
+                                      static_cast<double>(stored)
+                                : 0.0);
     store_->releaseOwnership(wkey_);
     return ok;
 }
@@ -417,6 +441,8 @@ TraceStore::invalidate(const std::string &wkey)
     std::error_code ec;
     fs::remove_all(rootPath() + "/" + traceStoreHashName(wkey), ec);
     ++corrupt_;
+    if (obs::Counter *c = storeMetrics().quarantines)
+        c->add();
 }
 
 void
@@ -458,12 +484,12 @@ TraceStore::applyCapLocked(const std::string &keep_dir)
         fs::remove_all(c.dir, ec);
         total -= c.bytes;
         ++evictions_;
-        if (progressEnabled())
-            std::fprintf(stderr,
-                         "[tracestore] evicted %s (%.1f MiB) to honour "
-                         "RNR_TRACE_CAP_MB\n",
-                         c.dir.c_str(),
-                         static_cast<double>(c.bytes) / (1024.0 * 1024.0));
+        if (obs::Counter *ec_ctr = storeMetrics().evictions)
+            ec_ctr->add();
+        obs::LogLine(obs::LogLevel::Info, "tracestore")
+            .msg("evicted entry for RNR_TRACE_CAP_MB")
+            .kv("dir", c.dir)
+            .kv("bytes", c.bytes);
     }
 }
 

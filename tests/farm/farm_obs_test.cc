@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Farm observability end-to-end tests, run against a real FarmServer
+ * with real worker processes (same harness as farm_e2e_test.cc):
+ *
+ *  - the daemon's `metrics` request reconciles EXACTLY with the sweep's
+ *    own JSON stats — every cell the sweep reports done/simulated/
+ *    cached shows up in the scraped rnr_farm_* counters, no more, no
+ *    less — and the Prometheus rendering serves the same numbers;
+ *  - a traced submit (trace_dir) writes the daemon span log plus one
+ *    worker Perfetto file per cell, and mergeFarmTrace() folds them
+ *    into a single timeline carrying both the daemon lanes (pid 0)
+ *    and the worker lanes (pid 1000+span).
+ */
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "farm/farm_client.h"
+#include "farm/farm_server.h"
+#include "farm/farm_trace.h"
+#include "harness/json_parse.h"
+#include "harness/result_cache.h"
+#include "harness/sweep.h"
+#include "obs/metrics.h"
+#include "tracestore/trace_store.h"
+
+#ifndef _WIN32
+
+namespace rnr {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+struct FarmObsFixture : ::testing::Test {
+    std::string dir_, socket_, cache_;
+    FarmServer *server_ = nullptr;
+    std::thread serve_thread_;
+
+    void
+    SetUp() override
+    {
+        const std::string name = ::testing::UnitTest::GetInstance()
+                                     ->current_test_info()
+                                     ->name();
+        dir_ = ::testing::TempDir() + "farm_obs_" + name;
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        socket_ = dir_ + "/farmd.sock";
+        cache_ = dir_ + "/results.cache";
+        setenv("RNR_CACHE", "1", 1);
+        setenv("RNR_CACHE_FILE", cache_.c_str(), 1);
+        setenv("RNR_TRACE_DIR", (dir_ + "/traces").c_str(), 1);
+        setenv("RNR_PROGRESS", "0", 1);
+        unsetenv("RNR_FARM");
+        unsetenv("RNR_JOBS");
+        unsetenv("RNR_JSON_OUT");
+        ResultCache::instance().clearForTest();
+        TraceStore::instance().resetForTest();
+        // Exact-total assertions need a clean slate; the registry is
+        // process-wide and earlier farm tests bump the same counters.
+        obs::MetricsRegistry::instance().resetForTest();
+    }
+
+    void
+    TearDown() override
+    {
+        stopServer();
+        setenv("RNR_CACHE", "0", 1);
+        ResultCache::instance().clearForTest();
+        TraceStore::instance().resetForTest();
+        fs::remove_all(dir_);
+    }
+
+    void
+    startServer(unsigned workers)
+    {
+        FarmOptions o;
+        o.socket_path = socket_;
+        o.workers = workers;
+        o.timeout_sec = 120.0;
+        server_ = new FarmServer(o);
+        std::string error;
+        ASSERT_TRUE(server_->start(&error)) << error;
+        serve_thread_ = std::thread([this] { server_->serve(); });
+    }
+
+    FarmTotals
+    stopServer()
+    {
+        FarmTotals totals;
+        if (!server_)
+            return totals;
+        server_->requestStop();
+        if (serve_thread_.joinable())
+            serve_thread_.join();
+        totals = server_->totals();
+        delete server_;
+        server_ = nullptr;
+        return totals;
+    }
+
+    static ExperimentConfig
+    cell(PrefetcherKind kind, std::uint32_t window = 0)
+    {
+        ExperimentConfig cfg;
+        cfg.app = "pagerank";
+        cfg.input = "amazon";
+        cfg.iterations = 1;
+        cfg.cores = 1;
+        cfg.prefetcher = kind;
+        cfg.window_size = window;
+        return cfg;
+    }
+
+    static std::vector<ExperimentConfig>
+    smallBatch()
+    {
+        return {cell(PrefetcherKind::None), cell(PrefetcherKind::Stride),
+                cell(PrefetcherKind::Rnr, 64),
+                cell(PrefetcherKind::Rnr, 96)};
+    }
+
+    SweepStats
+    farmSweep(const std::vector<ExperimentConfig> &cells)
+    {
+        SweepOptions opts;
+        opts.progress = 0;
+        opts.farm = socket_;
+        opts.label = "farm-obs";
+        SweepRunner runner(opts);
+        runner.add(cells);
+        runner.run();
+        return runner.stats();
+    }
+
+    /** Scrapes the daemon and returns the parsed rnr-metrics-v1 doc. */
+    JsonValue
+    scrape()
+    {
+        FarmClient client;
+        std::string error, out;
+        EXPECT_TRUE(client.connect(socket_, &error)) << error;
+        EXPECT_TRUE(client.metrics(out, &error)) << error;
+        JsonValue doc;
+        std::string err;
+        EXPECT_TRUE(parseJson(out, doc, &err)) << err << "\n" << out;
+        return doc;
+    }
+
+    static std::uint64_t
+    counter(const JsonValue &doc, const char *name)
+    {
+        const JsonValue *counters = doc.find("counters");
+        if (!counters)
+            return ~std::uint64_t{0};
+        const JsonValue *c = counters->find(name);
+        return c ? c->asU64() : ~std::uint64_t{0};
+    }
+};
+
+TEST_F(FarmObsFixture, ScrapedMetricsReconcileExactlyWithSweepStats)
+{
+    startServer(2);
+    const std::vector<ExperimentConfig> cells = smallBatch();
+
+    const SweepStats cold = farmSweep(cells);
+    ASSERT_EQ(cold.cells, cells.size());
+    ASSERT_EQ(cold.simulated, cells.size());
+    ASSERT_EQ(cold.poisoned, 0u);
+
+    JsonValue doc = scrape();
+    ASSERT_EQ(doc.find("schema")->text, "rnr-metrics-v1");
+    EXPECT_EQ(counter(doc, "rnr_farm_cells_done_total"), cold.cells);
+    EXPECT_EQ(counter(doc, "rnr_farm_cells_simulated_total"),
+              cold.simulated);
+    EXPECT_EQ(counter(doc, "rnr_farm_cells_cached_total"), 0u);
+    EXPECT_EQ(counter(doc, "rnr_farm_cells_poisoned_total"), 0u);
+    EXPECT_EQ(counter(doc, "rnr_farm_worker_spawns_total"), 2u);
+    EXPECT_EQ(counter(doc, "rnr_farm_worker_deaths_total"), 0u);
+    EXPECT_GT(counter(doc, "rnr_farm_frame_bytes_in_total"), 0u);
+    EXPECT_GT(counter(doc, "rnr_farm_frame_bytes_out_total"), 0u);
+
+    // Every simulated cell contributes exactly one latency observation.
+    const JsonValue *hists = doc.find("histograms");
+    ASSERT_NE(hists, nullptr);
+    const JsonValue *lat = hists->find("rnr_farm_cell_latency_us");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->find("count")->asU64(), cold.simulated);
+
+    // Warm resubmit: the client memo is cleared so the batch really
+    // crosses the socket and is answered from the daemon's cache.
+    ResultCache::instance().clearForTest();
+    const SweepStats warm = farmSweep(cells);
+    ASSERT_EQ(warm.cache_hits, cells.size());
+    ASSERT_EQ(warm.simulated, 0u);
+
+    doc = scrape();
+    EXPECT_EQ(counter(doc, "rnr_farm_cells_done_total"),
+              cold.cells + warm.cells);
+    EXPECT_EQ(counter(doc, "rnr_farm_cells_simulated_total"),
+              cold.simulated);
+    EXPECT_EQ(counter(doc, "rnr_farm_cells_cached_total"),
+              warm.cache_hits);
+
+    // The daemon's own totals must agree with what we scraped.
+    const FarmTotals totals = stopServer();
+    EXPECT_EQ(totals.done, cold.cells + warm.cells);
+    EXPECT_EQ(totals.simulated, cold.simulated);
+    EXPECT_EQ(totals.cached, warm.cache_hits);
+}
+
+TEST_F(FarmObsFixture, PrometheusRenderingServesTheSameNumbers)
+{
+    startServer(2);
+    const SweepStats st = farmSweep({cell(PrefetcherKind::None)});
+    ASSERT_EQ(st.simulated, 1u);
+
+    FarmClient client;
+    std::string error, text;
+    ASSERT_TRUE(client.connect(socket_, &error)) << error;
+    ASSERT_TRUE(client.metrics(text, &error, /*prometheus=*/true))
+        << error;
+    EXPECT_NE(
+        text.find("# TYPE rnr_farm_cells_done_total counter\n"
+                  "rnr_farm_cells_done_total 1\n"),
+        std::string::npos)
+        << text;
+    EXPECT_NE(text.find("# TYPE rnr_farm_queue_depth gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("rnr_farm_cell_latency_us_count 1"),
+              std::string::npos);
+}
+
+TEST_F(FarmObsFixture, TracedSubmitMergesIntoOnePerfettoTimeline)
+{
+    startServer(2);
+    const std::string trace_dir = dir_ + "/trace";
+    fs::create_directories(trace_dir);
+
+    FarmClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(socket_, &error)) << error;
+    const std::vector<ExperimentConfig> cells = {
+        cell(PrefetcherKind::None), cell(PrefetcherKind::Rnr, 64)};
+    ASSERT_TRUE(client.submit(cells, {}, &error, trace_dir)) << error;
+
+    std::size_t received = 0;
+    while (received < cells.size()) {
+        FarmClient::Reply reply;
+        ASSERT_TRUE(client.next(reply, &error)) << error;
+        if (reply.batch_done)
+            continue;
+        EXPECT_EQ(reply.outcome.status, CellOutcome::Status::Done);
+        ++received;
+    }
+
+    // Daemon side: the span log carries submit/dispatch/done for both
+    // cells.  Worker side: one Perfetto file per span (cell ids are
+    // assigned from 1 in submit order).
+    const std::string span_log = trace_dir + "/daemon_spans.jsonl";
+    ASSERT_TRUE(fs::exists(span_log));
+    const std::string spans = slurp(span_log);
+    EXPECT_NE(spans.find("\"ev\": \"submit\""), std::string::npos);
+    EXPECT_NE(spans.find("\"ev\": \"dispatch\""), std::string::npos);
+    EXPECT_NE(spans.find("\"ev\": \"done\""), std::string::npos);
+    ASSERT_TRUE(fs::exists(trace_dir + "/span_1.json"));
+    ASSERT_TRUE(fs::exists(trace_dir + "/span_2.json"));
+
+    const std::string merged = dir_ + "/merged.json";
+    std::string merge_err;
+    ASSERT_TRUE(mergeFarmTrace(trace_dir, merged, &merge_err))
+        << merge_err;
+
+    const std::string body = slurp(merged);
+    // One loadable document...
+    JsonValue doc;
+    std::string parse_err;
+    ASSERT_TRUE(parseJson(body, doc, &parse_err)) << parse_err;
+    ASSERT_TRUE(doc.find("traceEvents")->isArray());
+    EXPECT_EQ(doc.find("otherData")->find("spans")->asU64(), 2u);
+    // ...with daemon lanes (pid 0)...
+    EXPECT_NE(body.find("\"rnr_farmd\""), std::string::npos);
+    EXPECT_NE(body.find("queue-wait"), std::string::npos);
+    EXPECT_NE(body.find("exec "), std::string::npos);
+    // ...and both worker lanes re-homed to pid 1000+span.
+    EXPECT_NE(body.find("\"pid\": 1001"), std::string::npos);
+    EXPECT_NE(body.find("\"pid\": 1002"), std::string::npos);
+
+    // A traced cell always dispatches (the trace is the point), so the
+    // daemon counts both as simulated even though one prefetcher-none
+    // cell would otherwise be answerable from cache on a resubmit.
+    const FarmTotals totals = stopServer();
+    EXPECT_EQ(totals.simulated, cells.size());
+}
+
+TEST_F(FarmObsFixture, MergeWithoutSpanLogFailsTyped)
+{
+    const std::string empty_dir = dir_ + "/no_spans";
+    fs::create_directories(empty_dir);
+    std::string error;
+    EXPECT_FALSE(
+        mergeFarmTrace(empty_dir, dir_ + "/out.json", &error));
+    EXPECT_NE(error.find("no daemon span log"), std::string::npos)
+        << error;
+}
+
+} // namespace
+} // namespace rnr
+
+#endif // !_WIN32

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the structured JSONL logger (src/obs/log.h): record
+ * shape (parseable JSON with ts_us/level/comp/pid plus every kv
+ * overload), RNR_LOG_LEVEL threshold filtering, the RNR_LOG sink
+ * selection ("0" = off, path = append file), and threshold parsing.
+ *
+ * Each test points RNR_LOG at its own temp file and calls
+ * logReconfigureForTest() so the cached env state is re-read; TearDown
+ * restores the default stderr sink for whatever runs next.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/json_parse.h"
+#include "obs/log.h"
+
+namespace rnr {
+namespace obs {
+namespace {
+
+struct LogFixture : ::testing::Test {
+    std::string path_;
+
+    void
+    SetUp() override
+    {
+        const std::string name = ::testing::UnitTest::GetInstance()
+                                     ->current_test_info()
+                                     ->name();
+        path_ = ::testing::TempDir() + "obs_log_" + name + ".jsonl";
+        std::remove(path_.c_str());
+        setenv("RNR_LOG", path_.c_str(), 1);
+        unsetenv("RNR_LOG_LEVEL");
+        logReconfigureForTest();
+    }
+
+    void
+    TearDown() override
+    {
+        unsetenv("RNR_LOG");
+        unsetenv("RNR_LOG_LEVEL");
+        logReconfigureForTest();
+        std::remove(path_.c_str());
+    }
+
+    std::string
+    slurp() const
+    {
+        std::ifstream in(path_);
+        std::stringstream buf;
+        buf << in.rdbuf();
+        return buf.str();
+    }
+};
+
+TEST_F(LogFixture, RecordIsOneParseableJsonObjectPerLine)
+{
+    LogLine(LogLevel::Warn, "test")
+        .msg("hello world")
+        .kv("cell", std::string("pagerank/urand"))
+        .kv("literal", "raw")
+        .kv("big", std::uint64_t{1} << 40)
+        .kv("negative", std::int64_t{-7})
+        .kv("small", 3)
+        .kv("width", 2u)
+        .kv("ratio", 0.5)
+        .kvBool("cached", true);
+
+    const std::string body = slurp();
+    ASSERT_FALSE(body.empty());
+    ASSERT_EQ(body.back(), '\n');
+    ASSERT_EQ(body.find('\n'), body.size() - 1) << "exactly one line";
+
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(body.substr(0, body.size() - 1), v, &err))
+        << err << "\n" << body;
+    EXPECT_GT(v.find("ts_us")->asU64(), 0u);
+    EXPECT_EQ(v.find("level")->text, "warn");
+    EXPECT_EQ(v.find("comp")->text, "test");
+    EXPECT_GT(v.find("pid")->asU64(), 0u);
+    EXPECT_EQ(v.find("msg")->text, "hello world");
+    EXPECT_EQ(v.find("cell")->text, "pagerank/urand");
+    EXPECT_EQ(v.find("literal")->text, "raw");
+    EXPECT_EQ(v.find("big")->asU64(), std::uint64_t{1} << 40);
+    EXPECT_EQ(v.find("negative")->asDouble(), -7.0);
+    EXPECT_EQ(v.find("small")->asU64(), 3u);
+    EXPECT_EQ(v.find("width")->asU64(), 2u);
+    EXPECT_EQ(v.find("ratio")->asDouble(), 0.5);
+    EXPECT_TRUE(v.find("cached")->boolean);
+}
+
+TEST_F(LogFixture, RecordsBelowTheThresholdAreDropped)
+{
+    setenv("RNR_LOG_LEVEL", "error", 1);
+    logReconfigureForTest();
+    EXPECT_FALSE(logEnabled(LogLevel::Debug));
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+    EXPECT_FALSE(logEnabled(LogLevel::Warn));
+    EXPECT_TRUE(logEnabled(LogLevel::Error));
+
+    LogLine(LogLevel::Info, "test").msg("dropped");
+    LogLine(LogLevel::Warn, "test").msg("dropped too");
+    LogLine(LogLevel::Error, "test").msg("kept");
+
+    const std::string body = slurp();
+    EXPECT_EQ(body.find("dropped"), std::string::npos) << body;
+    EXPECT_NE(body.find("kept"), std::string::npos) << body;
+}
+
+TEST_F(LogFixture, DefaultThresholdIsInfo)
+{
+    EXPECT_EQ(logThreshold(), LogLevel::Info);
+    LogLine(LogLevel::Debug, "test").msg("below default");
+    LogLine(LogLevel::Info, "test").msg("at default");
+    const std::string body = slurp();
+    EXPECT_EQ(body.find("below default"), std::string::npos);
+    EXPECT_NE(body.find("at default"), std::string::npos);
+}
+
+TEST_F(LogFixture, RnrLogZeroTurnsTheSinkOff)
+{
+    setenv("RNR_LOG", "0", 1);
+    logReconfigureForTest();
+    EXPECT_EQ(logThreshold(), LogLevel::Off);
+    EXPECT_FALSE(logEnabled(LogLevel::Error));
+    LogLine(LogLevel::Error, "test").msg("into the void");
+    EXPECT_EQ(slurp().find("void"), std::string::npos);
+}
+
+TEST_F(LogFixture, LevelParsingAcceptsAliasesAndDefaultsUnknownToInfo)
+{
+    setenv("RNR_LOG_LEVEL", "warning", 1);
+    logReconfigureForTest();
+    EXPECT_EQ(logThreshold(), LogLevel::Warn) << "'warning' alias";
+
+    setenv("RNR_LOG_LEVEL", "0", 1);
+    logReconfigureForTest();
+    EXPECT_EQ(logThreshold(), LogLevel::Off);
+
+    setenv("RNR_LOG_LEVEL", "bogus", 1);
+    logReconfigureForTest();
+    EXPECT_EQ(logThreshold(), LogLevel::Info);
+}
+
+TEST_F(LogFixture, MultipleRecordsAppendOnePerLine)
+{
+    for (int i = 0; i < 3; ++i)
+        LogLine(LogLevel::Info, "test").msg("rec").kv("i", i);
+    std::ifstream in(path_);
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        JsonValue v;
+        std::string err;
+        EXPECT_TRUE(parseJson(line, v, &err)) << err << "\n" << line;
+    }
+    EXPECT_EQ(lines, 3);
+}
+
+TEST_F(LogFixture, DisabledLineSkipsAllFormatting)
+{
+    setenv("RNR_LOG_LEVEL", "off", 1);
+    logReconfigureForTest();
+    // Must be harmless (and cheap): every builder call no-ops.
+    LogLine(LogLevel::Error, "test")
+        .msg("never")
+        .kv("key", std::string(1 << 20, 'x'));
+    EXPECT_TRUE(slurp().empty());
+}
+
+} // namespace
+} // namespace obs
+} // namespace rnr

@@ -12,7 +12,9 @@
  *    copy embedded in README.md matches it byte-for-byte (README path
  *    injected as RNR_README_PATH);
  *  - `report` writes a parseable rnr-report-v1 JSON plus an HTML page
- *    with inline SVG (the full telemetry pipeline, out of process).
+ *    with inline SVG (the full telemetry pipeline, out of process);
+ *  - `farm` subcommands that cannot reach the daemon socket print one
+ *    typed line and exit 4 (kFarmConnectExit in trace_tools.cpp).
  */
 #include <cstdio>
 #include <cstdlib>
@@ -149,6 +151,28 @@ TEST(TraceToolsCli, HelpMarkdownMatchesReadme)
     EXPECT_EQ(embedded, r.output)
         << "README.md mode table is stale; re-run "
            "`trace_tools help --markdown` and paste between the markers";
+}
+
+TEST(TraceToolsCli, FarmConnectFailureExitsFourWithTypedError)
+{
+    // No daemon can live at this socket: the parent dir is absent, so
+    // connect(2) fails ENOENT and the client renders the typed hint.
+    const CliResult r =
+        runTool("farm status --socket /nonexistent/rnr_cli_test.sock");
+    EXPECT_EQ(r.exit_code, 4) << r.output;
+    EXPECT_NE(r.output.find("no daemon socket at"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("is rnr_farmd running?"), std::string::npos)
+        << r.output;
+}
+
+TEST(TraceToolsCli, FarmMetricsConnectFailureExitsFour)
+{
+    const CliResult r =
+        runTool("farm metrics --socket /nonexistent/rnr_cli_test.sock");
+    EXPECT_EQ(r.exit_code, 4) << r.output;
+    EXPECT_NE(r.output.find("is rnr_farmd running?"), std::string::npos)
+        << r.output;
 }
 
 TEST(TraceToolsCli, ReportModeWritesJsonAndHtml)
