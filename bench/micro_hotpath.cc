@@ -35,6 +35,18 @@
  * kernel (sim/kernel.h), so the batched-vs-legacy speedup is the
  * headline number of docs/PERF.md and the pair CI gates together.
  *
+ * The checkpoint subsystem (src/ckpt) adds three rows:
+ *  - BM_CheckpointSaveRestore: the full rnr-ckpt-v1 roundtrip on a
+ *    warmed one-core System — serialize every cache/TLB/DRAM/core and
+ *    the prefetcher, checksum, parse, load it all back.  Items are
+ *    snapshot *bytes*, so the rate is codec throughput and bounds how
+ *    often window-boundary snapshots are affordable.
+ *  - BM_WarmupGenerate vs BM_WarmupFork: the sweep warm-up A/B —
+ *    native urand graph synthesis against decoding the published
+ *    input snapshot the checkpoint-fork sweep shares.  Items are
+ *    inputs, so fork-rate / generate-rate is the per-cell warm-up
+ *    speedup every forked sweep config enjoys (docs/PERF.md).
+ *
  * Run `micro_hotpath compare <baseline.json> <current.json>` to use the
  * binary as a regression gate instead (bench_util.h, benchCompareMain);
  * any other arguments go to google-benchmark as usual.
@@ -46,6 +58,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "ckpt/checkpoint.h"
 #include "cpu/system.h"
 #include "mem/memory_system.h"
 #include "obs/log.h"
@@ -213,6 +226,122 @@ BM_Kernel(benchmark::State &state, KernelMode mode)
     state.SetItemsProcessed(static_cast<std::int64_t>(ops));
 }
 
+/**
+ * Full-state snapshot roundtrip (src/ckpt): serialize a warmed System
+ * and its prefetcher into an rnr-ckpt-v1 blob, checksum it, parse it
+ * back and load every field.  Items are snapshot bytes — the rate is
+ * the codec's save+restore throughput, which bounds how often the
+ * resumable runner can afford window-boundary snapshots.
+ */
+void
+BM_CheckpointSaveRestore(benchmark::State &state)
+{
+    static const TraceBuffer &buf = *[] {
+        static TraceBuffer b;
+        for (const TraceRecord &rec : hotTrace())
+            b.push(rec);
+        return &b;
+    }();
+    MachineConfig mcfg = MachineConfig::scaledDefault();
+    mcfg.cores = 1;
+    System sys(mcfg, KernelMode::Batched);
+    std::unique_ptr<Prefetcher> pf =
+        createPrefetcher(PrefetcherKind::Stream);
+    sys.mem().setPrefetcher(0, pf.get());
+    // One warm pass so the snapshot carries populated caches, TLBs,
+    // DRAM bookkeeping and live prefetcher state — what a real
+    // window-boundary capture serializes (the workload itself is
+    // fast-forwarded natively on restore, never serialized).
+    (void)sys.run({&buf});
+
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        ckpt::SnapshotWriter w(
+            ckpt::SnapshotHeader{"bench", "bench-full", 1});
+        sys.visitState(w.section(ckpt::SectionId::System));
+        pf->saveState(w.section(ckpt::SectionId::Prefetchers));
+        std::vector<std::uint8_t> blob = w.finish();
+
+        ckpt::SnapshotReader reader;
+        if (!reader.parse(blob).ok()) {
+            state.SkipWithError("snapshot failed to parse");
+            break;
+        }
+        ckpt::Deser sys_d = reader.section(ckpt::SectionId::System);
+        sys.visitState(sys_d);
+        ckpt::Deser pf_d = reader.section(ckpt::SectionId::Prefetchers);
+        pf->loadState(pf_d);
+        if (!sys_d.ok() || !pf_d.ok()) {
+            state.SkipWithError("snapshot failed to load");
+            break;
+        }
+        benchmark::DoNotOptimize(blob.data());
+        bytes += blob.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(bytes));
+}
+
+/** The sweep warm-up's native side: synthesize the urand graph the
+ *  way the first config of a workload key must.  Items are inputs. */
+void
+BM_WarmupGenerate(benchmark::State &state)
+{
+    std::uint64_t inputs = 0;
+    for (auto _ : state) {
+        GraphInput in = makeGraphInput("urand");
+        benchmark::DoNotOptimize(in.graph.num_vertices);
+        ++inputs;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(inputs));
+}
+
+/** The warm-up's forked side: decode the published input snapshot
+ *  instead of regenerating — what every other config of the workload
+ *  key pays under RNR_CKPT=1.  Same items as BM_WarmupGenerate, so
+ *  the rate ratio is the per-cell warm-up speedup. */
+void
+BM_WarmupFork(benchmark::State &state)
+{
+    // The exact blob the warm-up publishes: tag+name prefix, then the
+    // CSR arrays (mirrors src/ckpt/input_fork.cc's encodeInput).
+    static const std::vector<std::uint8_t> &blob = *[] {
+        static std::vector<std::uint8_t> b;
+        Graph g = makeGraphInput("urand").graph;
+        ckpt::SnapshotWriter w(ckpt::SnapshotHeader{"bench", "", 0});
+        ckpt::Ser &s = w.section(ckpt::SectionId::Input);
+        std::uint64_t tag = 1;
+        s.scalar(tag);
+        std::string name = "urand";
+        s.str(name);
+        g.visitState(s);
+        b = w.finish();
+        return &b;
+    }();
+
+    std::uint64_t inputs = 0;
+    for (auto _ : state) {
+        ckpt::SnapshotReader reader;
+        if (!reader.parse(blob).ok()) {
+            state.SkipWithError("input snapshot failed to parse");
+            break;
+        }
+        ckpt::Deser d = reader.section(ckpt::SectionId::Input);
+        std::uint64_t tag = 0;
+        d.scalar(tag);
+        std::string name;
+        d.str(name);
+        Graph g;
+        g.visitState(d);
+        if (!d.ok()) {
+            state.SkipWithError("input snapshot failed to decode");
+            break;
+        }
+        benchmark::DoNotOptimize(g.num_vertices);
+        ++inputs;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(inputs));
+}
+
 BENCHMARK_CAPTURE(BM_DemandAccess, none, PrefetcherKind::None)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_DemandAccess, stream, PrefetcherKind::Stream)
@@ -223,6 +352,9 @@ BENCHMARK_CAPTURE(BM_Kernel, batched, rnr::KernelMode::Batched)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Kernel, legacy, rnr::KernelMode::Legacy)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CheckpointSaveRestore)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WarmupGenerate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WarmupFork)->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace rnr

@@ -106,6 +106,30 @@ class ReplayController
         tr_core_ = core;
     }
 
+    /** Re-points the division-table reference after a state load (the
+     *  raw pointer cannot travel through an archive); the owning
+     *  RnrPrefetcher calls this when the restored FSM is mid-replay. */
+    void rearmDivision(const std::vector<std::uint64_t> *division)
+    {
+        division_ = division;
+    }
+
+    /** Checkpoint visitor: replay progress registers.  mode_/degree_
+     *  are constructor configuration and division_ is a pointer the
+     *  owner re-arms via rearmDivision() after loading. */
+    template <class Ar>
+    void
+    visitState(Ar &ar)
+    {
+        if constexpr (Ar::kLoading)
+            division_ = nullptr;
+        ar.scalar(window_size_);
+        ar.scalar(total_entries_);
+        ar.scalar(cur_window_);
+        ar.scalar(pace_);
+        ar.scalar(reads_since_issue_);
+    }
+
   private:
     /** Cumulative reads at the end of window @p w (handles tail). */
     std::uint64_t divisionAt(std::uint32_t w) const;

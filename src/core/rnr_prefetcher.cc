@@ -518,4 +518,6 @@ RnrPrefetcher::onAccess(const L2AccessInfo &info)
     }
 }
 
+RNR_CKPT_DEFINE_STATE(RnrPrefetcher)
+
 } // namespace rnr

@@ -99,6 +99,63 @@ class RnrPrefetcher : public Prefetcher
     /** Bytes of state to save on a context switch (Section IV-C). */
     static std::uint64_t contextSwitchBytes();
 
+    RNR_CKPT_DECLARE_STATE_OVERRIDE();
+
+    /**
+     * Full-model checkpoint visitor: architectural registers, internal
+     * registers, replay controller, both metadata tables (their memory
+     * contents live here, not in the cache model), replay cursors and
+     * the timeliness-classification map.  After loading mid-replay
+     * state, the controller's division-table pointer is re-armed to
+     * this instance's div_store_ — pointers do not travel.
+     */
+    template <class Ar>
+    void
+    visitState(Ar &ar)
+    {
+        visitBaseState(ar);
+        arch_.visitState(ar);
+        internal_.visitState(ar);
+        controller_.visitState(ar);
+        ar.pod(seq_store_);
+        ar.pod(div_store_);
+        ar.scalar(issue_cursor_);
+        ar.scalar(seq_flushed_);
+        ar.scalar(div_flushed_);
+        ar.scalar(seq_streamed_);
+        ar.scalar(div_streamed_);
+        ar.scalar(last_window_);
+        std::uint64_t n = pf_status_.size();
+        ar.scalar(n);
+        if constexpr (Ar::kLoading) {
+            pf_status_.clear();
+            if (!ckpt::checkCount(ar, n, 32))
+                return;
+            for (std::uint64_t i = 0; i < n; ++i) {
+                Addr block = 0;
+                ar.scalar(block);
+                PfRecord rec{};
+                rec.visitState(ar);
+                pf_status_[block] = rec;
+            }
+        } else {
+            for (auto &kv : pf_status_) {
+                ar.scalar(kv.first);
+                kv.second.visitState(ar);
+            }
+        }
+        ar.scalar(peak_seq_entries_);
+        ar.scalar(peak_div_entries_);
+        if constexpr (Ar::kLoading) {
+            const bool replaying =
+                arch_.state == RnrState::Replay ||
+                (arch_.state == RnrState::Paused &&
+                 arch_.paused_from == RnrState::Replay);
+            if (replaying)
+                controller_.rearmDivision(&div_store_);
+        }
+    }
+
   private:
     enum class PfStatus : std::uint8_t { Pending, Evicted };
 
@@ -106,6 +163,15 @@ class RnrPrefetcher : public Prefetcher
         PfStatus status;
         std::uint32_t window;
         Tick fill_time;
+
+        template <class Ar>
+        void
+        visitState(Ar &ar)
+        {
+            ar.scalar(status);
+            ar.scalar(window);
+            ar.scalar(fill_time);
+        }
     };
 
     void handleRecordAccess(const L2AccessInfo &info);

@@ -37,6 +37,16 @@ struct BoundaryEntry {
     {
         return valid && enabled && a >= base && a < base + size;
     }
+
+    template <class Ar>
+    void
+    visitState(Ar &ar)
+    {
+        ar.scalar(base);
+        ar.scalar(size);
+        ar.scalar(valid);
+        ar.scalar(enabled);
+    }
 };
 
 /** Number of boundary register pairs (paper footnote: two are used). */
@@ -51,6 +61,22 @@ struct RnrArchState {
     std::uint32_t window_size = 0; ///< Misses recorded per window.
     RnrState state = RnrState::Idle;
     RnrState paused_from = RnrState::Idle; ///< Mode to resume into.
+
+    /** Exactly the register file a context switch saves (Section IV-C);
+     *  the checkpoint subsystem and SwitchSchedule share this visitor. */
+    template <class Ar>
+    void
+    visitState(Ar &ar)
+    {
+        ar.scalar(asid);
+        for (auto &b : boundaries)
+            b.visitState(ar);
+        ar.scalar(seq_table_base);
+        ar.scalar(div_table_base);
+        ar.scalar(window_size);
+        ar.scalar(state);
+        ar.scalar(paused_from);
+    }
 };
 
 /** Hardware-internal registers (Section V, Fig 4 right-hand box). */
@@ -63,6 +89,20 @@ struct RnrInternalState {
     std::uint64_t prefetch_count = 0;  ///< Prefetches issued this replay.
     std::uint32_t cur_window = 0;
     std::uint32_t prefetch_pace = 1;   ///< Demand reads per prefetch.
+
+    template <class Ar>
+    void
+    visitState(Ar &ar)
+    {
+        ar.scalar(cur_struct_read);
+        ar.scalar(seq_table_len);
+        ar.scalar(div_table_len);
+        ar.scalar(cur_seq_page);
+        ar.scalar(cur_div_page);
+        ar.scalar(prefetch_count);
+        ar.scalar(cur_window);
+        ar.scalar(prefetch_pace);
+    }
 };
 
 /**

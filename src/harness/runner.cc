@@ -8,10 +8,14 @@
 #include <set>
 #include <stdexcept>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/ckpt_store.h"
+#include "ckpt/input_fork.h"
 #include "cpu/system.h"
 #include "harness/result_cache.h"
 #include "obs/log.h"
 #include "harness/system_counters.h"
+#include "sim/kernel.h"
 #include "sim/timeseries.h"
 #include "tracestore/trace_reader.h"
 #include "tracestore/trace_store.h"
@@ -227,6 +231,98 @@ runWithTraceStore(const ExperimentConfig &cfg, TraceCollector *tr,
     return runMaterialized(cfg, tr, tm, nullptr);
 }
 
+// ---- Full-state checkpoint capture / restore (src/ckpt) ----
+
+/** Serializes the complete simulation state of @p sim after @p window
+ *  finished iterations into an rnr-ckpt-v1 blob. */
+std::vector<std::uint8_t>
+snapshotSim(const ExperimentConfig &cfg, Sim &sim, unsigned window)
+{
+    ckpt::SnapshotWriter w(
+        ckpt::SnapshotHeader{cfg.workloadKey(), cfg.key(), window});
+    {
+        // Echo only: restoring under the other RNR_KERNEL mode is
+        // legal (the kernels are bit-identical by contract); inspect
+        // just shows which mode captured.
+        ckpt::Ser &s = w.section(ckpt::SectionId::Meta);
+        s.scalar(std::uint64_t{
+            kernelModeFromEnv() == KernelMode::Legacy ? 1u : 0u});
+        s.scalar(std::uint64_t{cfg.cores});
+        s.scalar(std::uint64_t{cfg.iterations});
+    }
+    sim.sys.visitState(w.section(ckpt::SectionId::System));
+    {
+        ckpt::Ser &s = w.section(ckpt::SectionId::Prefetchers);
+        for (auto &p : sim.prefetchers)
+            p->saveState(s);
+    }
+    {
+        ckpt::Ser &s = w.section(ckpt::SectionId::Harness);
+        s.scalar(sim.result.input_bytes);
+        s.scalar(sim.result.target_bytes);
+        s.scalar(std::uint64_t{sim.result.iterations.size()});
+        for (IterStats &it : sim.result.iterations) {
+#define RNR_CKPT_ITER_FIELD(type, name) s.scalar(it.name);
+            RNR_ITER_STAT_FIELDS(RNR_CKPT_ITER_FIELD)
+#undef RNR_CKPT_ITER_FIELD
+        }
+    }
+    return w.finish();
+}
+
+/** Rebuilds @p sim to the snapshot's state: native workload
+ *  fast-forward plus section loads.  Throws CorruptSnapshot when any
+ *  section fails to decode. */
+void
+restoreSim(const ExperimentConfig &cfg, Sim &sim,
+           const ckpt::SnapshotReader &reader)
+{
+    const unsigned window =
+        static_cast<unsigned>(reader.header().window);
+
+    // Fast-forward the workload natively through the checkpointed
+    // iterations: re-running the numerics leaves the workload (and
+    // its RnR runtime staging) in exactly the checkpoint-time state
+    // for any workload type.  The emitted records are discarded — the
+    // System/Prefetchers sections stand in for simulating them.
+    std::vector<TraceBuffer> bufs(cfg.cores);
+    for (unsigned iter = 0; iter < window; ++iter)
+        sim.wl->emitIteration(iter, iter + 1 == cfg.iterations, bufs);
+
+    ckpt::Deser sys = reader.section(ckpt::SectionId::System);
+    sim.sys.visitState(sys);
+    if (!sys.ok())
+        throw ckpt::CorruptSnapshot(sys.result());
+
+    ckpt::Deser pf = reader.section(ckpt::SectionId::Prefetchers);
+    for (auto &p : sim.prefetchers)
+        p->loadState(pf);
+    if (!pf.ok())
+        throw ckpt::CorruptSnapshot(pf.result());
+
+    ckpt::Deser h = reader.section(ckpt::SectionId::Harness);
+    h.scalar(sim.result.input_bytes);
+    h.scalar(sim.result.target_bytes);
+    std::uint64_t n = 0;
+    h.scalar(n);
+    sim.result.iterations.clear();
+    if (ckpt::checkCount(h, n, 8)) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            IterStats it;
+#define RNR_CKPT_ITER_FIELD(type, name) h.scalar(it.name);
+            RNR_ITER_STAT_FIELDS(RNR_CKPT_ITER_FIELD)
+#undef RNR_CKPT_ITER_FIELD
+            sim.result.iterations.push_back(it);
+        }
+    }
+    if (!h.ok())
+        throw ckpt::CorruptSnapshot(h.result());
+
+    // The restored stats make a fresh capture equal the
+    // checkpoint-time one, so iteration deltas continue seamlessly.
+    sim.before = SystemCounters::capture(sim.sys);
+}
+
 } // namespace
 
 std::unique_ptr<Workload>
@@ -237,21 +333,26 @@ makeWorkload(const ExperimentConfig &cfg)
     opts.use_rnr = true; // control records are harmless to baselines
     opts.window_size = cfg.window_size;
 
+    // Inputs come through the checkpoint-fork layer: the first config
+    // of a workload key generates (the sweep's shared warm-up), every
+    // other one forks the published input snapshot (RNR_CKPT=0 falls
+    // back to generating every time).  Forked inputs are bit-identical
+    // to generated ones, so results do not depend on the store.
     if (cfg.app == "pagerank")
         return std::make_unique<PageRankWorkload>(
-            makeGraphInput(cfg.input).graph, opts);
+            ckpt::forkGraphInput(cfg), opts);
     if (cfg.app == "hyperanf")
         return std::make_unique<HyperAnfWorkload>(
-            makeGraphInput(cfg.input).graph, opts);
+            ckpt::forkGraphInput(cfg), opts);
     if (cfg.app == "spcg")
         return std::make_unique<SpcgWorkload>(
-            makeMatrixInput(cfg.input).matrix, opts);
+            ckpt::forkMatrixInput(cfg), opts);
     if (cfg.app == "labelprop")
         return std::make_unique<LabelPropWorkload>(
-            makeGraphInput(cfg.input).graph, opts);
+            ckpt::forkGraphInput(cfg), opts);
     if (cfg.app == "jacobi")
         return std::make_unique<JacobiWorkload>(
-            makeMatrixInput(cfg.input).matrix, opts);
+            ckpt::forkMatrixInput(cfg), opts);
     if (cfg.app == "tracefile")
         return std::make_unique<TraceFileWorkload>(cfg.input, opts);
     throw std::invalid_argument("unknown app: " + cfg.app);
@@ -368,6 +469,103 @@ std::uint64_t
 experimentsSimulated()
 {
     return g_simulated.load();
+}
+
+ExperimentResult
+runExperimentCheckpointed(const ExperimentConfig &cfg, unsigned window,
+                          std::vector<std::uint8_t> &snapshot_out)
+{
+    if (window == 0 || window >= cfg.iterations)
+        throw std::invalid_argument(
+            "checkpoint window must be in [1, iterations)");
+    g_simulated.fetch_add(1);
+    Sim sim(cfg, nullptr, nullptr);
+
+    std::vector<TraceBuffer> bufs(cfg.cores);
+    for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
+        sim.wl->emitIteration(iter, iter + 1 == cfg.iterations, bufs);
+        std::vector<const TraceBuffer *> ptrs;
+        for (auto &b : bufs)
+            ptrs.push_back(&b);
+        sim.recordIteration(sim.sys.run(ptrs));
+        if (iter + 1 == window)
+            snapshot_out = snapshotSim(cfg, sim, window);
+    }
+    return sim.finish(cfg);
+}
+
+ExperimentResult
+runExperimentFromSnapshot(const ExperimentConfig &cfg,
+                          const std::vector<std::uint8_t> &snapshot)
+{
+    ckpt::SnapshotReader reader;
+    if (ckpt::CkptIoResult r = reader.parse(snapshot); !r.ok())
+        throw ckpt::CorruptSnapshot(r);
+    if (reader.header().full_key != cfg.key())
+        throw ckpt::CorruptSnapshot(ckpt::CkptIoResult::fail(
+            ckpt::CkptIoStatus::KeyMismatch,
+            "snapshot belongs to \"" + reader.header().full_key + "\""));
+    const unsigned window =
+        static_cast<unsigned>(reader.header().window);
+    if (window == 0 || window >= cfg.iterations)
+        throw ckpt::CorruptSnapshot(ckpt::CkptIoResult::fail(
+            ckpt::CkptIoStatus::BadSection,
+            "window " + std::to_string(window) + " outside [1, " +
+                std::to_string(cfg.iterations) + ")"));
+
+    g_simulated.fetch_add(1);
+    Sim sim(cfg, nullptr, nullptr);
+    restoreSim(cfg, sim, reader);
+    ckpt::CheckpointStore::instance().noteRestore();
+
+    std::vector<TraceBuffer> bufs(cfg.cores);
+    for (unsigned iter = window; iter < cfg.iterations; ++iter) {
+        sim.wl->emitIteration(iter, iter + 1 == cfg.iterations, bufs);
+        std::vector<const TraceBuffer *> ptrs;
+        for (auto &b : bufs)
+            ptrs.push_back(&b);
+        sim.recordIteration(sim.sys.run(ptrs));
+    }
+    return sim.finish(cfg);
+}
+
+ExperimentResult
+runExperimentResumable(const ExperimentConfig &cfg, unsigned window)
+{
+    ckpt::CheckpointStore &store = ckpt::CheckpointStore::instance();
+    std::vector<std::uint8_t> blob;
+    if (!ckpt::CheckpointStore::enabled())
+        return runExperimentCheckpointed(cfg, window, blob);
+
+    const std::string key = cfg.key();
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        if (store.acquire(key, window, blob) ==
+            ckpt::CheckpointStore::Acquire::Hit) {
+            try {
+                return runExperimentFromSnapshot(cfg, blob);
+            } catch (const ckpt::CorruptSnapshot &e) {
+                obs::LogLine(obs::LogLevel::Warn, "ckpt")
+                    .msg("restore failed; quarantining and re-running")
+                    .kv("key", key)
+                    .kv("why", e.what());
+                store.invalidate(key, window);
+                continue;
+            }
+        }
+        // Owner: simulate from the start, snapshotting at the window.
+        ExperimentResult r;
+        try {
+            r = runExperimentCheckpointed(cfg, window, blob);
+        } catch (...) {
+            store.abandon(key, window);
+            throw;
+        }
+        store.publish(key, window, blob);
+        return r;
+    }
+    // Two corrupt restores in a row: run straight through without
+    // touching the store again.
+    return runExperimentCheckpointed(cfg, window, blob);
 }
 
 ExperimentResult

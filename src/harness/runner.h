@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.h"
 #include "sim/trace_event.h"
@@ -83,6 +84,43 @@ ExperimentResult runExperimentInstrumented(const ExperimentConfig &cfg,
  */
 ExperimentResult runExperiment(const ExperimentConfig &cfg,
                                bool *was_cached = nullptr);
+
+/**
+ * Simulates @p cfg start to finish (uncached, uninstrumented) and
+ * additionally serializes the complete simulation state — caches,
+ * MSHRs, DRAM queues, TLBs, cores, every prefetcher including the RnR
+ * tables/FSM, plus the per-iteration results so far — into
+ * @p snapshot_out as an rnr-ckpt-v1 blob after @p window iterations
+ * complete.  @p window must be in [1, cfg.iterations).  The returned
+ * result is bit-identical to an unsnapshotted run.
+ */
+ExperimentResult
+runExperimentCheckpointed(const ExperimentConfig &cfg, unsigned window,
+                          std::vector<std::uint8_t> &snapshot_out);
+
+/**
+ * Restores the state captured by runExperimentCheckpointed() and
+ * continues to cfg.iterations.  The workload is fast-forwarded
+ * natively (its numerics re-run; nothing is simulated), then the
+ * System/Prefetchers/Harness sections are loaded, so the returned
+ * result is bit-identical to the uninterrupted run — under either
+ * RNR_KERNEL mode, including the one that did not capture.  Throws
+ * ckpt::CorruptSnapshot on a truncated/corrupt/mismatched blob.
+ */
+ExperimentResult
+runExperimentFromSnapshot(const ExperimentConfig &cfg,
+                          const std::vector<std::uint8_t> &snapshot);
+
+/**
+ * CheckpointStore front door for full snapshots: restore-and-continue
+ * when the store holds (cfg.key(), window), else simulate from the
+ * start, snapshotting at @p window and publishing for the next caller
+ * (single-flight across threads and farm worker processes).  A
+ * corrupt snapshot is quarantined and re-produced once before giving
+ * up on the store.  RNR_CKPT=0 always simulates from the start.
+ */
+ExperimentResult runExperimentResumable(const ExperimentConfig &cfg,
+                                        unsigned window);
 
 /** Convenience: the no-prefetcher baseline matching @p cfg. */
 ExperimentResult runBaseline(const ExperimentConfig &cfg);

@@ -25,6 +25,7 @@
 #define rnr_getpid getpid
 #endif
 
+#include "ckpt/ckpt_store.h"
 #include "farm/farm_client.h"
 #include "harness/json_parse.h"
 #include "harness/json_write.h"
@@ -187,6 +188,21 @@ class ProgressReporter
                          static_cast<unsigned long long>(ts.captures()),
                          static_cast<unsigned long long>(ts.hits()),
                          TraceStore::rootPath().c_str());
+        // One line of checkpoint accounting: how many inputs this sweep
+        // warmed up natively versus forked from a shared snapshot (and
+        // how many full snapshots it resumed from mid-run).
+        if (ckpt::CheckpointStore::enabled() &&
+            (host.ckpt_warmups + host.ckpt_forks + host.ckpt_restores) >
+                0)
+            std::fprintf(
+                stderr,
+                "[%s] ckpt: %llu warm-ups, %llu forks, %llu restores "
+                "from %s\n",
+                label_.c_str(),
+                static_cast<unsigned long long>(host.ckpt_warmups),
+                static_cast<unsigned long long>(host.ckpt_forks),
+                static_cast<unsigned long long>(host.ckpt_restores),
+                ckpt::CheckpointStore::rootPath().c_str());
         // And one of host accounting: what the batch cost this process.
         // Peak RSS is cumulative (a high-water mark), so it bounds, not
         // measures, this sweep; "n/a" on hosts without procfs.
@@ -312,6 +328,14 @@ SweepRunner::run()
 
     std::unique_ptr<ExperimentBackend> backend = makeBackend(opts_);
 
+    // Snapshot the cumulative checkpoint counters so the sweep can
+    // report its own delta (the store counts for the whole process).
+    const ckpt::CheckpointStore &ckpt_store =
+        ckpt::CheckpointStore::instance();
+    const std::uint64_t ckpt_warmups0 = ckpt_store.warmups();
+    const std::uint64_t ckpt_forks0 = ckpt_store.forks();
+    const std::uint64_t ckpt_restores0 = ckpt_store.restores();
+
     // Called once per cell from an arbitrary backend thread.
     auto on_done = [&](std::size_t i, CellOutcome out) {
         std::lock_guard<std::mutex> lock(report_mu);
@@ -353,6 +377,9 @@ SweepRunner::run()
     SweepHostInfo host;
     host.wall_sec = stats_.elapsed_sec;
     host.peak_rss_bytes = hostPeakRssBytes();
+    host.ckpt_warmups = ckpt_store.warmups() - ckpt_warmups0;
+    host.ckpt_forks = ckpt_store.forks() - ckpt_forks0;
+    host.ckpt_restores = ckpt_store.restores() - ckpt_restores0;
     reporter.finish(stats_, host, backend->name());
 
     const std::string json = jsonOutPath(opts_);
@@ -386,7 +413,10 @@ writeResultsJson(const std::string &path,
         char wall[32];
         std::snprintf(wall, sizeof(wall), "%.3f", host->wall_sec);
         os << "  \"host\": {\"wall_sec\": " << wall
-           << ", \"peak_rss_bytes\": " << host->peak_rss_bytes << "},\n";
+           << ", \"peak_rss_bytes\": " << host->peak_rss_bytes
+           << ", \"ckpt_warmups\": " << host->ckpt_warmups
+           << ", \"ckpt_forks\": " << host->ckpt_forks
+           << ", \"ckpt_restores\": " << host->ckpt_restores << "},\n";
     }
     os << "  \"cells\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -447,6 +477,12 @@ readResultsJson(const std::string &path, std::vector<ExperimentResult> &out,
                 host->wall_sec = w->asDouble();
             if (const JsonValue *r = h->find("peak_rss_bytes"))
                 host->peak_rss_bytes = r->asU64();
+            if (const JsonValue *v = h->find("ckpt_warmups"))
+                host->ckpt_warmups = v->asU64();
+            if (const JsonValue *v = h->find("ckpt_forks"))
+                host->ckpt_forks = v->asU64();
+            if (const JsonValue *v = h->find("ckpt_restores"))
+                host->ckpt_restores = v->asU64();
         }
 
     const JsonValue *cells = doc.find("cells");

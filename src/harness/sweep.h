@@ -33,6 +33,9 @@
  *   RNR_JSON_HOST=0    omit the "host" object from the JSON export
  *                      (host cost varies run to run; omitting it makes
  *                      exports from different runs byte-comparable)
+ *   RNR_CKPT=0         disable checkpoint-fork input sharing (src/ckpt/);
+ *                      every cell then generates its input natively
+ *   RNR_CKPT_DIR=<d>   where input/full snapshots live (default rnr_ckpt)
  *
  * See docs/HARNESS.md for the JSON schema and a usage walkthrough.
  */
@@ -83,6 +86,13 @@ struct SweepStats {
 struct SweepHostInfo {
     double wall_sec = 0;
     std::uint64_t peak_rss_bytes = 0; ///< 0 = unknown (non-Linux host)
+    /** Checkpoint-fork accounting for this sweep (deltas of the
+     *  CheckpointStore counters across run()): how many inputs were
+     *  generated natively (warm-ups) versus forked from a shared
+     *  snapshot, and how many full snapshots were resumed. */
+    std::uint64_t ckpt_warmups = 0;
+    std::uint64_t ckpt_forks = 0;
+    std::uint64_t ckpt_restores = 0;
 };
 
 /**

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/serde.h"
 #include "mem/mshr.h"
 #include "sim/config.h"
 #include "sim/stats.h"
@@ -34,6 +35,21 @@ struct CacheLine {
     bool dirty = false;
     bool prefetched = false; ///< Brought in by a prefetch...
     bool referenced = false; ///< ...and since touched by a demand access.
+
+    /** Field-wise (the struct has padding, so no pod() bulk path). */
+    template <class Ar>
+    void
+    visitState(Ar &ar)
+    {
+        ar.scalar(tag);
+        ar.scalar(fill_time);
+        ar.scalar(lru);
+        ar.scalar(rrpv);
+        ar.scalar(valid);
+        ar.scalar(dirty);
+        ar.scalar(prefetched);
+        ar.scalar(referenced);
+    }
 };
 
 /** What insert() displaced, so the caller can issue writebacks. */
@@ -244,6 +260,21 @@ class Cache
     const StatGroup &stats() const { return stats_; }
     CacheCounters &ctr() { return ctr_; }
     const CacheCounters &ctr() const { return ctr_; }
+
+    /** Checkpoint visitor: line array, LRU clock, both MSHR files and
+     *  the stat group.  Geometry (cfg_, set_mask_) and trace routing
+     *  are configuration — the restore side rebuilds them and seq()
+     *  restores the same sets x ways count. */
+    template <class Ar>
+    void
+    visitState(Ar &ar)
+    {
+        ckpt::seq(ar, lines_);
+        ar.scalar(lru_clock_);
+        mshr_.visitState(ar);
+        pq_.visitState(ar);
+        stats_.visitState(ar);
+    }
 
   private:
     std::size_t setIndex(Addr block) const { return block & set_mask_; }

@@ -22,6 +22,7 @@
 #include <cassert>
 #include <vector>
 
+#include "ckpt/serde.h"
 #include "sim/trace_event.h"
 #include "sim/types.h"
 
@@ -35,6 +36,16 @@ class Mshr
         Addr block;        ///< Block number (address >> 6).
         Tick fill;         ///< Tick at which the fill arrives.
         bool prefetch;     ///< Entry was allocated by a prefetch.
+
+        /** Field-wise (the struct has padding, so no pod() bulk path). */
+        template <class Ar>
+        void
+        visitState(Ar &ar)
+        {
+            ar.scalar(block);
+            ar.scalar(fill);
+            ar.scalar(prefetch);
+        }
     };
 
     explicit Mshr(unsigned capacity) : capacity_(capacity) {}
@@ -118,6 +129,17 @@ class Mshr
     {
         entries_.clear();
         next_fill_ = kTickMax;
+    }
+
+    /** Checkpoint visitor: outstanding entries + the next-event cursor.
+     *  Capacity and trace routing are configuration, re-established by
+     *  construction on the restore side. */
+    template <class Ar>
+    void
+    visitState(Ar &ar)
+    {
+        ckpt::seq(ar, entries_);
+        ar.scalar(next_fill_);
     }
 
   private:

@@ -102,4 +102,6 @@ BingoPrefetcher::onAccess(const L2AccessInfo &info)
     }
 }
 
+RNR_CKPT_DEFINE_STATE(BingoPrefetcher)
+
 } // namespace rnr

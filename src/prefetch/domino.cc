@@ -51,4 +51,6 @@ DominoPrefetcher::onAccess(const L2AccessInfo &info)
         index_.clear();
 }
 
+RNR_CKPT_DEFINE_STATE(DominoPrefetcher)
+
 } // namespace rnr

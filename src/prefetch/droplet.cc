@@ -88,4 +88,6 @@ DropletPrefetcher::onAccess(const L2AccessInfo &info)
         launchIndirect(info.block, info.now);
 }
 
+RNR_CKPT_DEFINE_STATE(DropletPrefetcher)
+
 } // namespace rnr

@@ -122,4 +122,6 @@ ImpPrefetcher::onAccess(const L2AccessInfo &info)
         train(info.vaddr);
 }
 
+RNR_CKPT_DEFINE_STATE(ImpPrefetcher)
+
 } // namespace rnr

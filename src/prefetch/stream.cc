@@ -72,4 +72,6 @@ StreamPrefetcher::onAccess(const L2AccessInfo &info)
     }
 }
 
+RNR_CKPT_DEFINE_STATE(StreamPrefetcher)
+
 } // namespace rnr

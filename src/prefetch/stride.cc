@@ -50,4 +50,6 @@ StridePrefetcher::onAccess(const L2AccessInfo &info)
     e.last_block = info.block;
 }
 
+RNR_CKPT_DEFINE_STATE(StridePrefetcher)
+
 } // namespace rnr

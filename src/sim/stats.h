@@ -27,6 +27,7 @@
 #include <map>
 #include <string>
 
+#include "ckpt/serde.h"
 #include "sim/counter.h"
 
 namespace rnr {
@@ -87,6 +88,40 @@ class StatGroup
 
     /** Formats "group.key = value" lines, sorted by key. */
     std::string dump() const;
+
+    /**
+     * Checkpoint visitor: (name, value) pairs in map order.  Loading
+     * writes through set(), which creates string-API counters the
+     * fresh component has not declared yet (e.g. RnR's one-time
+     * gauges) and updates pre-declared cells in place, so every
+     * Counter& handle a component captured at construction keeps
+     * pointing at live, now-restored storage.
+     */
+    template <class Ar>
+    void
+    visitState(Ar &ar)
+    {
+        std::uint64_t n = counters_.size();
+        ar.scalar(n);
+        if constexpr (Ar::kLoading) {
+            if (!ckpt::checkCount(ar, n, 16))
+                return;
+            for (std::uint64_t i = 0; i < n; ++i) {
+                std::string key;
+                std::uint64_t value = 0;
+                ar.str(key);
+                ar.scalar(value);
+                set(key, value);
+            }
+        } else {
+            for (auto &kv : counters_) {
+                std::string key = kv.first;
+                std::uint64_t value = kv.second.value();
+                ar.str(key);
+                ar.scalar(value);
+            }
+        }
+    }
 
   private:
     std::string name_;

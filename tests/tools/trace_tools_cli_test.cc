@@ -18,11 +18,15 @@
  */
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.h"
 
 #ifndef RNR_TRACE_TOOLS_BIN
 #error "RNR_TRACE_TOOLS_BIN must point at the trace_tools binary"
@@ -35,12 +39,14 @@ struct CliResult {
     std::string output; ///< stdout + stderr, interleaved.
 };
 
-/** Runs @p args under the trace_tools binary with quiet harness env. */
+/** Runs @p args under the trace_tools binary with quiet harness env;
+ *  @p extra_env prepends additional VAR=value pairs. */
 CliResult
-runTool(const std::string &args)
+runTool(const std::string &args, const std::string &extra_env = "")
 {
     const std::string cmd =
-        "RNR_CACHE=0 RNR_TRACE_STORE=0 RNR_PROGRESS=0 " +
+        "RNR_CACHE=0 RNR_TRACE_STORE=0 RNR_PROGRESS=0 " + extra_env +
+        (extra_env.empty() ? "" : " ") +
         std::string(RNR_TRACE_TOOLS_BIN) + " " + args + " 2>&1";
     CliResult r;
     std::FILE *pipe = popen(cmd.c_str(), "r");
@@ -57,8 +63,9 @@ runTool(const std::string &args)
 }
 
 const char *const kModes[] = {"capture",  "convert",   "simulate",
-                              "stats",    "corpus",    "inspect",
-                              "rnr-trace", "report",   "help"};
+                              "stats",    "corpus",    "ckpt",
+                              "inspect",  "rnr-trace", "report",
+                              "help"};
 
 TEST(TraceToolsCli, HelpListsEveryMode)
 {
@@ -109,6 +116,8 @@ TEST(TraceToolsCli, KnownModeWithWrongArityExitsTwo)
     EXPECT_EQ(runTool("convert").exit_code, 2);      // needs 2 args
     EXPECT_EQ(runTool("stats").exit_code, 2);        // needs a file
     EXPECT_EQ(runTool("capture onlyone").exit_code, 2);
+    EXPECT_EQ(runTool("ckpt").exit_code, 2);         // needs a subcommand
+    EXPECT_EQ(runTool("ckpt inspect").exit_code, 2); // needs a file
 }
 
 TEST(TraceToolsCli, HelpMarkdownEmitsTheModeTable)
@@ -173,6 +182,85 @@ TEST(TraceToolsCli, FarmMetricsConnectFailureExitsFour)
     EXPECT_EQ(r.exit_code, 4) << r.output;
     EXPECT_NE(r.output.find("is rnr_farmd running?"), std::string::npos)
         << r.output;
+}
+
+/** Writes a minimal valid (or checksum-broken) snapshot to @p path. */
+void
+writeTestSnapshot(const std::string &path, std::uint64_t window,
+                  bool corrupt)
+{
+    rnr::ckpt::SnapshotWriter w(rnr::ckpt::SnapshotHeader{
+        "app=pagerank input=urand", window ? "full-key" : "", window});
+    w.section(window ? rnr::ckpt::SectionId::System
+                     : rnr::ckpt::SectionId::Input)
+        .scalar(std::uint64_t{42});
+    std::vector<std::uint8_t> blob = w.finish();
+    if (corrupt)
+        blob[blob.size() / 2] ^= 0x01;
+    ASSERT_TRUE(rnr::ckpt::writeSnapshotFile(path, blob).ok());
+}
+
+TEST(TraceToolsCli, CkptInspectDecodesSnapshotHeader)
+{
+    const std::string path =
+        ::testing::TempDir() + "trace_tools_cli_inspect.ckpt";
+    writeTestSnapshot(path, 2, /*corrupt=*/false);
+
+    const CliResult r = runTool("ckpt inspect " + path);
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("rnr-ckpt-v1"), std::string::npos);
+    EXPECT_NE(r.output.find("app=pagerank input=urand"),
+              std::string::npos);
+    EXPECT_NE(r.output.find("full-key"), std::string::npos);
+    EXPECT_NE(r.output.find("System"), std::string::npos);
+    // The printed checksum is the real trailer, not a zeroed field.
+    EXPECT_NE(r.output.find("checksum 0x"), std::string::npos);
+    EXPECT_EQ(r.output.find("checksum 0x0000000000000000"),
+              std::string::npos);
+
+    // A corrupt snapshot is a typed one-liner + exit 1.
+    writeTestSnapshot(path, 2, /*corrupt=*/true);
+    const CliResult bad = runTool("ckpt inspect " + path);
+    EXPECT_EQ(bad.exit_code, 1) << bad.output;
+    EXPECT_NE(bad.output.find("cannot inspect"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceToolsCli, CkptListAndGcSweepTheStore)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        ::testing::TempDir() + "trace_tools_cli_ckpt_store";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string env = "RNR_CKPT_DIR=" + dir;
+
+    writeTestSnapshot(dir + "/good.ckpt", 1, /*corrupt=*/false);
+    writeTestSnapshot(dir + "/bad.ckpt", 1, /*corrupt=*/true);
+    { // a stale publish temp file (crashed before its rename)
+        std::ofstream out(dir + "/old.ckpt.tmp.999");
+        out << "partial";
+    }
+
+    const CliResult list = runTool("ckpt list", env);
+    EXPECT_EQ(list.exit_code, 0) << list.output;
+    EXPECT_NE(list.output.find("2 snapshots"), std::string::npos)
+        << list.output;
+    EXPECT_NE(list.output.find("CORRUPT"), std::string::npos);
+
+    const CliResult gc = runTool("ckpt gc", env);
+    EXPECT_EQ(gc.exit_code, 0) << gc.output;
+    EXPECT_NE(gc.output.find("removed 1 corrupt, 1 stale"),
+              std::string::npos)
+        << gc.output;
+    EXPECT_TRUE(fs::exists(dir + "/good.ckpt"));
+    EXPECT_FALSE(fs::exists(dir + "/bad.ckpt"));
+    EXPECT_FALSE(fs::exists(dir + "/old.ckpt.tmp.999"));
+
+    const CliResult after = runTool("ckpt list", env);
+    EXPECT_NE(after.output.find("1 snapshot"), std::string::npos)
+        << after.output;
+    fs::remove_all(dir);
 }
 
 TEST(TraceToolsCli, ReportModeWritesJsonAndHtml)
