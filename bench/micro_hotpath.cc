@@ -28,7 +28,10 @@
  * instrumented sites in src/harness and src/farm have, at the
  * granularities they really run at.  Its rate must stay within noise
  * of none (docs/HARNESS.md §16); CI asserts the parity and the
- * compare gate pins both.
+ * compare gate pins both.  BM_DemandAccessAttribGated is the same
+ * contract for the attribution layer (docs/HARNESS.md §18): the loop
+ * with attachAttrib(nullptr) and a per-op null-collector gate, the
+ * shape every cache/memory-system hook has when RNR_ATTRIB is off.
  *
  * BM_Kernel/{batched,legacy} measure the full stack instead — trace
  * feed, CoreModel inner loop, memory system — under each simulation
@@ -64,6 +67,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "prefetch/factory.h"
+#include "sim/attrib.h"
 #include "sim/config.h"
 #include "sim/kernel.h"
 #include "sim/timeseries.h"
@@ -185,6 +189,45 @@ BM_DemandAccessObsGated(benchmark::State &state)
         for (const TraceRecord &rec : trace) {
             if (ops_counter)
                 ops_counter->add();
+            now += 1 + rec.gap / 4;
+            const DemandResult res = ms.demandAccess(
+                0, rec.addr, rec.kind == RecordKind::Store, rec.pc, now);
+            benchmark::DoNotOptimize(res.done);
+        }
+        ops += trace.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+
+void
+BM_DemandAccessAttribGated(benchmark::State &state)
+{
+    const std::vector<TraceRecord> &trace = hotTrace();
+    MachineConfig mcfg = MachineConfig::scaledDefault();
+    mcfg.cores = 1;
+    MemorySystem ms(mcfg);
+    std::unique_ptr<Prefetcher> pf =
+        createPrefetcher(PrefetcherKind::None);
+    ms.setPrefetcher(0, pf.get());
+
+    // The disabled-attribution call-site shape (sim/attrib.h rule 2):
+    // every cache/memory-system hook holds an `AttribCollector *` that
+    // attachAttrib() left null, so the per-access cost must be one
+    // predictable branch per hook.  attachAttrib(nullptr) walks the
+    // exact detach path the runner uses, and the extra null-gated call
+    // here mirrors the densest hook (the L2 demand-miss probe) at the
+    // per-op granularity it really fires at.  DoNotOptimize keeps the
+    // compiler from folding the branch away.
+    ms.attachAttrib(nullptr);
+    AttribCollector *at = nullptr;
+    benchmark::DoNotOptimize(at);
+
+    Tick now = 0;
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        for (const TraceRecord &rec : trace) {
+            if (at)
+                at->onDemandMiss(0, rec.addr >> kBlockBits);
             now += 1 + rec.gap / 4;
             const DemandResult res = ms.demandAccess(
                 0, rec.addr, rec.kind == RecordKind::Store, rec.pc, now);
@@ -348,6 +391,7 @@ BENCHMARK_CAPTURE(BM_DemandAccess, stream, PrefetcherKind::Stream)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DemandAccessSampled)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DemandAccessObsGated)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DemandAccessAttribGated)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Kernel, batched, rnr::KernelMode::Batched)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Kernel, legacy, rnr::KernelMode::Legacy)

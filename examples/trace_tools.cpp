@@ -46,10 +46,18 @@
  *       report and writes a Perfetto-loadable Chrome trace JSON.
  *       Honours --trace-buf <n> (ring capacity) anywhere in the args.
  *
+ *   trace_tools attrib [app] [input] [prefetcher]
+ *       Simulates one cell (default pagerank/urand/rnr) with
+ *       prefetch-quality attribution on and prints the rnr-attrib-v1
+ *       JSON blob (per-site and per-region outcome tables, pollution
+ *       accounting, Fig 11 per-window splits) on stdout.  Exits 0 when
+ *       the attribution totals reconcile exactly with the iteration
+ *       counters, 1 on a mismatch.  Honours --iterations/--cores.
+ *
  *   trace_tools report [app] [input] [out-prefix]
  *       Simulates the no-prefetch baseline and RnR for one workload
  *       with telemetry sampling on and writes <prefix>.json
- *       (rnr-report-v1) plus a self-contained <prefix>.html dashboard
+ *       (rnr-report-v2) plus a self-contained <prefix>.html dashboard
  *       (harness/report.h).  Prefix defaults to $RNR_REPORT_OUT or
  *       "rnr_report"; honours --sample-cycles/--iterations/--cores.
  *
@@ -98,6 +106,7 @@
 #include "harness/report.h"
 #include "harness/runner.h"
 #include "harness/sweep.h"
+#include "sim/attrib.h"
 #include "sim/timeseries.h"
 #include "sim/trace_event.h"
 #include "trace/trace_io.h"
@@ -595,6 +604,61 @@ report(const std::string &app, const std::string &input,
     return 0;
 }
 
+int
+attribCmd(const std::string &app, const std::string &input,
+          const std::string &pf_name, unsigned iterations, unsigned cores)
+{
+    ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.input = input;
+    try {
+        cfg.prefetcher = prefetcherKindFromString(pf_name);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "attrib: %s\n", e.what());
+        return 2;
+    }
+    if (iterations)
+        cfg.iterations = iterations;
+    if (cores)
+        cfg.cores = cores;
+
+    std::fprintf(stderr, "simulating %s with attribution...\n",
+                 cfg.key().c_str());
+    AttribCollector at;
+    const ExperimentResult res =
+        runExperimentAttributed(cfg, nullptr, nullptr, &at);
+    const AttribBlob &ab = *res.attrib;
+
+    // The stdout contract: exactly one line, the rnr-attrib-v1 object
+    // (tests/tools/trace_tools_cli_test.cc parses it).  Flush before
+    // the stderr verdict so a merged 2>&1 capture can't interleave the
+    // verdict into the middle of the (pipe-buffered) JSON line.
+    std::printf("%s\n", attribJson(ab).c_str());
+    std::fflush(stdout);
+
+    // Cross-check against the iteration-level counters; the hooks sit
+    // on the exact counter-bump lines, so this must be exact.
+    std::uint64_t issued = 0, useful = 0, merged = 0;
+    std::uint64_t ontime = 0, early = 0, late = 0, oow = 0;
+    for (const IterStats &it : res.iterations) {
+        issued += it.pf_issued;
+        useful += it.pf_useful;
+        merged += it.pf_late_merged;
+        ontime += it.rnr_ontime;
+        early += it.rnr_early;
+        late += it.rnr_late;
+        oow += it.rnr_out_of_window;
+    }
+    const bool reconciled =
+        ab.totals.issued == issued && ab.totals.useful == useful &&
+        ab.totals.late_merged == merged && ab.rnr_ontime == ontime &&
+        ab.rnr_early == early && ab.rnr_late == late &&
+        ab.rnr_out_of_window == oow;
+    std::fprintf(stderr, "attrib/counter reconciliation: %s\n",
+                 reconciled ? "exact" : "MISMATCH");
+    return reconciled ? 0 : 1;
+}
+
 // ---- farm: client and daemon of the simulation farm ----
 
 /** Exit code for "cannot reach the daemon socket" — distinct from the
@@ -1029,6 +1093,10 @@ constexpr ModeHelp kModes[] = {
      "full decode: record counts, access sites, RnR control calls"},
     {"rnr-trace", "[app] [input] [trace.json] [--trace-buf <events>]",
      "traced RnR run: replay diagnostics + Chrome trace JSON"},
+    {"attrib", "[app] [input] [prefetcher] [--iterations <n>] "
+               "[--cores <n>]",
+     "attributed run: rnr-attrib-v1 JSON (per-site/per-region tables, "
+     "pollution); exits 1 on counter mismatch"},
     {"report", "[app] [input] [out-prefix] [--sample-cycles <n>] "
                "[--iterations <n>] [--cores <n>]",
      "telemetry report: <prefix>.json + self-contained <prefix>.html"},
@@ -1172,6 +1240,36 @@ main(int argc, char **argv)
         if (pos.size() > 2)
             out = pos[2];
         return rnrTrace(app, input, out, buf);
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "attrib") == 0) {
+        std::string app = "pagerank", input = "urand", pf = "rnr";
+        unsigned iterations = 0, cores = 0;
+        std::vector<std::string> pos;
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--iterations") == 0 &&
+                i + 1 < argc)
+                iterations =
+                    static_cast<unsigned>(std::atoi(argv[++i]));
+            else if (std::strcmp(argv[i], "--cores") == 0 &&
+                     i + 1 < argc)
+                cores = static_cast<unsigned>(std::atoi(argv[++i]));
+            else
+                pos.emplace_back(argv[i]);
+        }
+        if (pos.size() > 3 ||
+            (!pos.empty() && pos.back().rfind("--", 0) == 0)) {
+            const ModeHelp *m = findMode("attrib");
+            std::fprintf(stderr, "usage: %s %s %s\n", argv[0], m->name,
+                         m->usage);
+            return 2;
+        }
+        if (pos.size() > 0)
+            app = pos[0];
+        if (pos.size() > 1)
+            input = pos[1];
+        if (pos.size() > 2)
+            pf = pos[2];
+        return attribCmd(app, input, pf, iterations, cores);
     }
     if (argc >= 2 && std::strcmp(argv[1], "report") == 0) {
         std::string app = "pagerank", input = "urand";

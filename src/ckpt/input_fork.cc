@@ -96,6 +96,9 @@ forkInput(const ExperimentConfig &cfg, std::uint64_t tag,
         }
     }
 
+    // One span per fork-or-generate operation: rejected-snapshot
+    // retries and the store's own drop/publish records share an id.
+    obs::SpanScope span;
     const std::string wkey = cfg.workloadKey();
     std::vector<std::uint8_t> blob;
     for (;;) {

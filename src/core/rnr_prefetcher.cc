@@ -5,6 +5,7 @@
 
 #include "core/rnr_hw_model.h"
 #include "mem/memory_system.h"
+#include "sim/attrib.h"
 #include "sim/timeseries.h"
 
 namespace rnr {
@@ -349,7 +350,8 @@ RnrPrefetcher::issueEntries(std::uint64_t n, Tick now)
             ++ctr_.unresolvable_entries;
             continue;
         }
-        PrefetchIssue res = issuePrefetch(vaddr, now);
+        PrefetchIssue res =
+            issuePrefetch(vaddr, now, attribRnrSite(core_));
         if (res.mshr_full)
             break; // retry from the same cursor on the next access
         const std::uint32_t window = static_cast<std::uint32_t>(
@@ -379,6 +381,9 @@ RnrPrefetcher::sweepOutOfWindow(Tick now)
     std::erase_if(pf_status_, [&](const auto &kv) {
         if (kv.second.window + 1 < cur) {
             ++ctr_.pf_out_of_window;
+            if (at_)
+                at_->onRnrClass(RnrTimeliness::OutOfWindow,
+                                kv.second.window);
             emitRnr(TraceEventType::PfOutOfWindow, now, 0,
                     kv.second.window, kv.first);
             return true;
@@ -475,14 +480,23 @@ RnrPrefetcher::handleReplayAccess(const L2AccessInfo &info)
     if (it != pf_status_.end()) {
         if (it->second.status == PfStatus::Evicted) {
             ++ctr_.pf_early;
+            if (at_)
+                at_->onRnrClass(RnrTimeliness::Early,
+                                it->second.window);
             emitRnr(TraceEventType::PfEarly, info.now, 0,
                     it->second.window, info.block);
         } else if (it->second.fill_time > info.now) {
             ++ctr_.pf_late;
+            if (at_)
+                at_->onRnrClass(RnrTimeliness::Late,
+                                it->second.window);
             emitRnr(TraceEventType::PfLate, info.now, 0,
                     it->second.window, info.block);
         } else {
             ++ctr_.pf_ontime;
+            if (at_)
+                at_->onRnrClass(RnrTimeliness::OnTime,
+                                it->second.window);
             emitRnr(TraceEventType::PfOntime, info.now, 0,
                     it->second.window, info.block);
         }

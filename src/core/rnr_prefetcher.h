@@ -80,6 +80,11 @@ class RnrPrefetcher : public Prefetcher
      *  Sequence/Division-Table staging-buffer fill levels (bytes). */
     void setTelemetry(TelemetrySampler *tm, unsigned core) override;
 
+    /** Keeps the collector for the Fig 11 per-window classification
+     *  hooks; replay prefetches themselves carry attribRnrSite(core)
+     *  as their site id (sim/attrib.h). */
+    void setAttrib(AttribCollector *at) override { at_ = at; }
+
     /** Bytes of sequence metadata currently resident in the staging /
      *  double buffers: staged-but-unflushed entries while recording,
      *  streamed-but-unissued entries while replaying, 0 otherwise. */
@@ -228,6 +233,7 @@ class RnrPrefetcher : public Prefetcher
     std::uint64_t peak_div_entries_ = 0;
 
     std::uint16_t tr_rnr_track_ = 0; ///< Cached TraceCollector::rnrTrack().
+    AttribCollector *at_ = nullptr;  ///< Null unless attribution is on.
 };
 
 } // namespace rnr

@@ -85,6 +85,11 @@ class System
             c->attachTelemetry(tm);
     }
 
+    /** Hands the attribution collector to the memory hierarchy (null =
+     *  detach); the cores never touch it — every attribution event is
+     *  observed at the L2s or the prefetchers (sim/attrib.h). */
+    void attachAttrib(AttribCollector *at) { mem_.attachAttrib(at); }
+
     /** Checkpoint visitor: every core, then the memory hierarchy.
      *  Prefetchers attach from outside (System does not own them) and
      *  get their own snapshot section via the virtual state pair. */

@@ -22,6 +22,7 @@
 
 namespace rnr {
 
+struct AttribBlob;
 struct TelemetryBlob;
 
 /**
@@ -54,6 +55,21 @@ struct TelemetryOptions {
     Tick sample_cycles = 0;  ///< Sampling period; 0 = env or default.
 };
 
+/**
+ * Prefetch-quality attribution knobs (sim/attrib.h), carried by
+ * ExperimentConfig.  Excluded from key() like the other observability
+ * options: attribution is observation-only (an attributed run's
+ * IterStats are bit-identical to an unattributed run's), so results are
+ * cache-interchangeable.  A cache hit carries no attrib blob — disable
+ * the cache (or go through harness/report.h, which does) when the
+ * per-site tables are the point.
+ */
+struct AttribOptions {
+    bool enabled = false;       ///< Collect attribution (or RNR_ATTRIB=1).
+    std::size_t site_top_k = 0;   ///< Sites kept exactly; 0 = default (64).
+    std::size_t region_top_k = 0; ///< Regions kept exactly; 0 = default.
+};
+
 /** "none" / "window" / "window+pace" (sweep JSON, reports, farm). */
 const char *replayControlName(ReplayControlMode mode);
 
@@ -73,6 +89,7 @@ struct ExperimentConfig {
     bool ideal_llc = false;         ///< Fig 6's "ideal" bar.
     TraceOptions trace;             ///< Observation-only; not in key().
     TelemetryOptions telemetry;     ///< Observation-only; not in key().
+    AttribOptions attrib;           ///< Observation-only; not in key().
 
     /**
      * Workload half of the key: every field that shapes the *emitted
@@ -147,6 +164,10 @@ struct ExperimentResult {
      *  otherwise (and always null on result-cache hits — the cache
      *  codec stores counters only). */
     std::shared_ptr<const TelemetryBlob> telemetry;
+
+    /** Per-site/per-region attribution tables when attribution was on;
+     *  null otherwise (and always null on result-cache hits). */
+    std::shared_ptr<const AttribBlob> attrib;
 
     const IterStats &first() const { return iterations.front(); }
     /** Steady-state iteration (the last simulated one). */

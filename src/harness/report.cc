@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -20,6 +21,7 @@
 #include "harness/result_cache.h"
 #include "harness/runner.h"
 #include "harness/sweep.h"
+#include "sim/attrib.h"
 #include "sim/timeseries.h"
 #include "tracestore/trace_store.h"
 
@@ -123,6 +125,7 @@ buildSweepReport(const std::vector<ExperimentConfig> &cfgs,
         ExperimentConfig run_cfg = cfg;
         run_cfg.telemetry.enabled = true;
         run_cfg.telemetry.sample_cycles = rep.sample_cycles;
+        run_cfg.attrib.enabled = true;
 
         const Clock::time_point t0 = Clock::now();
         cell.result = runExperimentUncached(run_cfg);
@@ -141,7 +144,7 @@ std::string
 reportJson(const SweepReport &rep)
 {
     std::ostringstream os;
-    os << "{\n  \"schema\": \"rnr-report-v1\",\n  \"label\": \""
+    os << "{\n  \"schema\": \"rnr-report-v2\",\n  \"label\": \""
        << jsonEscape(rep.label) << "\",\n  \"sample_cycles\": "
        << rep.sample_cycles << ",\n  \"cells\": [\n";
 
@@ -234,11 +237,19 @@ reportJson(const SweepReport &rep)
                 os << "]}"
                    << (h + 1 < tb.histograms.size() ? "," : "") << "\n";
             }
-            os << "        ]\n      }\n";
+            os << "        ]\n      },\n";
         } else {
-            os << "}\n";
+            os << "},\n";
         }
-        os << "    }" << (ci + 1 < rep.cells.size() ? "," : "") << "\n";
+        // v2: the full rnr-attrib-v1 object rides along per cell (null
+        // when attribution was off, e.g. a hand-built report).
+        os << "      \"attrib\": ";
+        if (r.attrib)
+            os << attribJson(*r.attrib);
+        else
+            os << "null";
+        os << "\n    }" << (ci + 1 < rep.cells.size() ? "," : "")
+           << "\n";
     }
     os << "  ]\n}\n";
     return os.str();
@@ -340,6 +351,151 @@ appendHistogram(std::ostringstream &os, const TelemetryHistogramBlob &hb)
        << Log2Histogram::bucketHigh(hi) << "]</div></div>\n";
 }
 
+/** Human-readable site-id rendering (the sim/attrib.h grammar). */
+std::string
+siteName(std::uint32_t site)
+{
+    if (site == 0)
+        return "(none)";
+    if (attribSiteIsRnr(site))
+        return "rnr lane " +
+               std::to_string(site & ~kAttribRnrSiteBit);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "pc 0x%x", site);
+    return buf;
+}
+
+void
+appendAttribStatsCells(std::ostringstream &os, const AttribSiteStats &s)
+{
+    const double acc =
+        s.issued ? static_cast<double>(s.useful) /
+                       static_cast<double>(s.issued)
+                 : 0.0;
+    os << "<td>" << s.issued << "</td><td>" << s.useful << "</td><td>"
+       << s.late_merged << "</td><td>" << s.evicted_unused
+       << "</td><td>" << s.pollution << "</td><td>" << fmtDouble(acc)
+       << "</td>";
+}
+
+/** Top-site outcome table (issued / useful / ... / accuracy). */
+void
+appendSiteTable(std::ostringstream &os, const AttribBlob &ab)
+{
+    os << "<table class=\"attrib-sites\">\n<tr><th class=\"k\">site"
+          "</th><th>issued</th><th>useful</th><th>late merged</th>"
+          "<th>evicted unused</th><th>pollution</th><th>accuracy</th>"
+          "</tr>\n";
+    for (const AttribBlob::SiteRow &row : ab.sites) {
+        os << "<tr><td class=\"k\">" << htmlEscape(siteName(row.site))
+           << "</td>";
+        appendAttribStatsCells(os, row.stats);
+        os << "</tr>\n";
+    }
+    if (ab.site_other.total() > 0) {
+        os << "<tr><td class=\"k\">(folded)</td>";
+        appendAttribStatsCells(os, ab.site_other);
+        os << "</tr>\n";
+    }
+    os << "</table>\n<p class=\"host\">" << ab.sites_tracked
+       << " sites tracked · " << ab.sites.size() << " kept exactly"
+       << "</p>\n";
+}
+
+/** Busiest-region outcome table (at most @p max_rows rows). */
+void
+appendRegionTable(std::ostringstream &os, const AttribBlob &ab,
+                  std::size_t max_rows)
+{
+    std::vector<const AttribBlob::RegionRow *> rows;
+    rows.reserve(ab.regions.size());
+    for (const AttribBlob::RegionRow &r : ab.regions)
+        rows.push_back(&r);
+    std::sort(rows.begin(), rows.end(),
+              [](const AttribBlob::RegionRow *x,
+                 const AttribBlob::RegionRow *y) {
+                  const std::uint64_t xt = x->stats.total();
+                  const std::uint64_t yt = y->stats.total();
+                  return xt != yt ? xt > yt : x->region < y->region;
+              });
+    if (rows.size() > max_rows)
+        rows.resize(max_rows);
+
+    os << "<table class=\"attrib-regions\">\n<tr><th class=\"k\">"
+          "region (4 KiB)</th><th>issued</th><th>useful</th>"
+          "<th>late merged</th><th>evicted unused</th>"
+          "<th>pollution</th><th>accuracy</th></tr>\n";
+    for (const AttribBlob::RegionRow *row : rows) {
+        char name[24];
+        std::snprintf(name, sizeof(name), "0x%llx",
+                      static_cast<unsigned long long>(row->region));
+        os << "<tr><td class=\"k\">" << name << "</td>";
+        appendAttribStatsCells(os, row->stats);
+        os << "</tr>\n";
+    }
+    os << "</table>\n<p class=\"host\">showing " << rows.size()
+       << " busiest of " << ab.regions.size() << " kept regions ("
+       << ab.regions_tracked << " tracked)</p>\n";
+}
+
+/**
+ * Region heatmap: one tile per kept region in ascending address order,
+ * wrapped 64 per row.  Hue runs blue (useful outcomes) to red (wasted:
+ * evicted-unused + pollution); opacity scales with log2 activity so a
+ * region with 1000x the traffic does not wash out the rest.
+ */
+void
+appendRegionHeatmap(std::ostringstream &os, const AttribBlob &ab)
+{
+    if (ab.regions.empty())
+        return;
+    constexpr unsigned kCols = 64, kTile = 10;
+    const unsigned n = static_cast<unsigned>(ab.regions.size());
+    const unsigned cols = std::min(n, kCols);
+    const unsigned rows = (n + kCols - 1) / kCols;
+    std::uint64_t tmax = 1;
+    for (const AttribBlob::RegionRow &r : ab.regions)
+        tmax = std::max(tmax, r.stats.total());
+    const double lmax =
+        std::log2(static_cast<double>(tmax) + 1.0);
+
+    os << "<svg class=\"heatmap\" viewBox=\"0 0 " << cols * kTile
+       << " " << rows * kTile << "\" width=\"" << cols * kTile
+       << "\" height=\"" << rows * kTile << "\" role=\"img\">";
+    for (unsigned i = 0; i < n; ++i) {
+        const AttribBlob::RegionRow &r = ab.regions[i];
+        const std::uint64_t total = r.stats.total();
+        const std::uint64_t bad =
+            r.stats.evicted_unused + r.stats.pollution;
+        const double f =
+            total ? static_cast<double>(bad) /
+                        static_cast<double>(total)
+                  : 0.0;
+        // #2a7ae2 (all useful) -> #e2402a (all wasted).
+        const int red = static_cast<int>(0x2a + f * (0xe2 - 0x2a));
+        const int grn = static_cast<int>(0x7a + f * (0x40 - 0x7a));
+        const int blu = static_cast<int>(0xe2 + f * (0x2a - 0xe2));
+        const double op =
+            0.2 + 0.8 * std::log2(static_cast<double>(total) + 1.0) /
+                      lmax;
+        char buf[240];
+        std::snprintf(
+            buf, sizeof(buf),
+            "<rect x=\"%u\" y=\"%u\" width=\"%u\" height=\"%u\" "
+            "fill=\"#%02x%02x%02x\" fill-opacity=\"%.2f\"><title>"
+            "region 0x%llx: %llu events, %.0f%% wasted</title>"
+            "</rect>",
+            (i % kCols) * kTile, (i / kCols) * kTile, kTile - 1,
+            kTile - 1, red, grn, blu, op,
+            static_cast<unsigned long long>(r.region),
+            static_cast<unsigned long long>(total), f * 100.0);
+        os << buf;
+    }
+    os << "</svg>\n<p class=\"host\">heatmap: blue = useful, red = "
+          "wasted (evicted unused + pollution); opacity = log "
+          "activity</p>\n";
+}
+
 } // namespace
 
 std::string
@@ -367,7 +523,7 @@ reportHtml(const SweepReport &rep)
           ".host{color:#555;font-size:.9em}\n"
           "</style>\n</head>\n<body>\n";
     os << "<h1>RnR run report — " << htmlEscape(rep.label) << "</h1>\n";
-    os << "<p class=\"host\">schema rnr-report-v1 · sampling every "
+    os << "<p class=\"host\">schema rnr-report-v2 · sampling every "
        << rep.sample_cycles << " cycles · " << rep.cells.size()
        << " cells</p>\n";
 
@@ -421,23 +577,35 @@ reportHtml(const SweepReport &rep)
     }
     os << "</table>\n";
 
-    // ---- Per-cell telemetry ----
+    // ---- Per-cell telemetry + attribution ----
     for (const ReportCell &cell : rep.cells) {
         const ExperimentResult &r = cell.result;
         os << "<h2>" << htmlEscape(r.config.key()) << "</h2>\n";
-        if (!r.telemetry) {
+        if (r.telemetry) {
+            const TelemetryBlob &tb = *r.telemetry;
+            os << "<p class=\"host\">" << tb.samples_taken
+               << " samples · period " << tb.sample_cycles
+               << " cycles</p>\n<div class=\"cells\">\n";
+            for (const TelemetrySeriesBlob &sb : tb.series)
+                appendSparkline(os, sb);
+            for (const TelemetryHistogramBlob &hb : tb.histograms)
+                appendHistogram(os, hb);
+            os << "</div>\n";
+        } else {
             os << "<p class=\"host\">no telemetry collected</p>\n";
-            continue;
         }
-        const TelemetryBlob &tb = *r.telemetry;
-        os << "<p class=\"host\">" << tb.samples_taken
-           << " samples · period " << tb.sample_cycles
-           << " cycles</p>\n<div class=\"cells\">\n";
-        for (const TelemetrySeriesBlob &sb : tb.series)
-            appendSparkline(os, sb);
-        for (const TelemetryHistogramBlob &hb : tb.histograms)
-            appendHistogram(os, hb);
-        os << "</div>\n";
+        if (r.attrib) {
+            const AttribBlob &ab = *r.attrib;
+            os << "<h3>Prefetch attribution</h3>\n<p class=\"host\">"
+               << ab.totals.issued << " issued · " << ab.totals.useful
+               << " useful · " << ab.totals.late_merged
+               << " late merged · " << ab.totals.evicted_unused
+               << " evicted unused · " << ab.totals.pollution
+               << " pollution</p>\n";
+            appendSiteTable(os, ab);
+            appendRegionHeatmap(os, ab);
+            appendRegionTable(os, ab, 32);
+        }
     }
     os << "</body>\n</html>\n";
     return os.str();

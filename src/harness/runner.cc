@@ -15,6 +15,7 @@
 #include "harness/result_cache.h"
 #include "obs/log.h"
 #include "harness/system_counters.h"
+#include "sim/attrib.h"
 #include "sim/kernel.h"
 #include "sim/timeseries.h"
 #include "tracestore/trace_reader.h"
@@ -58,7 +59,7 @@ struct Sim {
     SystemCounters before;
 
     Sim(const ExperimentConfig &cfg, TraceCollector *tr,
-        TelemetrySampler *tm)
+        TelemetrySampler *tm, AttribCollector *at = nullptr)
         : sys(machineFor(cfg)), wl(makeWorkload(cfg))
     {
         RnrPrefetcher::Options rnr_opts;
@@ -75,6 +76,8 @@ struct Sim {
             sys.attachTrace(tr);
         if (tm)
             sys.attachTelemetry(tm);
+        if (at)
+            sys.attachAttrib(at);
 
         result.config = cfg;
         result.input_bytes = wl->inputBytes();
@@ -125,10 +128,11 @@ struct Sim {
  */
 ExperimentResult
 runMaterialized(const ExperimentConfig &cfg, TraceCollector *tr,
-                TelemetrySampler *tm, TraceStore::Capture *cap)
+                TelemetrySampler *tm, AttribCollector *at,
+                TraceStore::Capture *cap)
 {
     g_simulated.fetch_add(1);
-    Sim sim(cfg, tr, tm);
+    Sim sim(cfg, tr, tm, at);
 
     std::vector<TraceBuffer> bufs(cfg.cores);
     for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
@@ -164,10 +168,11 @@ runMaterialized(const ExperimentConfig &cfg, TraceCollector *tr,
  */
 ExperimentResult
 runFromStore(const ExperimentConfig &cfg, TraceCollector *tr,
-             TelemetrySampler *tm, const TraceStore::Entry &entry)
+             TelemetrySampler *tm, AttribCollector *at,
+             const TraceStore::Entry &entry)
 {
     g_simulated.fetch_add(1);
-    Sim sim(cfg, tr, tm);
+    Sim sim(cfg, tr, tm, at);
 
     for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
         // Advance workload-held replay state (e.g. PageRank's p_curr
@@ -200,7 +205,7 @@ runFromStore(const ExperimentConfig &cfg, TraceCollector *tr,
  */
 ExperimentResult
 runWithTraceStore(const ExperimentConfig &cfg, TraceCollector *tr,
-                  TelemetrySampler *tm)
+                  TelemetrySampler *tm, AttribCollector *at)
 {
     TraceStore &store = TraceStore::instance();
     const std::string wkey = cfg.workloadKey();
@@ -209,7 +214,7 @@ runWithTraceStore(const ExperimentConfig &cfg, TraceCollector *tr,
         TraceStore::Entry entry;
         if (store.acquire(wkey, entry) == TraceStore::Acquire::Hit) {
             try {
-                return runFromStore(cfg, tr, tm, entry);
+                return runFromStore(cfg, tr, tm, at, entry);
             } catch (const CorruptTraceEntry &e) {
                 obs::LogLine(obs::LogLevel::Warn, "tracestore")
                     .msg("replay failed; quarantining and recapturing")
@@ -222,13 +227,13 @@ runWithTraceStore(const ExperimentConfig &cfg, TraceCollector *tr,
         // Owner: run natively, encoding each iteration as it finishes.
         TraceStore::Capture cap =
             store.beginCapture(wkey, cfg.iterations, cfg.cores);
-        ExperimentResult r = runMaterialized(cfg, tr, tm, &cap);
+        ExperimentResult r = runMaterialized(cfg, tr, tm, at, &cap);
         cap.publish(r.input_bytes, r.target_bytes);
         return r;
     }
     // Two corrupt replays in a row: something is systematically wrong
     // with this entry's environment; simulate without the store.
-    return runMaterialized(cfg, tr, tm, nullptr);
+    return runMaterialized(cfg, tr, tm, at, nullptr);
 }
 
 // ---- Full-state checkpoint capture / restore (src/ckpt) ----
@@ -359,18 +364,30 @@ makeWorkload(const ExperimentConfig &cfg)
 }
 
 ExperimentResult
-runExperimentInstrumented(const ExperimentConfig &cfg, TraceCollector *tr,
-                          TelemetrySampler *tm)
+runExperimentAttributed(const ExperimentConfig &cfg, TraceCollector *tr,
+                        TelemetrySampler *tm, AttribCollector *at)
 {
     // The tracefile app already replays from disk; storing it again
     // would only duplicate the file.
     ExperimentResult r =
         (TraceStore::enabled() && cfg.app != "tracefile")
-            ? runWithTraceStore(cfg, tr, tm)
-            : runMaterialized(cfg, tr, tm, nullptr);
+            ? runWithTraceStore(cfg, tr, tm, at)
+            : runMaterialized(cfg, tr, tm, at, nullptr);
     if (tm)
         r.telemetry = std::make_shared<TelemetryBlob>(tm->harvest());
+    if (at) {
+        auto blob = std::make_shared<AttribBlob>(at->harvest());
+        publishAttribMetrics(*blob);
+        r.attrib = std::move(blob);
+    }
     return r;
+}
+
+ExperimentResult
+runExperimentInstrumented(const ExperimentConfig &cfg, TraceCollector *tr,
+                          TelemetrySampler *tm)
+{
+    return runExperimentAttributed(cfg, tr, tm, nullptr);
 }
 
 ExperimentResult
@@ -385,19 +402,29 @@ runExperimentUncached(const ExperimentConfig &cfg)
     const bool want_trace = cfg.trace.enabled || traceEnvEnabled();
     const bool want_samples =
         cfg.telemetry.enabled || telemetryEnvSampleCycles() > 0;
-    if (!want_trace && !want_samples)
+    const bool want_attrib = cfg.attrib.enabled || attribEnvEnabled();
+    if (!want_trace && !want_samples && !want_attrib)
         return runExperimentInstrumented(cfg, nullptr, nullptr);
 
     std::unique_ptr<TelemetrySampler> tm;
     if (want_samples)
         tm = std::make_unique<TelemetrySampler>(
             telemetrySampleCycles(cfg.telemetry.sample_cycles));
+    std::unique_ptr<AttribCollector> at;
+    if (want_attrib)
+        at = std::make_unique<AttribCollector>(
+            cfg.attrib.site_top_k != 0
+                ? cfg.attrib.site_top_k
+                : AttribCollector::kDefaultSiteTopK,
+            cfg.attrib.region_top_k != 0
+                ? cfg.attrib.region_top_k
+                : AttribCollector::kDefaultRegionTopK);
     if (!want_trace)
-        return runExperimentInstrumented(cfg, nullptr, tm.get());
+        return runExperimentAttributed(cfg, nullptr, tm.get(), at.get());
 
     TraceCollector tr(cfg.cores, cfg.trace.ring_capacity);
     ExperimentResult result =
-        runExperimentInstrumented(cfg, &tr, tm.get());
+        runExperimentAttributed(cfg, &tr, tm.get(), at.get());
 
     // Sinks.  Caveat for parallel sweeps: every traced cell writes the
     // same RNR_TRACE_OUT path (atomically; last writer wins) — tracing
@@ -537,6 +564,10 @@ runExperimentResumable(const ExperimentConfig &cfg, unsigned window)
     if (!ckpt::CheckpointStore::enabled())
         return runExperimentCheckpointed(cfg, window, blob);
 
+    // One span covers the whole resumable operation, so the store's
+    // own records (corrupt-snapshot drops, publish failures) correlate
+    // with the quarantine warnings below in a merged farm log.
+    obs::SpanScope span;
     const std::string key = cfg.key();
     for (int attempt = 0; attempt < 2; ++attempt) {
         if (store.acquire(key, window, blob) ==

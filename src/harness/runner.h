@@ -35,6 +35,7 @@
 
 namespace rnr {
 
+class AttribCollector;
 class TelemetrySampler;
 
 /** Instantiates the workload named by @p cfg (app + input). */
@@ -71,6 +72,20 @@ ExperimentResult runExperimentTraced(const ExperimentConfig &cfg,
 ExperimentResult runExperimentInstrumented(const ExperimentConfig &cfg,
                                            TraceCollector *tr,
                                            TelemetrySampler *tm);
+
+/**
+ * The fully loaded variant: events into @p tr, samples into @p tm and
+ * prefetch-quality attribution into @p at (all caller-owned, any may be
+ * null).  Always simulates, like the other instrumented entry points.
+ * When @p at is non-null its harvest lands on the returned result as
+ * ExperimentResult::attrib and is mirrored into the process metrics
+ * registry (sim/attrib.h).  Attribution never changes the returned
+ * counters (tests/sim/attrib_test.cc asserts bit-equality).
+ */
+ExperimentResult runExperimentAttributed(const ExperimentConfig &cfg,
+                                         TraceCollector *tr,
+                                         TelemetrySampler *tm,
+                                         AttribCollector *at);
 
 /**
  * Simulates @p cfg, consulting the in-process cache and the file cache

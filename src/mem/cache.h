@@ -18,6 +18,7 @@
 
 #include "ckpt/serde.h"
 #include "mem/mshr.h"
+#include "sim/attrib.h"
 #include "sim/config.h"
 #include "sim/stats.h"
 #include "sim/trace_event.h"
@@ -30,6 +31,7 @@ struct CacheLine {
     Addr tag = 0;
     Tick fill_time = 0;      ///< Tick at which the data arrived.
     std::uint64_t lru = 0;   ///< Higher = more recently used.
+    std::uint32_t site = 0;  ///< Attribution site id (sim/attrib.h).
     std::uint8_t rrpv = 3;   ///< SRRIP re-reference prediction value.
     bool valid = false;
     bool dirty = false;
@@ -44,6 +46,7 @@ struct CacheLine {
         ar.scalar(tag);
         ar.scalar(fill_time);
         ar.scalar(lru);
+        ar.scalar(site);
         ar.scalar(rrpv);
         ar.scalar(valid);
         ar.scalar(dirty);
@@ -121,8 +124,11 @@ class Cache
             if (line.valid && line.tag == block) {
                 line.lru = ++lru_clock_;
                 line.rrpv = 0; // SRRIP: proven reuse -> near re-reference
-                if (line.prefetched && !line.referenced)
+                if (line.prefetched && !line.referenced) {
                     ++ctr_.prefetch_useful;
+                    if (at_)
+                        at_->onUseful(line.site, block);
+                }
                 line.referenced = true;
                 if (line.fill_time > now)
                     ++ctr_.hits_on_inflight_fill;
@@ -131,6 +137,8 @@ class Cache
             }
         }
         ++ctr_.misses;
+        if (at_)
+            at_->onDemandMiss(at_core_, block);
         if (tr_)
             tr_->emit(tr_track_, TraceEventType::CacheMiss, now, block,
                       tr_level_);
@@ -153,10 +161,13 @@ class Cache
      * Installs @p block, evicting the set's LRU victim.
      * @param fill_time tick at which the block's data arrives.
      * @param prefetched the fill was triggered by a prefetch.
+     * @param site attribution site id of the issuing prefetch (0 for
+     *        demand fills; sim/attrib.h), remembered on the line.
      * @return description of the displaced victim.
      */
     EvictResult
-    insert(Addr block, Tick fill_time, bool prefetched, bool dirty)
+    insert(Addr block, Tick fill_time, bool prefetched, bool dirty,
+           std::uint32_t site = 0)
     {
         CacheLine *set = &lines_[setIndex(block) * cfg_.ways];
         for (unsigned w = 0; w < cfg_.ways; ++w) {
@@ -211,8 +222,17 @@ class Cache
             ++ctr_.evictions;
             if (ev.dirty)
                 ++ctr_.writebacks;
-            if (ev.prefetched_unused)
+            if (ev.prefetched_unused) {
                 ++ctr_.prefetch_evicted_unused;
+                if (at_)
+                    at_->onEvictedUnused(victim->site, victim->tag);
+            } else if (at_ && prefetched) {
+                // A prefetch displaced a line the demand stream owned
+                // (demand-filled, or a prefetch that proved useful):
+                // remember the victim so a re-miss charges pollution.
+                at_->onPrefetchEvictsDemand(at_core_, site,
+                                            victim->tag);
+            }
         }
 
         victim->tag = block;
@@ -220,6 +240,7 @@ class Cache
         victim->dirty = dirty;
         victim->prefetched = prefetched;
         victim->referenced = false;
+        victim->site = site;
         victim->fill_time = fill_time;
         victim->lru = ++lru_clock_;
         victim->rrpv = 2; // SRRIP insertion: "long" re-reference interval
@@ -247,6 +268,18 @@ class Cache
      *  Pass tr = nullptr to detach. */
     void setTrace(TraceCollector *tr, std::uint16_t track,
                   std::uint8_t level);
+
+    /** Routes this level's attribution events (useful hits, unused
+     *  evictions, pollution-filter traffic) to @p at as @p core; null =
+     *  detach.  Only L2s are attached — their counters are the ones
+     *  IterStats aggregates, which is what makes attribution totals
+     *  reconcile exactly (sim/attrib.h). */
+    void
+    setAttrib(AttribCollector *at, unsigned core)
+    {
+        at_ = at;
+        at_core_ = core;
+    }
 
     /** Number of valid lines (tests and occupancy probes). */
     std::size_t residentCount() const;
@@ -290,6 +323,8 @@ class Cache
     TraceCollector *tr_ = nullptr; ///< Null unless tracing is enabled.
     std::uint16_t tr_track_ = 0;
     std::uint8_t tr_level_ = 0;
+    AttribCollector *at_ = nullptr; ///< Null unless attribution is on.
+    unsigned at_core_ = 0;
 };
 
 } // namespace rnr

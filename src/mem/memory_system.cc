@@ -35,6 +35,8 @@ MemorySystem::setPrefetcher(unsigned core, Prefetcher *pf)
             pf->setTrace(tr_, static_cast<std::uint16_t>(core));
         if (tm_)
             pf->setTelemetry(tm_, core);
+        if (at_)
+            pf->setAttrib(at_);
     }
 }
 
@@ -80,6 +82,20 @@ MemorySystem::attachTelemetry(TelemetrySampler *tm)
     }
     for (unsigned c = 0; c < cfg_.cores; ++c)
         prefetchers_[c]->setTelemetry(tm, c);
+}
+
+void
+MemorySystem::attachAttrib(AttribCollector *at)
+{
+    at_ = at;
+    // Attribution attaches to the private L2s only: their counters are
+    // the ones SystemCounters folds into IterStats (pf_issued /
+    // pf_useful / pf_late_merged), so hooking exactly these levels is
+    // what makes the attrib totals reconcile exactly.
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        l2_[c]->setAttrib(at, c);
+        prefetchers_[c]->setAttrib(at);
+    }
 }
 
 void
@@ -219,6 +235,8 @@ MemorySystem::demandAccess(unsigned core, Addr vaddr, bool is_write,
                       pe->prefetch ? 5 : 1);
         if (pe->prefetch) {
             ++l2.ctr().demand_merged_into_prefetch;
+            if (at_)
+                at_->onLateMerged(pe->site, block);
             pe->prefetch = false; // count each late prefetch once
         }
         if (target) {
@@ -263,7 +281,8 @@ MemorySystem::demandAccess(unsigned core, Addr vaddr, bool is_write,
 }
 
 PrefetchIssue
-MemorySystem::prefetchIntoL2(unsigned core, Addr vaddr, Tick now)
+MemorySystem::prefetchIntoL2(unsigned core, Addr vaddr, Tick now,
+                             std::uint32_t site)
 {
     PrefetchIssue out;
     Cache &l2 = *l2_[core];
@@ -293,10 +312,12 @@ MemorySystem::prefetchIntoL2(unsigned core, Addr vaddr, Tick now)
                                    ReqOrigin::Prefetch);
     if (h_pf_latency_)
         h_pf_latency_->record(fill - now);
-    l2.prefetchQueue().insert(block, fill, true);
-    EvictResult ev = l2.insert(block, fill, true, false);
+    l2.prefetchQueue().insert(block, fill, true, site);
+    EvictResult ev = l2.insert(block, fill, true, false, site);
     handleL2Evict(core, ev, now);
     ++l2.ctr().prefetches_issued;
+    if (at_)
+        at_->onIssued(site, block);
     if (tr_) {
         const auto track = static_cast<std::uint16_t>(core);
         tr_->emit(track, TraceEventType::PrefetchIssue, now, block,

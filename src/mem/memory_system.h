@@ -25,6 +25,7 @@ namespace rnr {
 
 class TelemetrySampler;
 class Log2Histogram;
+class AttribCollector;
 
 /** Result of a demand access, as seen by the core model. */
 struct DemandResult {
@@ -50,9 +51,13 @@ class MemorySystem
     /**
      * Prefetches @p vaddr's block into @p core's L2 (prefetcher path).
      * Counted in the issuing prefetcher's traffic, lower priority than
-     * demands only in that it never blocks them.
+     * demands only in that it never blocks them.  @p site is the
+     * attribution site id of the issuing decision (trigger PC or RnR
+     * lane id; sim/attrib.h), carried into the prefetch queue entry
+     * and the filled line.
      */
-    PrefetchIssue prefetchIntoL2(unsigned core, Addr vaddr, Tick now);
+    PrefetchIssue prefetchIntoL2(unsigned core, Addr vaddr, Tick now,
+                                 std::uint32_t site = 0);
 
     /**
      * RnR metadata access: @p bytes streamed starting at @p addr,
@@ -101,6 +106,17 @@ class MemorySystem
     void attachTelemetry(TelemetrySampler *tm);
     TelemetrySampler *telemetry() { return tm_; }
 
+    /**
+     * Attaches the attribution collector (null = detach): each private
+     * L2 reports useful hits / unused evictions / pollution events, the
+     * prefetch-issue and late-merge hooks here report the rest, and the
+     * attached prefetchers get Prefetcher::setAttrib (RnR registers its
+     * Fig 11 classification).  Prefetchers installed later
+     * (setPrefetcher) inherit it, mirroring trace/telemetry.
+     */
+    void attachAttrib(AttribCollector *at);
+    AttribCollector *attrib() { return at_; }
+
     /** Checkpoint visitor: every owned cache level, the per-core TLBs
      *  and the DRAM model.  Attached prefetchers are NOT walked here —
      *  they are not owned, and the snapshot codec gives them their own
@@ -148,6 +164,7 @@ class MemorySystem
     NullPrefetcher null_pf_;
     TraceCollector *tr_ = nullptr; ///< Null unless tracing is enabled.
     TelemetrySampler *tm_ = nullptr; ///< Null unless sampling is enabled.
+    AttribCollector *at_ = nullptr; ///< Null unless attribution is on.
     /** Latency sinks, non-null only while telemetry is attached. */
     Log2Histogram *h_miss_latency_ = nullptr;
     Log2Histogram *h_pf_latency_ = nullptr;

@@ -36,6 +36,7 @@ class Mshr
         Addr block;        ///< Block number (address >> 6).
         Tick fill;         ///< Tick at which the fill arrives.
         bool prefetch;     ///< Entry was allocated by a prefetch.
+        std::uint32_t site; ///< Attribution site id (sim/attrib.h).
 
         /** Field-wise (the struct has padding, so no pod() bulk path). */
         template <class Ar>
@@ -45,6 +46,7 @@ class Mshr
             ar.scalar(block);
             ar.scalar(fill);
             ar.scalar(prefetch);
+            ar.scalar(site);
         }
     };
 
@@ -112,12 +114,15 @@ class Mshr
      */
     Tick nextFill() const { return next_fill_; }
 
-    /** Allocates an entry; the caller must have ensured capacity. */
+    /** Allocates an entry; the caller must have ensured capacity.
+     *  @param site attribution site id of the issuing prefetch (0 for
+     *  demand entries; sim/attrib.h). */
     void
-    insert(Addr block, Tick fill, bool prefetch)
+    insert(Addr block, Tick fill, bool prefetch,
+           std::uint32_t site = 0)
     {
         assert(!full());
-        entries_.push_back({block, fill, prefetch});
+        entries_.push_back({block, fill, prefetch, site});
         next_fill_ = std::min(next_fill_, fill);
         if (tr_)
             tr_->emit(tr_track_, TraceEventType::MshrAlloc, fill, block,

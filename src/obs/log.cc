@@ -142,6 +142,33 @@ logWallClockUs()
             .count());
 }
 
+namespace {
+std::atomic<std::uint64_t> g_next_span{1};
+thread_local std::uint64_t t_current_span = 0;
+} // namespace
+
+std::uint64_t
+nextSpanId()
+{
+    return g_next_span.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+currentSpanId()
+{
+    return t_current_span;
+}
+
+SpanScope::SpanScope() : id_(nextSpanId()), prev_(t_current_span)
+{
+    t_current_span = id_;
+}
+
+SpanScope::~SpanScope()
+{
+    t_current_span = prev_;
+}
+
 LogLine::LogLine(LogLevel level, const char *component)
 {
     ensureInit();
@@ -159,6 +186,10 @@ LogLine::LogLine(LogLevel level, const char *component)
     buf_ += ", \"pid\": ";
     buf_ += jsonU64(static_cast<std::uint64_t>(::getpid()));
 #endif
+    if (t_current_span != 0) {
+        buf_ += ", \"span\": ";
+        buf_ += jsonU64(t_current_span);
+    }
 }
 
 LogLine &

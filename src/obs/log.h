@@ -93,6 +93,40 @@ class LogLine
 };
 
 /**
+ * Process-unique id (monotonic from 1) for correlating the log lines
+ * of one multi-step operation — the logging counterpart of the farm's
+ * per-cell span ids in daemon_spans.jsonl.
+ */
+std::uint64_t nextSpanId();
+
+/** The calling thread's ambient span id, 0 when none is active. */
+std::uint64_t currentSpanId();
+
+/**
+ * RAII ambient span: while alive, every LogLine the calling thread
+ * emits automatically carries "span": <id>, so records written by
+ * lower layers (e.g. the checkpoint store dropping a corrupt snapshot)
+ * correlate with the operation that triggered them (the runner's
+ * quarantine-and-rerun) without threading ids through every signature.
+ * Scopes nest; the enclosing span is restored on destruction.
+ */
+class SpanScope
+{
+  public:
+    SpanScope();
+    ~SpanScope();
+
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+
+    std::uint64_t id() const { return id_; }
+
+  private:
+    std::uint64_t id_;
+    std::uint64_t prev_;
+};
+
+/**
  * Drops the cached RNR_LOG / RNR_LOG_LEVEL state so the next record
  * re-reads the environment.  Tests that setenv() mid-process must call
  * this; production code never needs to.

@@ -102,12 +102,8 @@ MetricsRegistry::resetForTest()
         c->v_.store(0, std::memory_order_relaxed);
     for (auto &[name, g] : gauges_)
         g->v_.store(0, std::memory_order_relaxed);
-    for (auto &[name, h] : histograms_) {
-        h->count_.store(0, std::memory_order_relaxed);
-        h->sum_.store(0, std::memory_order_relaxed);
-        for (auto &b : h->b_)
-            b.store(0, std::memory_order_relaxed);
-    }
+    for (auto &[name, h] : histograms_)
+        h->resetForTest();
 }
 
 std::string

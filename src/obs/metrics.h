@@ -40,6 +40,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/log2_hist.h"
+
 namespace rnr {
 namespace obs {
 
@@ -85,62 +87,30 @@ class Gauge
 };
 
 /**
- * Log2-bucketed histogram of u64 observations (the same bucketing the
- * telemetry layer's latency histograms use): bucket 0 holds the value
- * 0, bucket i >= 1 holds [2^(i-1), 2^i - 1], so 65 buckets cover the
- * whole u64 range.  observe() is two relaxed adds plus one bucket add.
+ * Log2-bucketed histogram of u64 observations — the exact bucketing the
+ * telemetry layer's latency histograms use, because both are the shared
+ * core in sim/log2_hist.h.  This façade is the concurrent instantiation
+ * (relaxed-atomic cells; observe() is two relaxed adds plus one bucket
+ * add) plus this layer's method names.
  */
-class Histogram
+class Histogram : public BasicLog2Histogram<std::atomic<std::uint64_t>>
 {
   public:
-    static constexpr unsigned kBuckets = 65;
+    void observe(std::uint64_t v) { record(v); }
 
-    void observe(std::uint64_t v)
-    {
-        count_.fetch_add(1, std::memory_order_relaxed);
-        sum_.fetch_add(v, std::memory_order_relaxed);
-        b_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
-    }
-
-    std::uint64_t count() const
-    {
-        return count_.load(std::memory_order_relaxed);
-    }
-    std::uint64_t sum() const
-    {
-        return sum_.load(std::memory_order_relaxed);
-    }
-    std::uint64_t bucketCount(unsigned i) const
-    {
-        return i < kBuckets ? b_[i].load(std::memory_order_relaxed) : 0;
-    }
+    std::uint64_t bucketCount(unsigned i) const { return bucket(i); }
 
     /** Bucket for @p v: 0 for 0, otherwise bit_width(v). */
     static unsigned bucketIndex(std::uint64_t v)
     {
-        unsigned w = 0;
-        while (v != 0) {
-            ++w;
-            v >>= 1;
-        }
-        return w;
+        return log2b::index(v);
     }
 
     /** Inclusive upper edge of bucket @p i (0, 1, 3, 7, ...). */
     static std::uint64_t bucketUpperBound(unsigned i)
     {
-        if (i == 0)
-            return 0;
-        if (i >= 64)
-            return ~std::uint64_t{0};
-        return (std::uint64_t{1} << i) - 1;
+        return log2b::high(i);
     }
-
-  private:
-    friend class MetricsRegistry;
-    std::atomic<std::uint64_t> count_{0};
-    std::atomic<std::uint64_t> sum_{0};
-    std::array<std::atomic<std::uint64_t>, kBuckets> b_{};
 };
 
 /** Point-in-time copy of every registered metric. */

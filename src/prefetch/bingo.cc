@@ -98,7 +98,8 @@ BingoPrefetcher::onAccess(const L2AccessInfo &info)
     for (unsigned b = 0; b < region_blocks_; ++b) {
         if (b == offset || !((*fp >> b) & 1))
             continue;
-        issuePrefetch((region_base + b) << kBlockBits, info.now);
+        issuePrefetch((region_base + b) << kBlockBits, info.now,
+                      info.pc);
     }
 }
 

@@ -25,7 +25,7 @@ DominoPrefetcher::onAccess(const L2AccessInfo &info)
                 if (next == head_ || !history_[next].valid)
                     break;
                 issuePrefetch(history_[next].block << kBlockBits,
-                              info.now);
+                              info.now, info.pc);
             }
         }
     }

@@ -28,7 +28,8 @@ DropletPrefetcher::inEdgeRange(Addr vaddr) const
 }
 
 void
-DropletPrefetcher::launchIndirect(Addr edge_block, Tick fill_time)
+DropletPrefetcher::launchIndirect(Addr edge_block, Tick fill_time,
+                                  std::uint32_t trigger_pc)
 {
     if (!hint_.target_of)
         return;
@@ -52,7 +53,7 @@ DropletPrefetcher::launchIndirect(Addr edge_block, Tick fill_time)
         // The vertex prefetch can only launch once the edge line's data
         // is back — this is the extra indirection level the RnR paper
         // identifies as DROPLET's timeliness problem.
-        issuePrefetch(target, fill_time);
+        issuePrefetch(target, fill_time, trigger_pc);
         ++c_indirect_launched_;
     }
 }
@@ -75,9 +76,10 @@ DropletPrefetcher::onAccess(const L2AccessInfo &info)
     while (next_stream_block_ < limit &&
            next_stream_block_ <= edge_end_block) {
         PrefetchIssue res =
-            issuePrefetch(next_stream_block_ << kBlockBits, info.now);
+            issuePrefetch(next_stream_block_ << kBlockBits, info.now,
+                          info.pc);
         const Tick arrival = res.issued ? res.fill_time : info.now;
-        launchIndirect(next_stream_block_, arrival);
+        launchIndirect(next_stream_block_, arrival, info.pc);
         ++next_stream_block_;
     }
 
@@ -85,7 +87,7 @@ DropletPrefetcher::onAccess(const L2AccessInfo &info)
     // (on a miss the hardware sees its refill; on a hit the line is
     // already on chip and the engine scans it directly).
     if (!info.hit)
-        launchIndirect(info.block, info.now);
+        launchIndirect(info.block, info.now, info.pc);
 }
 
 RNR_CKPT_DEFINE_STATE(DropletPrefetcher)

@@ -63,7 +63,8 @@ class DropletPrefetcher : public Prefetcher
     bool inEdgeRange(Addr vaddr) const;
 
     /** Prefetches vertex targets of every edge in @p edge_block. */
-    void launchIndirect(Addr edge_block, Tick fill_time);
+    void launchIndirect(Addr edge_block, Tick fill_time,
+                        std::uint32_t trigger_pc);
 
     DropletHint hint_;
     unsigned distance_;

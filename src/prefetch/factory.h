@@ -77,6 +77,13 @@ class CombinedPrefetcher : public Prefetcher
         stream_->setTelemetry(tm, core);
     }
 
+    void
+    setAttrib(AttribCollector *at) override
+    {
+        rnr_->setAttrib(at);
+        stream_->setAttrib(at);
+    }
+
     RnrPrefetcher &rnr() { return *rnr_; }
 
     /** Composite snapshot: own stats, then each child's full state in

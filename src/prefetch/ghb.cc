@@ -23,7 +23,8 @@ GhbPrefetcher::onAccess(const L2AccessInfo &info)
             const std::size_t next = (pos + d) % buffer_.size();
             if (next == head_ || !buffer_[next].valid)
                 break;
-            issuePrefetch(buffer_[next].block << kBlockBits, info.now);
+            issuePrefetch(buffer_[next].block << kBlockBits, info.now,
+                          info.pc);
         }
     }
 

@@ -110,7 +110,7 @@ ImpPrefetcher::onAccess(const L2AccessInfo &info)
                         base_;
                     if (target > 0)
                         issuePrefetch(static_cast<Addr>(target),
-                                      info.now);
+                                      info.now, info.pc);
                 }
             }
         }

@@ -55,7 +55,7 @@ MisbPrefetcher::onAccess(const L2AccessInfo &info)
             if (sp == sp_map_.end())
                 break;
             touchMetadata(s + d, info.now);
-            issuePrefetch(sp->second << kBlockBits, info.now);
+            issuePrefetch(sp->second << kBlockBits, info.now, info.pc);
         }
     }
 

@@ -11,7 +11,7 @@ NextLinePrefetcher::onAccess(const L2AccessInfo &info)
         return; // only misses (and merges) extend a stream
     for (unsigned d = 1; d <= degree_; ++d) {
         const Addr next = (info.block + d) << kBlockBits;
-        issuePrefetch(next, info.now);
+        issuePrefetch(next, info.now, info.pc);
     }
 }
 

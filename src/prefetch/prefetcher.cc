@@ -22,9 +22,9 @@ Prefetcher::attach(MemorySystem *ms, unsigned core)
 }
 
 PrefetchIssue
-Prefetcher::issuePrefetch(Addr vaddr, Tick now)
+Prefetcher::issuePrefetch(Addr vaddr, Tick now, std::uint32_t site)
 {
-    PrefetchIssue out = ms_->prefetchIntoL2(core_, vaddr, now);
+    PrefetchIssue out = ms_->prefetchIntoL2(core_, vaddr, now, site);
     if (out.issued)
         ++c_issued_;
     else if (out.redundant)

@@ -23,6 +23,7 @@
 
 namespace rnr {
 
+class AttribCollector;
 class MemorySystem;
 class TelemetrySampler;
 class Workload;
@@ -142,6 +143,17 @@ class Prefetcher
         (void)core;
     }
 
+    /**
+     * Hands a prefetcher the attribution collector (null = off;
+     * sim/attrib.h).  The default needs nothing: site ids flow through
+     * the issuePrefetch() site argument, not through the collector.
+     * RnR overrides this to report its Fig 11 timeliness classification
+     * per replay window; composites forward to their children.  Called
+     * by MemorySystem::attachAttrib and re-applied to late
+     * setPrefetcher() installs, mirroring setTrace/setTelemetry.
+     */
+    virtual void setAttrib(AttribCollector *at) { (void)at; }
+
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
@@ -171,8 +183,13 @@ class Prefetcher
     {
         stats_.visitState(ar);
     }
-    /** Asks the attached L2 to fetch @p vaddr's block (into the L2). */
-    PrefetchIssue issuePrefetch(Addr vaddr, Tick now);
+    /** Asks the attached L2 to fetch @p vaddr's block (into the L2).
+     *  @param site attribution site id of this decision — the trigger
+     *  PC for pattern prefetchers, attribRnrSite(core) for the RnR
+     *  replay lane (sim/attrib.h).  Stored unconditionally (one u32
+     *  copy); accounted only when attribution is attached. */
+    PrefetchIssue issuePrefetch(Addr vaddr, Tick now,
+                                std::uint32_t site = 0);
 
     MemorySystem *ms_ = nullptr;
     unsigned core_ = 0;

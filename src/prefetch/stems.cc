@@ -31,12 +31,12 @@ StemsPrefetcher::patternInsert(Addr region, std::uint64_t footprint)
 
 void
 StemsPrefetcher::prefetchRegion(Addr region, std::uint64_t footprint,
-                                Tick now)
+                                Tick now, std::uint32_t trigger_pc)
 {
     const Addr base = region * region_blocks_;
     for (unsigned b = 0; b < region_blocks_; ++b) {
         if ((footprint >> b) & 1)
-            issuePrefetch((base + b) << kBlockBits, now);
+            issuePrefetch((base + b) << kBlockBits, now, trigger_pc);
     }
 }
 
@@ -79,7 +79,7 @@ StemsPrefetcher::onAccess(const L2AccessInfo &info)
             auto pit = patterns_.find(r);
             const std::uint64_t fp =
                 pit != patterns_.end() ? pit->second : 1;
-            prefetchRegion(r, fp, info.now);
+            prefetchRegion(r, fp, info.now, info.pc);
         }
     }
 

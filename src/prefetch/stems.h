@@ -66,7 +66,8 @@ class StemsPrefetcher : public Prefetcher
     };
 
     void patternInsert(Addr region, std::uint64_t footprint);
-    void prefetchRegion(Addr region, std::uint64_t footprint, Tick now);
+    void prefetchRegion(Addr region, std::uint64_t footprint, Tick now,
+                        std::uint32_t trigger_pc);
 
     unsigned region_blocks_;
     unsigned replay_depth_;

@@ -65,7 +65,7 @@ StreamPrefetcher::onAccess(const L2AccessInfo &info)
     const Addr limit = info.block + 1 + distance_;
     while (s->cursor < limit) {
         PrefetchIssue res =
-            issuePrefetch(s->cursor << kBlockBits, info.now);
+            issuePrefetch(s->cursor << kBlockBits, info.now, info.pc);
         if (res.mshr_full)
             break; // retry from the same cursor on a later access
         ++s->cursor;

@@ -42,7 +42,7 @@ StridePrefetcher::onAccess(const L2AccessInfo &info)
                     if (target > 0)
                         issuePrefetch(static_cast<Addr>(target)
                                           << kBlockBits,
-                                      info.now);
+                                      info.now, info.pc);
                 }
             }
         }

@@ -40,7 +40,6 @@
 #ifndef RNR_SIM_TIMESERIES_H
 #define RNR_SIM_TIMESERIES_H
 
-#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -49,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/log2_hist.h"
 #include "sim/types.h"
 
 namespace rnr {
@@ -138,60 +138,18 @@ class Gauge
 };
 
 /**
- * Power-of-two-bucket histogram for latency distributions.  Bucket i
- * counts values with bit_width(v) == i: bucket 0 holds exactly {0},
- * bucket i >= 1 holds [2^(i-1), 2^i).  65 buckets cover all of
- * uint64_t; recording is O(1) with no branches beyond the array index.
+ * Power-of-two-bucket histogram for latency distributions.  Bucketing
+ * and recording live in the shared core (sim/log2_hist.h); this façade
+ * is the single-writer (plain uint64_t cell) instantiation plus the
+ * bucket-edge names this layer's consumers use.
  */
-class Log2Histogram
+class Log2Histogram : public BasicLog2Histogram<std::uint64_t>
 {
   public:
-    static constexpr unsigned kBuckets = 65;
-
-    void
-    record(std::uint64_t v)
-    {
-        ++count_;
-        sum_ += v;
-        ++buckets_[std::bit_width(v)];
-    }
-
-    std::uint64_t count() const { return count_; }
-    std::uint64_t sum() const { return sum_; }
-    double
-    mean() const
-    {
-        return count_ ? static_cast<double>(sum_) /
-                            static_cast<double>(count_)
-                      : 0.0;
-    }
-    std::uint64_t bucket(unsigned i) const { return buckets_[i]; }
     /** Smallest value bucket @p i can hold. */
-    static std::uint64_t
-    bucketLow(unsigned i)
-    {
-        return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
-    }
+    static std::uint64_t bucketLow(unsigned i) { return log2b::low(i); }
     /** Largest value bucket @p i can hold. */
-    static std::uint64_t
-    bucketHigh(unsigned i)
-    {
-        return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
-    }
-    /** One past the highest non-empty bucket (0 when empty). */
-    unsigned
-    maxBucket() const
-    {
-        for (unsigned i = kBuckets; i > 0; --i)
-            if (buckets_[i - 1])
-                return i;
-        return 0;
-    }
-
-  private:
-    std::uint64_t buckets_[kBuckets] = {};
-    std::uint64_t count_ = 0;
-    std::uint64_t sum_ = 0;
+    static std::uint64_t bucketHigh(unsigned i) { return log2b::high(i); }
 };
 
 /** Detached copy of one series, as carried by ExperimentResult. */

@@ -6,10 +6,12 @@
  *    (the tentpole "observation only" guarantee);
  *  - the harvested blob carries the RnR replay-lane series (n_pace,
  *    metadata-buffer fill) plus the memory-system occupancy series;
- *  - buildSweepReport + reportJson emit a valid rnr-report-v1 document;
+ *  - buildSweepReport + reportJson emit a valid rnr-report-v2 document
+ *    (telemetry plus the embedded rnr-attrib-v1 attribution object);
  *  - reportHtml is one self-contained page (inline SVG, no fetches);
  *  - the json_parse DOM reader handles the formats we feed it.
  */
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -121,7 +123,7 @@ TEST_F(ReportFixture, BlobCarriesTheReplayLaneAndMemorySeries)
     EXPECT_FALSE(blob.histograms.empty());
 }
 
-TEST_F(ReportFixture, ReportJsonIsValidAndCompleteRnrReportV1)
+TEST_F(ReportFixture, ReportJsonIsValidAndCompleteRnrReportV2)
 {
     ExperimentConfig none = rnrConfig();
     none.prefetcher = PrefetcherKind::None;
@@ -137,7 +139,7 @@ TEST_F(ReportFixture, ReportJsonIsValidAndCompleteRnrReportV1)
 
     const JsonValue *schema = doc.find("schema");
     ASSERT_NE(schema, nullptr);
-    EXPECT_EQ(schema->text, "rnr-report-v1");
+    EXPECT_EQ(schema->text, "rnr-report-v2");
     EXPECT_EQ(doc.find("label")->text, "unit");
 
     const JsonValue *cells = doc.find("cells");
@@ -155,6 +157,17 @@ TEST_F(ReportFixture, ReportJsonIsValidAndCompleteRnrReportV1)
         const JsonValue *series = tel->find("series");
         ASSERT_NE(series, nullptr);
         EXPECT_GE(series->items.size(), 6u);
+
+        // v2: every cell embeds its attribution object.
+        const JsonValue *attrib = cell.find("attrib");
+        ASSERT_NE(attrib, nullptr);
+        const JsonValue *aschema = attrib->find("schema");
+        ASSERT_NE(aschema, nullptr);
+        EXPECT_EQ(aschema->text, "rnr-attrib-v1");
+        EXPECT_NE(attrib->find("totals"), nullptr);
+        EXPECT_NE(attrib->find("sites"), nullptr);
+        EXPECT_NE(attrib->find("regions"), nullptr);
+        EXPECT_NE(attrib->find("pollution_filter"), nullptr);
     }
 
     // The RnR cell's replay lane made it into the document, and the
@@ -177,6 +190,19 @@ TEST_F(ReportFixture, ReportJsonIsValidAndCompleteRnrReportV1)
     EXPECT_NE(metrics->find("speedup"), nullptr);
     EXPECT_NE(metrics->find("coverage"), nullptr);
     EXPECT_GT(metrics->find("speedup")->asDouble(), 0.0);
+
+    // The RnR cell's attribution saw real prefetches, and its replay
+    // lane populated the rnr class splits.
+    const JsonValue *attrib = rnr_cell.find("attrib");
+    ASSERT_NE(attrib, nullptr);
+    EXPECT_GT(attrib->find("totals")->find("issued")->asU64(), 0u);
+    const JsonValue *rnr = attrib->find("rnr");
+    ASSERT_NE(rnr, nullptr);
+    const std::uint64_t classified = rnr->find("ontime")->asU64() +
+                                     rnr->find("early")->asU64() +
+                                     rnr->find("late")->asU64() +
+                                     rnr->find("out_of_window")->asU64();
+    EXPECT_GT(classified, 0u);
 }
 
 TEST_F(ReportFixture, HtmlIsSelfContained)
@@ -187,6 +213,12 @@ TEST_F(ReportFixture, HtmlIsSelfContained)
     EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
     EXPECT_NE(html.find("<svg"), std::string::npos);     // sparklines
     EXPECT_NE(html.find("n_pace"), std::string::npos);   // replay lane
+    // v2 dashboards: the attribution section with its per-site table,
+    // the region heatmap, and the per-region table.
+    EXPECT_NE(html.find("Prefetch attribution"), std::string::npos);
+    EXPECT_NE(html.find("class=\"attrib-sites\""), std::string::npos);
+    EXPECT_NE(html.find("class=\"heatmap\""), std::string::npos);
+    EXPECT_NE(html.find("class=\"attrib-regions\""), std::string::npos);
     // Self-contained: no external fetches of any kind.
     EXPECT_EQ(html.find("http://"), std::string::npos);
     EXPECT_EQ(html.find("https://"), std::string::npos);

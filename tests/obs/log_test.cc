@@ -176,6 +176,48 @@ TEST_F(LogFixture, DisabledLineSkipsAllFormatting)
     EXPECT_TRUE(slurp().empty());
 }
 
+TEST_F(LogFixture, SpanScopeStampsEveryRecordInsideIt)
+{
+    EXPECT_EQ(currentSpanId(), 0u);
+    LogLine(LogLevel::Info, "test").msg("outside");
+
+    std::uint64_t outer_id = 0, inner_id = 0;
+    {
+        SpanScope outer;
+        outer_id = outer.id();
+        EXPECT_NE(outer_id, 0u);
+        EXPECT_EQ(currentSpanId(), outer_id);
+        LogLine(LogLevel::Info, "test").msg("outer");
+        {
+            SpanScope inner; // nests: ids are distinct, restore works
+            inner_id = inner.id();
+            EXPECT_NE(inner_id, outer_id);
+            LogLine(LogLevel::Info, "test").msg("inner");
+        }
+        EXPECT_EQ(currentSpanId(), outer_id);
+    }
+    EXPECT_EQ(currentSpanId(), 0u);
+
+    std::istringstream lines(slurp());
+    std::string line;
+    while (std::getline(lines, line)) {
+        JsonValue v;
+        std::string err;
+        ASSERT_TRUE(parseJson(line, v, &err)) << err << "\n" << line;
+        const std::string msg = v.find("msg")->text;
+        const JsonValue *span = v.find("span");
+        if (msg == "outside") {
+            EXPECT_EQ(span, nullptr); // no ambient scope, no field
+        } else if (msg == "outer") {
+            ASSERT_NE(span, nullptr);
+            EXPECT_EQ(span->asU64(), outer_id);
+        } else if (msg == "inner") {
+            ASSERT_NE(span, nullptr);
+            EXPECT_EQ(span->asU64(), inner_id);
+        }
+    }
+}
+
 } // namespace
 } // namespace obs
 } // namespace rnr

@@ -11,8 +11,11 @@
  *  - `help --markdown` emits the registry-generated mode table and the
  *    copy embedded in README.md matches it byte-for-byte (README path
  *    injected as RNR_README_PATH);
- *  - `report` writes a parseable rnr-report-v1 JSON plus an HTML page
+ *  - `report` writes a parseable rnr-report-v2 JSON plus an HTML page
  *    with inline SVG (the full telemetry pipeline, out of process);
+ *  - `attrib` prints exactly one rnr-attrib-v1 JSON line on stdout and
+ *    exits 0 only when the attribution totals reconciled with the
+ *    IterStats counters;
  *  - `farm` subcommands that cannot reach the daemon socket print one
  *    typed line and exit 4 (kFarmConnectExit in trace_tools.cpp).
  */
@@ -64,8 +67,8 @@ runTool(const std::string &args, const std::string &extra_env = "")
 
 const char *const kModes[] = {"capture",  "convert",   "simulate",
                               "stats",    "corpus",    "ckpt",
-                              "inspect",  "rnr-trace", "report",
-                              "help"};
+                              "inspect",  "rnr-trace", "attrib",
+                              "report",   "help"};
 
 TEST(TraceToolsCli, HelpListsEveryMode)
 {
@@ -281,18 +284,68 @@ TEST(TraceToolsCli, ReportModeWritesJsonAndHtml)
     std::stringstream jbuf;
     jbuf << json.rdbuf();
     const std::string jbody = jbuf.str();
-    EXPECT_NE(jbody.find("rnr-report-v1"), std::string::npos);
+    EXPECT_NE(jbody.find("rnr-report-v2"), std::string::npos);
     EXPECT_NE(jbody.find("n_pace"), std::string::npos);
     EXPECT_NE(jbody.find("seq_buffer_bytes"), std::string::npos);
+    EXPECT_NE(jbody.find("rnr-attrib-v1"), std::string::npos);
 
     std::ifstream html(prefix + ".html");
     ASSERT_TRUE(html.good()) << prefix << ".html missing";
     std::stringstream hbuf;
     hbuf << html.rdbuf();
     EXPECT_NE(hbuf.str().find("<svg"), std::string::npos);
+    EXPECT_NE(hbuf.str().find("class=\"attrib-sites\""),
+              std::string::npos);
+    EXPECT_NE(hbuf.str().find("class=\"heatmap\""), std::string::npos);
 
     std::remove((prefix + ".json").c_str());
     std::remove((prefix + ".html").c_str());
+}
+
+TEST(TraceToolsCli, AttribModeEmitsOneReconciledJsonLine)
+{
+    // stdout is the machine-readable surface (one rnr-attrib-v1 line);
+    // the human-facing reconciliation verdict goes to stderr.  runTool
+    // merges the two streams, so split on lines and find the JSON one.
+    const CliResult r =
+        runTool("attrib pagerank amazon rnr --iterations 2 --cores 2");
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("attrib/counter reconciliation: exact"),
+              std::string::npos)
+        << r.output;
+
+    std::istringstream lines(r.output);
+    std::string line, json;
+    std::size_t json_lines = 0;
+    while (std::getline(lines, line)) {
+        if (line.rfind("{\"schema\": \"rnr-attrib-v1\"", 0) == 0) {
+            json = line;
+            ++json_lines;
+        }
+    }
+    ASSERT_EQ(json_lines, 1u) << r.output;
+
+    // Golden schema: every top-level key of the rnr-attrib-v1 object,
+    // in emission order.
+    std::size_t pos = 0;
+    for (const char *key :
+         {"\"schema\"", "\"totals\"", "\"rnr\"", "\"pollution_filter\"",
+          "\"sites\"", "\"sites_tracked\"", "\"site_other\"",
+          "\"regions\"", "\"regions_tracked\"", "\"region_other\"",
+          "\"windows\"", "\"window_overflow\""}) {
+        const std::size_t at = json.find(key, pos);
+        ASSERT_NE(at, std::string::npos) << key << " in " << json;
+        pos = at;
+    }
+    // An RnR run attributes its replay lane: lane sites carry bit 31.
+    EXPECT_NE(json.find("\"rnr\": true"), std::string::npos) << json;
+}
+
+TEST(TraceToolsCli, AttribModeWrongArityExitsTwo)
+{
+    EXPECT_EQ(runTool("attrib pagerank amazon rnr --iterations").exit_code,
+              2);
+    EXPECT_EQ(runTool("attrib pagerank amazon nosuchpf").exit_code, 2);
 }
 
 } // namespace
